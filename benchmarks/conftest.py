@@ -1,0 +1,45 @@
+"""Shared fixtures and report plumbing for the benchmark harness.
+
+Each benchmark regenerates one paper artefact (table or figure) and emits
+its rows/series both to stdout and to ``benchmarks/results/<name>.txt`` so
+the numbers survive pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def emit_report():
+    """Callable ``emit_report(name, text)``: print + persist a report."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def quality_dataset():
+    """The shared labelled dataset for quality benchmarks (Figs. 6a/10/11)."""
+    from repro.datasets import generate_dataset, get_workload
+
+    return generate_dataset(get_workload("evaluation"))
+
+
+@pytest.fixture(scope="session")
+def shared_encoder():
+    """Paper-dimension encoder shared across benchmarks."""
+    from repro.hdc import EncoderConfig, IDLevelEncoder
+
+    return IDLevelEncoder(
+        EncoderConfig(dim=2048, mz_bins=16_000, intensity_levels=64)
+    )

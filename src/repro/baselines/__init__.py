@@ -1,0 +1,45 @@
+"""Baseline tools: algorithmic re-implementations + calibrated cost models."""
+
+from .base import ClusteringTool, bucketed, assign_bucket_labels
+from .hyperspec import HyperSpecHAC, HyperSpecDBSCAN
+from .gleams import GleamsLike
+from .falcon import FalconLike
+from .mscrush import MsCrushLike
+from .maracluster import MaRaClusterLike
+from .mscluster import MSClusterLike, SpectraClusterLike
+from .runtime_models import (
+    PhaseCost,
+    ToolRunModel,
+    TOOL_MODELS,
+    HYPERSPEC_HAC,
+    HYPERSPEC_DBSCAN,
+    GLEAMS,
+    FALCON,
+    MSCRUSH,
+    CPU_PARSE_BANDWIDTH,
+    speedup_over,
+)
+
+__all__ = [
+    "ClusteringTool",
+    "bucketed",
+    "assign_bucket_labels",
+    "HyperSpecHAC",
+    "HyperSpecDBSCAN",
+    "GleamsLike",
+    "FalconLike",
+    "MsCrushLike",
+    "MaRaClusterLike",
+    "MSClusterLike",
+    "SpectraClusterLike",
+    "PhaseCost",
+    "ToolRunModel",
+    "TOOL_MODELS",
+    "HYPERSPEC_HAC",
+    "HYPERSPEC_DBSCAN",
+    "GLEAMS",
+    "FALCON",
+    "MSCRUSH",
+    "CPU_PARSE_BANDWIDTH",
+    "speedup_over",
+]

@@ -1,0 +1,75 @@
+"""Common interface for baseline clustering tools.
+
+Every baseline implements :class:`ClusteringTool`: given preprocessed
+spectra and an *aggressiveness* parameter (each tool's native threshold),
+produce flat cluster labels.  The Fig. 10 benchmark sweeps the parameter per
+tool and plots clustered-spectra ratio against incorrect-clustering ratio —
+so all tools are compared through the identical metric pipeline.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..spectrum import (
+    BucketingConfig,
+    MassSpectrum,
+    partition_spectra,
+)
+
+
+class ClusteringTool(abc.ABC):
+    """A spectral clustering tool under evaluation."""
+
+    #: Human-readable tool name (used in benchmark tables).
+    name: str = "tool"
+
+    @abc.abstractmethod
+    def cluster(
+        self, spectra: Sequence[MassSpectrum], threshold: float
+    ) -> np.ndarray:
+        """Cluster spectra; returns labels (−1 allowed for noise).
+
+        ``threshold`` is the tool's own aggressiveness knob; its scale is
+        tool-specific (cosine distance, Hamming fraction, eps, ...).
+        """
+
+    def threshold_grid(self) -> List[float]:
+        """Candidate thresholds for the Fig. 10 sweep (tool-specific scale)."""
+        return [round(x, 3) for x in np.linspace(0.05, 0.7, 14)]
+
+
+def bucketed(
+    spectra: Sequence[MassSpectrum],
+    resolution: float = 1.0,
+) -> Dict[Tuple[int, int], List[int]]:
+    """Precursor-bucket partition shared by all baseline tools.
+
+    Every serious MS clustering tool restricts comparisons to a precursor
+    window; using the same bucketing for all baselines isolates the
+    *algorithmic* differences the paper evaluates.
+    """
+    return partition_spectra(spectra, BucketingConfig(resolution=resolution))
+
+
+def assign_bucket_labels(
+    labels: np.ndarray,
+    members: Sequence[int],
+    bucket_labels: np.ndarray,
+    next_label: int,
+) -> int:
+    """Copy per-bucket labels into the global array; returns next free label.
+
+    ``bucket_labels`` may contain −1 for noise, which stays −1 globally.
+    """
+    bucket_labels = np.asarray(bucket_labels)
+    for local_index, member in enumerate(members):
+        local = int(bucket_labels[local_index])
+        labels[member] = next_label + local if local >= 0 else -1
+    non_noise = bucket_labels[bucket_labels >= 0]
+    if non_noise.size == 0:
+        return next_label
+    return next_label + int(non_noise.max()) + 1

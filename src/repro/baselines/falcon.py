@@ -1,0 +1,91 @@
+"""falcon-like baseline: vectorisation + approximate-NN density clustering.
+
+falcon [12] converts spectra to low-dimensional hashed vectors, finds
+approximate nearest neighbours, and forms clusters with a density criterion
+(DBSCAN-style) inside precursor buckets.  Our re-implementation uses
+feature hashing of the binned spectrum (falcon's "hashing trick"), exact
+neighbour search within buckets (buckets are small enough that the ANN
+approximation is unnecessary), and the same density rule.
+
+``threshold`` is the cosine *distance* radius used for the neighbour graph.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..cluster import DBSCANConfig, dbscan_precomputed
+from ..spectrum import MassSpectrum, binned_vector
+from .base import ClusteringTool, assign_bucket_labels, bucketed
+
+
+class FalconLike(ClusteringTool):
+    """Feature-hashed vectors + density clustering inside buckets."""
+
+    name = "falcon"
+
+    def __init__(
+        self,
+        hashed_dim: int = 400,
+        bin_width: float = 1.0005,
+        min_samples: int = 2,
+        resolution: float = 1.0,
+        seed: int = 0xFA1C,
+    ) -> None:
+        if hashed_dim < 2:
+            raise ValueError("hashed_dim must be >= 2")
+        self.hashed_dim = hashed_dim
+        self.bin_width = bin_width
+        self.min_samples = min_samples
+        self.resolution = resolution
+        self.seed = seed
+        self._hash_index: np.ndarray | None = None
+        self._hash_sign: np.ndarray | None = None
+
+    def _hash_vectors(self, vectors: np.ndarray) -> np.ndarray:
+        """Feature hashing: each input bin adds ±value to one output slot."""
+        num_bins = vectors.shape[1]
+        if self._hash_index is None or self._hash_index.size != num_bins:
+            rng = np.random.default_rng(self.seed)
+            self._hash_index = rng.integers(0, self.hashed_dim, size=num_bins)
+            self._hash_sign = rng.choice([-1.0, 1.0], size=num_bins)
+        hashed = np.zeros((vectors.shape[0], self.hashed_dim))
+        signed = vectors * self._hash_sign[None, :]
+        for row in range(vectors.shape[0]):
+            np.add.at(hashed[row], self._hash_index, signed[row])
+        norms = np.linalg.norm(hashed, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        return hashed / norms
+
+    def vectorize(self, spectra: Sequence[MassSpectrum]) -> np.ndarray:
+        """Binned + feature-hashed unit vectors for all spectra."""
+        vectors = np.stack(
+            [binned_vector(s, self.bin_width) for s in spectra]
+        )
+        return self._hash_vectors(vectors)
+
+    def cluster(
+        self, spectra: Sequence[MassSpectrum], threshold: float
+    ) -> np.ndarray:
+        labels = np.full(len(spectra), -1, dtype=np.int64)
+        buckets = bucketed(spectra, self.resolution)
+        hashed = self.vectorize(list(spectra))
+        next_label = 0
+        for key in sorted(buckets):
+            members = buckets[key]
+            if len(members) == 1:
+                labels[members[0]] = -1
+                continue
+            vectors = hashed[members]
+            cosine_distance = 1.0 - vectors @ vectors.T
+            np.clip(cosine_distance, 0.0, 2.0, out=cosine_distance)
+            bucket_labels = dbscan_precomputed(
+                cosine_distance,
+                DBSCANConfig(eps=threshold, min_samples=self.min_samples),
+            )
+            next_label = assign_bucket_labels(
+                labels, members, bucket_labels, next_label
+            )
+        return labels

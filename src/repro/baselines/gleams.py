@@ -1,0 +1,89 @@
+"""GLEAMS-like baseline: learned low-dimensional embedding + clustering.
+
+GLEAMS [5] trains a supervised deep network embedding spectra into 32
+dimensions, then clusters in the embedded space.  We model the embedding
+with a random-projection (Johnson–Lindenstrauss) map of the binned spectrum
+vector — untrained, but preserving pairwise structure the same way the
+network's metric-learning objective does for similar spectra.  The quality
+gap between a trained and a random embedding is the reason this baseline's
+quality curve is a *model*, not a claim; its role in Fig. 10/11 is to give
+the embedding-family a representative with the correct pipeline shape.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..cluster import cut_at_height, nn_chain_linkage
+from ..spectrum import MassSpectrum, binned_vector
+from .base import ClusteringTool, assign_bucket_labels, bucketed
+
+
+class GleamsLike(ClusteringTool):
+    """Random-projection embedder + average-link HAC in embedded space.
+
+    ``threshold`` is the Euclidean merge cut in the (unit-normalised)
+    embedded space; useful values sit around sqrt(2 * cosine distance).
+    """
+
+    name = "gleams"
+
+    def __init__(
+        self,
+        embedding_dim: int = 32,
+        bin_width: float = 1.0005,
+        resolution: float = 1.0,
+        seed: int = 0x61EA,  # stable default seed
+    ) -> None:
+        if embedding_dim < 2:
+            raise ValueError("embedding_dim must be >= 2")
+        self.embedding_dim = embedding_dim
+        self.bin_width = bin_width
+        self.resolution = resolution
+        self.seed = seed
+        self._projection: np.ndarray | None = None
+
+    def _project(self, vectors: np.ndarray) -> np.ndarray:
+        if self._projection is None or self._projection.shape[0] != vectors.shape[1]:
+            rng = np.random.default_rng(self.seed)
+            self._projection = rng.normal(
+                0.0,
+                1.0 / np.sqrt(self.embedding_dim),
+                size=(vectors.shape[1], self.embedding_dim),
+            )
+        embedded = vectors @ self._projection
+        norms = np.linalg.norm(embedded, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        return embedded / norms
+
+    def embed(self, spectra: Sequence[MassSpectrum]) -> np.ndarray:
+        """Embed spectra into the low-dimensional space."""
+        vectors = np.stack(
+            [binned_vector(s, self.bin_width) for s in spectra]
+        )
+        return self._project(vectors)
+
+    def cluster(
+        self, spectra: Sequence[MassSpectrum], threshold: float
+    ) -> np.ndarray:
+        labels = np.full(len(spectra), -1, dtype=np.int64)
+        buckets = bucketed(spectra, self.resolution)
+        embedded = self.embed(list(spectra))
+        next_label = 0
+        for key in sorted(buckets):
+            members = buckets[key]
+            if len(members) == 1:
+                labels[members[0]] = next_label
+                next_label += 1
+                continue
+            points = embedded[members]
+            deltas = points[:, None, :] - points[None, :, :]
+            distances = np.sqrt((deltas ** 2).sum(axis=-1))
+            result = nn_chain_linkage(distances, "average")
+            bucket_labels = cut_at_height(result, threshold)
+            next_label = assign_bucket_labels(
+                labels, members, bucket_labels, next_label
+            )
+        return labels

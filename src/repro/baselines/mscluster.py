@@ -1,0 +1,125 @@
+"""MSCluster-like and spectra-cluster-like baselines: greedy incremental merging.
+
+Both classic tools cluster greedily:
+
+* **MSCluster** runs multiple rounds with a *tightening* similarity
+  threshold, merging any spectrum into the best-matching existing cluster's
+  consensus each round.
+* **spectra-cluster** (PRIDE's tool) does the same but compares against a
+  representative spectrum and uses a probabilistic score; we use normalised
+  shared-peak cosine as the score for both, which preserves the greedy,
+  order-dependent character that makes these tools fast but lower-quality
+  than HAC — the behaviour Fig. 10 shows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..spectrum import MassSpectrum, binned_vector
+from .base import ClusteringTool, bucketed
+
+
+class _GreedyIncremental(ClusteringTool):
+    """Shared greedy-merge machinery; subclasses set rounds/behaviour."""
+
+    name = "greedy"
+    num_rounds: int = 1
+
+    def __init__(
+        self, bin_width: float = 1.0005, resolution: float = 1.0
+    ) -> None:
+        self.bin_width = bin_width
+        self.resolution = resolution
+
+    def _round_thresholds(self, threshold: float) -> List[float]:
+        """Per-round similarity thresholds, tightening toward ``threshold``."""
+        if self.num_rounds == 1:
+            return [threshold]
+        # Start conservative (high similarity) and relax to the target.
+        start = min(0.99, threshold + 0.2)
+        return list(np.linspace(start, threshold, self.num_rounds))
+
+    def cluster(
+        self, spectra: Sequence[MassSpectrum], threshold: float
+    ) -> np.ndarray:
+        """``threshold`` is the minimum cosine similarity to join a cluster."""
+        vectors = np.stack(
+            [binned_vector(s, self.bin_width) for s in spectra]
+        )
+        labels = np.arange(len(spectra), dtype=np.int64)
+        buckets = bucketed(spectra, self.resolution)
+
+        for key in sorted(buckets):
+            members = buckets[key]
+            if len(members) < 2:
+                continue
+            member_array = np.array(members)
+            for round_threshold in self._round_thresholds(threshold):
+                # Current clusters inside this bucket, with mean vectors.
+                cluster_ids = {}
+                centroids: List[np.ndarray] = []
+                counts: List[int] = []
+                owners: List[int] = []
+                for member in member_array:
+                    label = int(labels[member])
+                    if label not in cluster_ids:
+                        cluster_ids[label] = len(centroids)
+                        centroids.append(vectors[member].copy())
+                        counts.append(1)
+                        owners.append(label)
+                    else:
+                        slot = cluster_ids[label]
+                        centroids[slot] += vectors[member]
+                        counts[slot] += 1
+                matrix = np.stack(centroids)
+                norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+                norms[norms == 0] = 1.0
+                matrix /= norms
+                # Greedily merge clusters whose centroids agree.
+                merged = np.full(len(centroids), -1, dtype=np.int64)
+                for slot in range(len(centroids)):
+                    if merged[slot] >= 0:
+                        continue
+                    similarity = matrix[slot + 1 :] @ matrix[slot]
+                    for offset in np.flatnonzero(
+                        similarity >= round_threshold
+                    ):
+                        other = slot + 1 + int(offset)
+                        if merged[other] < 0:
+                            merged[other] = slot
+                # Apply merges to global labels.
+                remap = {}
+                for slot, target in enumerate(merged):
+                    if target >= 0:
+                        remap[owners[slot]] = owners[int(target)]
+                if remap:
+                    for member in member_array:
+                        label = int(labels[member])
+                        while label in remap:
+                            label = remap[label]
+                        labels[member] = label
+
+        # Renumber to 0-based contiguous labels.
+        _, renumbered = np.unique(labels, return_inverse=True)
+        return renumbered.astype(np.int64)
+
+    def threshold_grid(self):
+        """Similarity thresholds (high = conservative)."""
+        return [round(x, 3) for x in np.linspace(0.95, 0.35, 13)]
+
+
+class MSClusterLike(_GreedyIncremental):
+    """Multi-round greedy consensus merging (MSCluster's strategy)."""
+
+    name = "mscluster"
+    num_rounds = 3
+
+
+class SpectraClusterLike(_GreedyIncremental):
+    """Single-pass greedy merging against representatives (spectra-cluster)."""
+
+    name = "spectra-cluster"
+    num_rounds = 1

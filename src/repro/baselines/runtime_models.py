@@ -1,0 +1,185 @@
+"""Calibrated runtime and energy models for the comparison tools.
+
+Figs. 7-9 compare wall-clock and energy on the authors' testbed (12-core
+server + RTX 3090).  We cannot re-run those binaries, so each tool gets a
+three-phase cost model::
+
+    end_to_end = load_preprocess(size) + vectorize(num_spectra) + cluster(num_spectra)
+
+with per-phase device attribution for energy.  Constants are calibrated
+against the paper's own anchors (each one documented below); everything
+else follows structurally.  The SpecHD side of every ratio comes from the
+first-principles model in :mod:`repro.fpga.scheduler` — only the baselines
+are anchored to reported numbers.
+
+Anchors used:
+
+* Fig. 8 (standalone clustering, PXD000561 = 21.1 M spectra): SpecHD 80 s,
+  HyperSpec 1000 s (12.3x), GLEAMS 14.3x -> 1144 s, falcon ~100x -> 8000 s.
+* Fig. 7: GLEAMS end-to-end 31x (PXD001511) and 54x (PXD000561).
+* §IV-B of [14] (cited): spectra loading/preprocessing averages 82 % of
+  CPU-tool runtime -> CPU parse bandwidth of ~0.35 GB/s.
+* §IV-D: HyperSpec-DBSCAN has "threefold lower runtime" than -HAC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..datasets.pride import DatasetDescriptor
+from ..errors import ConfigurationError
+from ..fpga.energy import CPU_SERVER, GPU_RTX3090
+from ..units import GB
+
+
+@dataclass(frozen=True)
+class PhaseCost:
+    """One phase of a tool's pipeline."""
+
+    name: str
+    seconds: float
+    power_w: float
+
+    @property
+    def joules(self) -> float:
+        """Energy of the phase."""
+        return self.seconds * self.power_w
+
+
+@dataclass(frozen=True)
+class ToolRunModel:
+    """Cost-model parameters for one baseline tool.
+
+    ``load_bandwidth`` is the CPU parse throughput; ``vectorize_us`` and
+    ``cluster_us`` are per-spectrum microsecond costs for the vectorise
+    (encode/embed/hash) and clustering phases; the ``*_power_w`` fields
+    attribute each phase to its device at a realistic duty point.
+    """
+
+    name: str
+    load_bandwidth: float
+    vectorize_us: float
+    cluster_us: float
+    load_power_w: float
+    vectorize_power_w: float
+    cluster_power_w: float
+
+    def phases(self, dataset: DatasetDescriptor) -> Dict[str, PhaseCost]:
+        """Per-phase costs for a dataset."""
+        load_seconds = dataset.size_bytes / self.load_bandwidth
+        vectorize_seconds = dataset.num_spectra * self.vectorize_us * 1e-6
+        cluster_seconds = dataset.num_spectra * self.cluster_us * 1e-6
+        return {
+            "load": PhaseCost("load", load_seconds, self.load_power_w),
+            "vectorize": PhaseCost(
+                "vectorize", vectorize_seconds, self.vectorize_power_w
+            ),
+            "cluster": PhaseCost(
+                "cluster", cluster_seconds, self.cluster_power_w
+            ),
+        }
+
+    def end_to_end_seconds(self, dataset: DatasetDescriptor) -> float:
+        """Total wall time (phases serialise in these tools)."""
+        return sum(p.seconds for p in self.phases(dataset).values())
+
+    def clustering_seconds(self, dataset: DatasetDescriptor) -> float:
+        """Standalone clustering phase (pre-vectorised input, Fig. 8)."""
+        return self.phases(dataset)["cluster"].seconds
+
+    def end_to_end_joules(self, dataset: DatasetDescriptor) -> float:
+        """Total energy across phases."""
+        return sum(p.joules for p in self.phases(dataset).values())
+
+    def clustering_joules(self, dataset: DatasetDescriptor) -> float:
+        """Clustering-phase energy."""
+        return self.phases(dataset)["cluster"].joules
+
+
+def _blend(device, duty: float, co_idle_w: float = 0.0) -> float:
+    """Phase power: device at ``duty`` plus a co-resident idle device."""
+    if not 0.0 <= duty <= 1.0:
+        raise ConfigurationError("duty must be in [0, 1]")
+    return duty * device.active_w + (1 - duty) * device.idle_w + co_idle_w
+
+
+#: CPU parse throughput for file loading/preprocessing (calibrated: makes
+#: loading the dominant cost for CPU tools, per the 82 % observation [14]).
+CPU_PARSE_BANDWIDTH = 0.35 * GB
+
+#: HyperSpec with fastcluster HAC on the CPU.  cluster_us anchored to
+#: Fig. 8's ~1000 s on 21.1 M spectra (46.1 us x 21.1 M = 973 s).
+HYPERSPEC_HAC = ToolRunModel(
+    name="hyperspec-hac",
+    load_bandwidth=CPU_PARSE_BANDWIDTH,
+    vectorize_us=2.0,  # GPU HDC encoding (HyperSpec reports ~us/spectrum)
+    cluster_us=46.1,
+    load_power_w=_blend(CPU_SERVER, 0.4, GPU_RTX3090.idle_w),
+    vectorize_power_w=_blend(GPU_RTX3090, 0.8, CPU_SERVER.idle_w),
+    cluster_power_w=_blend(CPU_SERVER, 0.5, GPU_RTX3090.idle_w),
+)
+
+#: HyperSpec with cuML DBSCAN on the GPU: threefold lower clustering
+#: runtime than the HAC flavour (paper §IV-D), memory-bound GPU duty.
+HYPERSPEC_DBSCAN = ToolRunModel(
+    name="hyperspec-dbscan",
+    load_bandwidth=CPU_PARSE_BANDWIDTH,
+    vectorize_us=2.0,
+    cluster_us=46.1 / 3.0,
+    load_power_w=_blend(CPU_SERVER, 0.4, GPU_RTX3090.idle_w),
+    vectorize_power_w=_blend(GPU_RTX3090, 0.8, CPU_SERVER.idle_w),
+    cluster_power_w=_blend(GPU_RTX3090, 0.3, CPU_SERVER.idle_w),
+)
+
+#: GLEAMS: deep-network embedding dominates.  vectorize_us anchored to the
+#: Fig. 7 end-to-end ratios (31x on PXD001511, 54x on PXD000561);
+#: cluster_us anchored to Fig. 8's 14.3x (54.2 us x 21.1 M = 1144 s).
+GLEAMS = ToolRunModel(
+    name="gleams",
+    load_bandwidth=CPU_PARSE_BANDWIDTH,
+    vectorize_us=300.0,
+    cluster_us=54.2,
+    load_power_w=_blend(CPU_SERVER, 0.4, GPU_RTX3090.idle_w),
+    vectorize_power_w=_blend(GPU_RTX3090, 0.9, CPU_SERVER.idle_w),
+    cluster_power_w=_blend(CPU_SERVER, 0.6, GPU_RTX3090.idle_w),
+)
+
+#: falcon: CPU vectorise + ANN index + density clustering.  cluster_us
+#: anchored to Fig. 8's ~100x (379 us x 21.1 M = 8000 s).
+FALCON = ToolRunModel(
+    name="falcon",
+    load_bandwidth=CPU_PARSE_BANDWIDTH,
+    vectorize_us=10.0,
+    cluster_us=379.0,
+    load_power_w=_blend(CPU_SERVER, 0.4),
+    vectorize_power_w=_blend(CPU_SERVER, 0.8),
+    cluster_power_w=_blend(CPU_SERVER, 0.8),
+)
+
+#: msCRUSH: LSH iterations on the CPU; sits between HyperSpec and falcon
+#: (structurally: ~8 LSH rounds x candidate scoring).
+MSCRUSH = ToolRunModel(
+    name="mscrush",
+    load_bandwidth=CPU_PARSE_BANDWIDTH,
+    vectorize_us=8.0,
+    cluster_us=150.0,
+    load_power_w=_blend(CPU_SERVER, 0.4),
+    vectorize_power_w=_blend(CPU_SERVER, 0.9),
+    cluster_power_w=_blend(CPU_SERVER, 0.9),
+)
+
+#: All modelled tools keyed by name.
+TOOL_MODELS: Dict[str, ToolRunModel] = {
+    model.name: model
+    for model in (HYPERSPEC_HAC, HYPERSPEC_DBSCAN, GLEAMS, FALCON, MSCRUSH)
+}
+
+
+def speedup_over(
+    tool: ToolRunModel, dataset: DatasetDescriptor, spechd_seconds: float
+) -> float:
+    """End-to-end speedup of SpecHD over ``tool`` on ``dataset``."""
+    if spechd_seconds <= 0:
+        raise ConfigurationError("spechd_seconds must be positive")
+    return tool.end_to_end_seconds(dataset) / spechd_seconds

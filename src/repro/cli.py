@@ -1,0 +1,285 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands
+-----------
+``cluster``
+    Cluster a spectrum file (MGF/MS2/mzML) and write representative
+    spectra plus a TSV assignment table.
+``info``
+    Summarise a spectrum file (counts, charge histogram, bucket stats).
+``validate``
+    Run quality-control checks on a spectrum file.
+``project``
+    Print the modelled SpecHD end-to-end report for a PRIDE dataset
+    descriptor (or explicit ``--spectra``/``--gigabytes``).
+``datasets``
+    List the built-in PRIDE dataset descriptors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from . import __version__
+from .errors import SpecHDError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SpecHD reproduction: HDC mass-spectrometry clustering",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    cluster = subparsers.add_parser(
+        "cluster", help="cluster a spectrum file"
+    )
+    cluster.add_argument("input", type=Path, help="MGF/MS2/mzML file")
+    cluster.add_argument(
+        "-o", "--output", type=Path, default=None,
+        help="output MGF of representative spectra",
+    )
+    cluster.add_argument(
+        "--assignments", type=Path, default=None,
+        help="output TSV of per-spectrum cluster assignments",
+    )
+    cluster.add_argument(
+        "--threshold", type=float, default=0.3,
+        help="normalised Hamming merge threshold in [0, 1] (default 0.3)",
+    )
+    cluster.add_argument(
+        "--linkage", default="complete",
+        choices=("single", "complete", "average", "ward"),
+        help="linkage criterion (default complete)",
+    )
+    cluster.add_argument(
+        "--dim", type=int, default=2048,
+        help="hypervector dimensionality D_hv (default 2048)",
+    )
+    cluster.add_argument(
+        "--resolution", type=float, default=1.0,
+        help="precursor bucket resolution in Da (default 1.0)",
+    )
+    cluster.add_argument(
+        "--consensus", action="store_true",
+        help="export binned-average consensus spectra instead of medoids",
+    )
+    cluster.add_argument(
+        "--summary", action="store_true",
+        help="print a per-cluster summary table (multi-member clusters)",
+    )
+
+    info = subparsers.add_parser("info", help="summarise a spectrum file")
+    info.add_argument("input", type=Path, help="MGF/MS2/mzML file")
+
+    validate = subparsers.add_parser(
+        "validate", help="run quality-control checks on a spectrum file"
+    )
+    validate.add_argument("input", type=Path, help="MGF/MS2/mzML file")
+    validate.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero when any spectrum fails QC",
+    )
+
+    project = subparsers.add_parser(
+        "project", help="model SpecHD end-to-end performance"
+    )
+    project.add_argument(
+        "dataset", nargs="?", default=None,
+        help="PRIDE accession (e.g. PXD000561)",
+    )
+    project.add_argument("--spectra", type=float, default=None,
+                         help="spectrum count (e.g. 21e6)")
+    project.add_argument("--gigabytes", type=float, default=None,
+                         help="dataset size in GB")
+    project.add_argument("--kernels", type=int, default=5,
+                         help="clustering kernel count (default 5)")
+
+    subparsers.add_parser("datasets", help="list PRIDE dataset descriptors")
+    return parser
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from .cluster import consensus_spectrum
+    from .hdc import EncoderConfig
+    from .io import read_spectra, write_mgf
+    from .pipeline import SpecHDConfig, SpecHDPipeline
+    from .spectrum import BucketingConfig
+
+    spectra = list(read_spectra(args.input))
+    if not spectra:
+        print("no spectra found in input", file=sys.stderr)
+        return 1
+    pipeline = SpecHDPipeline(
+        SpecHDConfig(
+            encoder=EncoderConfig(dim=args.dim),
+            bucketing=BucketingConfig(resolution=args.resolution),
+            linkage=args.linkage,
+            cluster_threshold=args.threshold,
+        )
+    )
+    result = pipeline.run(spectra)
+    dropped = len(spectra) - len(result.spectra)
+    print(
+        f"{len(spectra)} spectra read, {dropped} failed QC, "
+        f"{result.num_clusters} clusters"
+    )
+
+    if args.output is not None:
+        members_by_label: dict = {}
+        for index, label in enumerate(result.labels):
+            members_by_label.setdefault(int(label), []).append(index)
+        output_spectra = []
+        for label in sorted(members_by_label):
+            members = members_by_label[label]
+            if args.consensus and len(members) >= 2:
+                output_spectra.append(
+                    consensus_spectrum(result.spectra, members)
+                )
+            else:
+                medoid = result.medoids.get(label, members[0])
+                output_spectra.append(result.spectra[medoid])
+        count = write_mgf(output_spectra, args.output)
+        print(f"wrote {count} representative spectra to {args.output}")
+
+    if args.summary:
+        from .cluster.summarize import summaries_to_table, summarize_clusters
+
+        summaries = summarize_clusters(
+            result.spectra,
+            result.labels,
+            result.distances_by_bucket,
+            result.bucket_keys,
+            result.medoids,
+            min_size=2,
+        )
+        print(summaries_to_table(summaries))
+
+    if args.assignments is not None:
+        full_labels = result.labels_for_input(len(spectra))
+        with open(args.assignments, "w", encoding="utf-8") as handle:
+            handle.write("identifier\tprecursor_mz\tcharge\tcluster\n")
+            for spectrum, label in zip(spectra, full_labels):
+                handle.write(
+                    f"{spectrum.identifier}\t{spectrum.precursor_mz:.4f}\t"
+                    f"{spectrum.precursor_charge}\t{int(label)}\n"
+                )
+        print(f"wrote assignments to {args.assignments}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from collections import Counter
+
+    from .io import detect_format, read_spectra
+    from .spectrum import bucket_statistics, partition_spectra
+
+    format_name = detect_format(args.input)
+    spectra = list(read_spectra(args.input))
+    charges = Counter(s.precursor_charge for s in spectra)
+    peaks = [s.peak_count for s in spectra]
+    print(f"format        : {format_name}")
+    print(f"spectra       : {len(spectra)}")
+    if spectra:
+        print(
+            "charges       : "
+            + ", ".join(f"{c}+: {n}" for c, n in sorted(charges.items()))
+        )
+        print(f"peaks/spectrum: min {min(peaks)}, max {max(peaks)}, "
+              f"mean {sum(peaks) / len(peaks):.1f}")
+        stats = bucket_statistics(partition_spectra(spectra))
+        print(f"buckets (1 Da): {stats['num_buckets']} "
+              f"(max size {stats['max_size']}, "
+              f"pairwise work {stats['pairwise_work']:,})")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .io import read_spectra
+    from .spectrum import validate_dataset
+
+    spectra = list(read_spectra(args.input))
+    report = validate_dataset(spectra)
+    print(f"spectra : {report.total}")
+    print(f"valid   : {report.valid} ({report.valid_fraction:.1%})")
+    if report.issue_counts:
+        print("issues  :")
+        for code, count in sorted(report.issue_counts.items()):
+            print(f"  {code}: {count}")
+    if args.strict and report.valid < report.total:
+        return 1
+    return 0
+
+
+def _cmd_project(args: argparse.Namespace) -> int:
+    from .fpga import project_dataset, spechd_end_to_end_energy
+    from .units import format_seconds
+
+    if args.dataset is not None:
+        from .datasets import get_dataset
+
+        descriptor = get_dataset(args.dataset)
+        num_spectra = descriptor.num_spectra
+        num_bytes = descriptor.size_bytes
+        print(f"{descriptor.pride_id} ({descriptor.sample_type})")
+    elif args.spectra is not None and args.gigabytes is not None:
+        num_spectra = int(args.spectra)
+        num_bytes = int(args.gigabytes * 10 ** 9)
+    else:
+        print(
+            "provide a PRIDE accession or both --spectra and --gigabytes",
+            file=sys.stderr,
+        )
+        return 2
+    report = project_dataset(
+        num_spectra, num_bytes, num_cluster_kernels=args.kernels
+    )
+    print(f"preprocess : {format_seconds(report.preprocess_seconds)}")
+    print(f"transfer   : {format_seconds(report.transfer_seconds)}")
+    print(f"encode     : {format_seconds(report.encode_seconds)}")
+    print(f"cluster    : {format_seconds(report.cluster_seconds)} "
+          f"({args.kernels} kernels)")
+    print(f"end-to-end : {format_seconds(report.total_seconds)}")
+    print(f"energy     : {spechd_end_to_end_energy(report) / 1e3:.1f} kJ")
+    return 0
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    from .datasets import DATASET_ORDER, get_dataset
+    from .units import format_bytes
+
+    for pride_id in DATASET_ORDER:
+        descriptor = get_dataset(pride_id)
+        print(f"{pride_id}  {descriptor.sample_type:15s} "
+              f"{descriptor.num_spectra / 1e6:5.1f} M spectra  "
+              f"{format_bytes(descriptor.size_bytes)}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "cluster": _cmd_cluster,
+        "info": _cmd_info,
+        "validate": _cmd_validate,
+        "project": _cmd_project,
+        "datasets": _cmd_datasets,
+    }
+    try:
+        return handlers[args.command](args)
+    except SpecHDError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,138 @@
+"""Dendrogram utilities: flat cluster extraction and tree inspection.
+
+SpecHD's hardware merges clusters only while the inter-cluster distance is
+below a threshold (§III-C); in dendrogram terms that is a *distance cut*:
+apply every merge whose height is at or below the threshold and read off the
+connected components.  A union-find over the merge list implements this in
+near-linear time, independent of merge order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..errors import ClusteringError
+from .nnchain import LinkageResult
+
+
+class UnionFind:
+    """Disjoint-set forest with path compression and union by size."""
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ClusteringError("n must be >= 0")
+        self.parent = np.arange(n, dtype=np.int64)
+        self.size = np.ones(n, dtype=np.int64)
+
+    def find(self, x: int) -> int:
+        """Representative of ``x``'s set (with path compression)."""
+        root = x
+        while self.parent[root] != root:
+            root = int(self.parent[root])
+        while self.parent[x] != root:
+            self.parent[x], x = root, int(self.parent[x])
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; returns False if already one."""
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return False
+        if self.size[root_a] < self.size[root_b]:
+            root_a, root_b = root_b, root_a
+        self.parent[root_b] = root_a
+        self.size[root_a] += self.size[root_b]
+        return True
+
+    def labels(self) -> np.ndarray:
+        """Canonical 0-based labels (first occurrence order)."""
+        n = self.parent.shape[0]
+        labels = np.empty(n, dtype=np.int64)
+        mapping: Dict[int, int] = {}
+        for index in range(n):
+            root = self.find(index)
+            if root not in mapping:
+                mapping[root] = len(mapping)
+            labels[index] = mapping[root]
+        return labels
+
+
+def cut_at_height(result: LinkageResult, threshold: float) -> np.ndarray:
+    """Flat clustering: apply merges with ``height <= threshold``.
+
+    Returns 0-based integer labels of length ``result.n``.  This is
+    equivalent to SciPy's ``fcluster(..., criterion="distance")`` (up to
+    label renumbering) and to the hardware's below-threshold merge policy.
+    """
+    uf = UnionFind(result.n)
+    # Reconstruct leaf membership of each internal cluster id lazily: merge
+    # any leaf representative of each side.  Leaf representatives are found
+    # by walking the merge list once, in merge order.
+    representative: List[int] = list(range(result.n))
+    for merge_index, row in enumerate(result.merges):
+        id_a, id_b, height = int(row[0]), int(row[1]), float(row[2])
+        rep_a = representative[id_a] if id_a < len(representative) else None
+        rep_b = representative[id_b] if id_b < len(representative) else None
+        if rep_a is None or rep_b is None:
+            raise ClusteringError("malformed merge list")
+        representative.append(rep_a)
+        if height <= threshold:
+            uf.union(rep_a, rep_b)
+    return uf.labels()
+
+
+def cut_into_k(result: LinkageResult, k: int) -> np.ndarray:
+    """Flat clustering with exactly ``k`` clusters (if attainable).
+
+    Applies the ``n - k`` lowest merges.  With tied heights the outcome
+    matches applying merges in ascending height order.
+    """
+    if k < 1 or k > result.n:
+        raise ClusteringError(
+            f"k must be in [1, {result.n}], got {k}"
+        )
+    order = np.argsort(result.merges[:, 2], kind="stable")
+    uf = UnionFind(result.n)
+    representative: List[int] = list(range(result.n))
+    # Build representatives in merge order first (ids are merge-ordered).
+    for row in result.merges:
+        id_a = int(row[0])
+        representative.append(representative[id_a])
+    merges_to_apply = result.n - k
+    applied = 0
+    for merge_index in order:
+        if applied >= merges_to_apply:
+            break
+        row = result.merges[merge_index]
+        uf.union(representative[int(row[0])], representative[int(row[1])])
+        applied += 1
+    return uf.labels()
+
+
+def merge_heights_are_monotone(result: LinkageResult) -> bool:
+    """True when heights are non-decreasing in the height-sorted dendrogram.
+
+    For reducible linkages every parent merge is at least as high as its
+    children, so the sorted dendrogram is monotone; inversion would indicate
+    a broken linkage implementation (or a non-reducible criterion such as
+    centroid linkage, which SpecHD does not support).
+    """
+    scipy_style = result.to_scipy_linkage()
+    n = result.n
+    heights = scipy_style[:, 2]
+    for merge_index in range(scipy_style.shape[0]):
+        for column in (0, 1):
+            child = int(scipy_style[merge_index, column])
+            if child >= n:
+                if heights[child - n] > heights[merge_index] + 1e-9:
+                    return False
+    return True
+
+
+def cluster_sizes(labels: np.ndarray) -> Dict[int, int]:
+    """Histogram ``{label: member_count}`` of a flat clustering."""
+    labels = np.asarray(labels)
+    unique, counts = np.unique(labels, return_counts=True)
+    return {int(label): int(count) for label, count in zip(unique, counts)}

@@ -1,0 +1,139 @@
+"""Exports: dendrograms to Newick, flat clusterings to TSV.
+
+Interoperability utilities so SpecHD results can be consumed by standard
+tree viewers (Newick) and downstream tabular tooling (TSV), as the
+clustering tools the paper compares against provide.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import IO, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import ClusteringError
+from .nnchain import LinkageResult
+
+
+def to_newick(
+    result: LinkageResult, leaf_names: Optional[Sequence[str]] = None
+) -> str:
+    """Serialise a dendrogram as a Newick tree with branch lengths.
+
+    Branch lengths are the height differences between a node and its
+    parent merge (leaves hang from their first merge at its full height).
+    """
+    n = result.n
+    if leaf_names is None:
+        leaf_names = [f"s{i}" for i in range(n)]
+    if len(leaf_names) != n:
+        raise ClusteringError(
+            f"{len(leaf_names)} leaf names for {n} observations"
+        )
+    if n == 1:
+        return f"{leaf_names[0]};"
+
+    heights = {}
+    for index in range(n):
+        heights[index] = 0.0
+    subtree = {index: _escape(leaf_names[index]) for index in range(n)}
+    for merge_index, row in enumerate(result.merges):
+        id_a, id_b, height = int(row[0]), int(row[1]), float(row[2])
+        length_a = max(height - heights[id_a], 0.0)
+        length_b = max(height - heights[id_b], 0.0)
+        node_id = n + merge_index
+        subtree[node_id] = (
+            f"({subtree.pop(id_a)}:{length_a:.6g},"
+            f"{subtree.pop(id_b)}:{length_b:.6g})"
+        )
+        heights[node_id] = height
+    root_id = n + result.merges.shape[0] - 1
+    return subtree[root_id] + ";"
+
+
+def _escape(name: str) -> str:
+    """Quote a Newick label when it contains structural characters."""
+    if any(ch in name for ch in "(),:;' \t"):
+        return "'" + name.replace("'", "''") + "'"
+    return name
+
+
+def write_assignments_tsv(
+    labels: np.ndarray,
+    identifiers: Sequence[str],
+    path_or_file: Union[str, Path, IO[str]],
+    extra_columns: Optional[dict] = None,
+) -> int:
+    """Write per-spectrum cluster assignments as TSV; returns row count.
+
+    ``extra_columns`` maps column name to a sequence of per-spectrum
+    values (e.g. precursor m/z, peptide labels).
+    """
+    labels = np.asarray(labels)
+    if labels.shape[0] != len(identifiers):
+        raise ClusteringError("labels and identifiers lengths differ")
+    extra_columns = extra_columns or {}
+    for name, values in extra_columns.items():
+        if len(values) != labels.shape[0]:
+            raise ClusteringError(f"column {name!r} has wrong length")
+
+    own_handle = isinstance(path_or_file, (str, Path))
+    handle = (
+        open(path_or_file, "w", encoding="utf-8")
+        if own_handle
+        else path_or_file
+    )
+    try:
+        header = ["identifier", "cluster"] + list(extra_columns)
+        handle.write("\t".join(header) + "\n")
+        for row_index in range(labels.shape[0]):
+            cells = [str(identifiers[row_index]), str(int(labels[row_index]))]
+            cells.extend(
+                str(extra_columns[name][row_index]) for name in extra_columns
+            )
+            handle.write("\t".join(cells) + "\n")
+    finally:
+        if own_handle:
+            handle.close()
+    return int(labels.shape[0])
+
+
+def read_assignments_tsv(
+    path_or_file: Union[str, Path, IO[str]]
+) -> tuple:
+    """Read an assignments TSV back as ``(identifiers, labels)``."""
+    own_handle = isinstance(path_or_file, (str, Path))
+    handle = (
+        open(path_or_file, "r", encoding="utf-8")
+        if own_handle
+        else path_or_file
+    )
+    try:
+        header = handle.readline().rstrip("\n").split("\t")
+        if header[:2] != ["identifier", "cluster"]:
+            raise ClusteringError(
+                "not an assignments TSV (bad header)"
+            )
+        identifiers: List[str] = []
+        labels: List[int] = []
+        for line_number, line in enumerate(handle, start=2):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            cells = line.split("\t")
+            if len(cells) < 2:
+                raise ClusteringError(
+                    f"malformed TSV row at line {line_number}"
+                )
+            identifiers.append(cells[0])
+            try:
+                labels.append(int(cells[1]))
+            except ValueError as exc:
+                raise ClusteringError(
+                    f"non-integer cluster id at line {line_number}"
+                ) from exc
+        return identifiers, np.array(labels, dtype=np.int64)
+    finally:
+        if own_handle:
+            handle.close()

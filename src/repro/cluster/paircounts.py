@@ -1,0 +1,150 @@
+"""Pair-counting clustering metrics: precision, recall, F1, adjusted Rand.
+
+The MS-clustering headline metrics (clustered ratio / ICR / completeness)
+are the paper's; pair-counting metrics give an orthogonal, widely-used view
+of the same clusterings and power the extended analyses in the ablation
+benchmarks.  A *pair* of labelled spectra is:
+
+* a true positive when the tools puts both in one cluster and they share a
+  peptide;
+* a false positive when co-clustered but different peptides;
+* a false negative when split apart despite sharing a peptide.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from math import comb
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ClusteringError
+
+
+@dataclass(frozen=True)
+class PairCounts:
+    """Pairwise confusion counts over labelled spectra."""
+
+    true_positive: int
+    false_positive: int
+    false_negative: int
+    true_negative: int
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 1.0 when nothing was co-clustered."""
+        denom = self.true_positive + self.false_positive
+        return self.true_positive / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 1.0 when no same-peptide pairs exist."""
+        denom = self.true_positive + self.false_negative
+        return self.true_positive / denom if denom else 1.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def rand_index(self) -> float:
+        """(TP + TN) / all pairs."""
+        total = (
+            self.true_positive
+            + self.false_positive
+            + self.false_negative
+            + self.true_negative
+        )
+        return (self.true_positive + self.true_negative) / total if total else 1.0
+
+
+def _labelled_pairs(
+    labels: np.ndarray, truth: Sequence[Optional[str]]
+) -> Tuple[np.ndarray, list]:
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ClusteringError("labels must be 1-D")
+    if len(truth) != labels.size:
+        raise ClusteringError("labels and truth lengths differ")
+    keep = [
+        index
+        for index in range(labels.size)
+        if truth[index] not in (None, "")
+    ]
+    return labels[keep], [truth[index] for index in keep]
+
+
+def pair_counts(
+    labels: np.ndarray, truth: Sequence[Optional[str]]
+) -> PairCounts:
+    """Count pairwise TP/FP/FN/TN over labelled spectra.
+
+    Noise points (label < 0) are singleton clusters: they co-cluster with
+    nothing.  Computed from contingency-table combinatorics (O(n) in the
+    table size), not by enumerating the O(n²) pairs.
+    """
+    labels, truth = _labelled_pairs(labels, truth)
+    n = labels.size
+    if n < 2:
+        return PairCounts(0, 0, 0, 0)
+
+    # Give each noise point a unique cluster id.
+    adjusted = labels.copy()
+    next_free = int(labels.max(initial=0)) + 1
+    for index in np.flatnonzero(adjusted < 0):
+        adjusted[index] = next_free
+        next_free += 1
+
+    joint: Dict[Tuple[str, int], int] = defaultdict(int)
+    cluster_counts: Counter = Counter()
+    class_counts: Counter = Counter()
+    for label, peptide in zip(adjusted, truth):
+        joint[(peptide, int(label))] += 1
+        cluster_counts[int(label)] += 1
+        class_counts[peptide] += 1
+
+    same_cluster_same_class = sum(comb(v, 2) for v in joint.values())
+    same_cluster = sum(comb(v, 2) for v in cluster_counts.values())
+    same_class = sum(comb(v, 2) for v in class_counts.values())
+    all_pairs = comb(n, 2)
+
+    true_positive = same_cluster_same_class
+    false_positive = same_cluster - true_positive
+    false_negative = same_class - true_positive
+    true_negative = all_pairs - same_cluster - false_negative
+    return PairCounts(
+        true_positive=true_positive,
+        false_positive=false_positive,
+        false_negative=false_negative,
+        true_negative=true_negative,
+    )
+
+
+def adjusted_rand_index(
+    labels: np.ndarray, truth: Sequence[Optional[str]]
+) -> float:
+    """Hubert–Arabie adjusted Rand index over labelled spectra.
+
+    0.0 for random agreement, 1.0 for perfect agreement; may be negative
+    for worse-than-chance clusterings.
+    """
+    counts = pair_counts(labels, truth)
+    n_pairs = (
+        counts.true_positive
+        + counts.false_positive
+        + counts.false_negative
+        + counts.true_negative
+    )
+    if n_pairs == 0:
+        return 1.0
+    same_cluster = counts.true_positive + counts.false_positive
+    same_class = counts.true_positive + counts.false_negative
+    expected = same_cluster * same_class / n_pairs
+    maximum = (same_cluster + same_class) / 2.0
+    if maximum == expected:
+        return 1.0
+    return (counts.true_positive - expected) / (maximum - expected)

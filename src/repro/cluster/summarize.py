@@ -1,0 +1,149 @@
+"""Per-cluster summary statistics.
+
+After clustering, analysts want a table: how big is each cluster, how tight
+is it (intra-cluster distance), which spectrum represents it, what does it
+likely contain.  This module computes that view from labels + the distance
+matrices the pipeline already produced.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ClusteringError
+from ..spectrum import MassSpectrum
+
+
+@dataclass(frozen=True)
+class ClusterSummary:
+    """Statistics of one cluster."""
+
+    label: int
+    size: int
+    medoid_identifier: str
+    precursor_mz_mean: float
+    precursor_charge: int
+    intra_mean_distance: float
+    intra_max_distance: float
+    majority_peptide: Optional[str] = None
+    purity: Optional[float] = None
+
+
+def summarize_clusters(
+    spectra: Sequence[MassSpectrum],
+    labels: np.ndarray,
+    distances_by_bucket: Optional[Dict] = None,
+    bucket_keys: Optional[Dict] = None,
+    medoids: Optional[Dict[int, int]] = None,
+    min_size: int = 1,
+) -> List[ClusterSummary]:
+    """Build summaries for every cluster of at least ``min_size`` members.
+
+    ``distances_by_bucket``/``bucket_keys``/``medoids`` come from a
+    :class:`repro.SpecHDResult`; when omitted, distance statistics are
+    reported as 0 and the first member stands in for the medoid.
+    """
+    labels = np.asarray(labels)
+    if labels.shape[0] != len(spectra):
+        raise ClusteringError("labels and spectra lengths differ")
+    if min_size < 1:
+        raise ClusteringError("min_size must be >= 1")
+
+    members_by_label: Dict[int, List[int]] = {}
+    for index, label in enumerate(labels):
+        if label >= 0:
+            members_by_label.setdefault(int(label), []).append(index)
+
+    # Map each member to (bucket key, local index) for distance lookups.
+    local_position: Dict[int, tuple] = {}
+    if bucket_keys:
+        for key, bucket_members in bucket_keys.items():
+            for local_index, member in enumerate(bucket_members):
+                local_position[member] = (key, local_index)
+
+    summaries: List[ClusterSummary] = []
+    for label in sorted(members_by_label):
+        members = members_by_label[label]
+        if len(members) < min_size:
+            continue
+        member_spectra = [spectra[i] for i in members]
+        intra_mean = intra_max = 0.0
+        if (
+            len(members) >= 2
+            and distances_by_bucket is not None
+            and all(m in local_position for m in members)
+        ):
+            key = local_position[members[0]][0]
+            if key in distances_by_bucket:
+                locals_ = [local_position[m][1] for m in members]
+                sub = distances_by_bucket[key][np.ix_(locals_, locals_)]
+                upper = sub[np.triu_indices(len(locals_), k=1)]
+                if upper.size:
+                    intra_mean = float(upper.mean())
+                    intra_max = float(upper.max())
+
+        medoid_index = (
+            medoids.get(label, members[0]) if medoids else members[0]
+        )
+        peptides = [
+            s.metadata.get("peptide")
+            for s in member_spectra
+            if s.metadata.get("peptide")
+        ]
+        majority = purity = None
+        if peptides:
+            majority, majority_count = Counter(peptides).most_common(1)[0]
+            purity = majority_count / len(peptides)
+
+        summaries.append(
+            ClusterSummary(
+                label=label,
+                size=len(members),
+                medoid_identifier=spectra[medoid_index].identifier,
+                precursor_mz_mean=float(
+                    np.mean([s.precursor_mz for s in member_spectra])
+                ),
+                precursor_charge=member_spectra[0].precursor_charge,
+                intra_mean_distance=intra_mean,
+                intra_max_distance=intra_max,
+                majority_peptide=majority,
+                purity=purity,
+            )
+        )
+    return summaries
+
+
+def summaries_to_table(summaries: Sequence[ClusterSummary]) -> str:
+    """Render summaries as an aligned text table."""
+    from ..reporting import format_table
+
+    rows = [
+        [
+            summary.label,
+            summary.size,
+            summary.medoid_identifier,
+            f"{summary.precursor_mz_mean:.3f}",
+            f"{summary.precursor_charge}+",
+            f"{summary.intra_mean_distance:.1f}",
+            summary.majority_peptide or "-",
+            f"{summary.purity:.2f}" if summary.purity is not None else "-",
+        ]
+        for summary in summaries
+    ]
+    return format_table(
+        [
+            "cluster",
+            "size",
+            "medoid",
+            "precursor m/z",
+            "z",
+            "intra d",
+            "majority peptide",
+            "purity",
+        ],
+        rows,
+    )

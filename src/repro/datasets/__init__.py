@@ -1,0 +1,29 @@
+"""Datasets: PRIDE descriptors and synthetic labelled spectrum generation."""
+
+from .pride import (
+    DatasetDescriptor,
+    PRIDE_DATASETS,
+    DATASET_ORDER,
+    get_dataset,
+)
+from .synthetic import (
+    SyntheticConfig,
+    SyntheticDataset,
+    generate_dataset,
+    small_benchmark_dataset,
+)
+from .workloads import WORKLOADS, get_workload, workload_names
+
+__all__ = [
+    "DatasetDescriptor",
+    "PRIDE_DATASETS",
+    "DATASET_ORDER",
+    "get_dataset",
+    "SyntheticConfig",
+    "SyntheticDataset",
+    "generate_dataset",
+    "small_benchmark_dataset",
+    "WORKLOADS",
+    "get_workload",
+    "workload_names",
+]

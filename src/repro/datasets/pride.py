@@ -1,0 +1,103 @@
+"""Descriptors of the five PRIDE datasets the paper evaluates on.
+
+We do not ship the 131 GB of raw data; the descriptors carry exactly the
+per-dataset quantities the performance and compression models consume
+(spectrum counts, on-disk bytes, sample type) plus the paper's own Table I
+measurements for calibration checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import ConfigurationError
+from ..units import GB
+
+
+@dataclass(frozen=True)
+class DatasetDescriptor:
+    """One evaluation dataset (a PRIDE accession)."""
+
+    pride_id: str
+    sample_type: str
+    num_spectra: int
+    size_bytes: int
+    #: Paper Table I: measured preprocessing time, seconds.
+    paper_pp_seconds: float
+    #: Paper Table I: measured preprocessing energy, joules.
+    paper_pp_joules: float
+
+    @property
+    def size_gb(self) -> float:
+        """Dataset size in decimal gigabytes (as quoted by the paper)."""
+        return self.size_bytes / GB
+
+    @property
+    def bytes_per_spectrum(self) -> float:
+        """Average raw bytes per spectrum (drives the compression factor)."""
+        return self.size_bytes / self.num_spectra
+
+
+#: Table I rows, keyed by PRIDE accession.
+PRIDE_DATASETS: Dict[str, DatasetDescriptor] = {
+    "PXD001468": DatasetDescriptor(
+        pride_id="PXD001468",
+        sample_type="Kidney cell",
+        num_spectra=1_100_000,
+        size_bytes=int(5.6 * GB),
+        paper_pp_seconds=1.79,
+        paper_pp_joules=17.38,
+    ),
+    "PXD001197": DatasetDescriptor(
+        pride_id="PXD001197",
+        sample_type="Kidney cell",
+        num_spectra=1_100_000,
+        size_bytes=int(25 * GB),
+        paper_pp_seconds=8.22,
+        paper_pp_joules=77.27,
+    ),
+    "PXD003258": DatasetDescriptor(
+        pride_id="PXD003258",
+        sample_type="HeLa proteins",
+        num_spectra=4_100_000,
+        size_bytes=int(54 * GB),
+        paper_pp_seconds=18.44,
+        paper_pp_joules=166.53,
+    ),
+    "PXD001511": DatasetDescriptor(
+        pride_id="PXD001511",
+        sample_type="HEK293 cell",
+        num_spectra=4_200_000,
+        size_bytes=int(87 * GB),
+        paper_pp_seconds=28.53,
+        paper_pp_joules=268.22,
+    ),
+    "PXD000561": DatasetDescriptor(
+        pride_id="PXD000561",
+        sample_type="Human proteome",
+        num_spectra=21_100_000,
+        size_bytes=int(131 * GB),
+        paper_pp_seconds=43.38,
+        paper_pp_joules=382.62,
+    ),
+}
+
+#: Evaluation order used throughout the paper's figures.
+DATASET_ORDER: Tuple[str, ...] = (
+    "PXD001468",
+    "PXD001197",
+    "PXD003258",
+    "PXD001511",
+    "PXD000561",
+)
+
+
+def get_dataset(pride_id: str) -> DatasetDescriptor:
+    """Look up a dataset descriptor by PRIDE accession."""
+    try:
+        return PRIDE_DATASETS[pride_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown dataset {pride_id!r}; known: {sorted(PRIDE_DATASETS)}"
+        ) from None

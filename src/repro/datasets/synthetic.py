@@ -1,0 +1,255 @@
+"""Synthetic labelled MS/MS datasets.
+
+The quality experiments (Figs. 6a, 10, 11) need per-spectrum ground truth,
+which the paper obtains from MSGF+ searches of real PRIDE data.  We generate
+the synthetic equivalent: draw a pool of tryptic peptides, then emit noisy
+replicate spectra per peptide — the replicate structure is precisely what a
+clustering tool is supposed to recover.
+
+Noise model per replicate (all paper-relevant degradations):
+
+* fragment m/z jitter (instrument mass error, Gaussian, ppm-scale);
+* intensity jitter (multiplicative log-normal);
+* peak dropout (stochastic fragmentation);
+* additive noise peaks (chemical background, uniform m/z);
+* precursor m/z jitter within instrument tolerance.
+
+Each spectrum's ``metadata["peptide"]`` carries the label used by
+:mod:`repro.cluster.metrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..spectrum import MassSpectrum
+from ..search.peptide import peptide_mz, random_peptide
+from ..search.theoretical import (
+    fragment_intensity_profile,
+    theoretical_mz_array,
+)
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Parameters of the synthetic dataset generator.
+
+    ``peptides_per_mass_group`` controls how many *confusable* peptides
+    share each precursor mass: group members are adjacent-swap variants of
+    a base peptide, so they have identical neutral mass (and therefore
+    share a precursor bucket at any resolution) but subtly different
+    fragment spectra.  This is what makes incorrect clustering *possible*
+    — exactly the ambiguity real co-isolated peptides create — and gives
+    the Fig. 6a/10 quality curves their trade-off shape.
+
+    ``extra_singleton_peptides`` adds peptides observed exactly once.  Real
+    repositories are dominated by such spectra, which is why published
+    clustered-spectra ratios sit near 45 % rather than 100 %: singletons
+    can never be "clustered".
+    """
+
+    num_peptides: int = 50
+    replicates_per_peptide: int = 20
+    peptides_per_mass_group: int = 3
+    confusable_swaps: int = 4
+    extra_singleton_peptides: int = 0
+    charge_states: Sequence[int] = (2, 3)
+    mz_jitter_ppm: float = 10.0
+    precursor_jitter_ppm: float = 5.0
+    intensity_sigma: float = 0.3
+    dropout_probability: float = 0.15
+    noise_peaks: int = 10
+    noise_intensity_max: float = 0.25
+    min_mz: float = 101.0
+    max_mz: float = 1500.0
+    unlabeled_fraction: float = 0.0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_peptides < 1 or self.replicates_per_peptide < 1:
+            raise ConfigurationError("counts must be >= 1")
+        if self.peptides_per_mass_group < 1:
+            raise ConfigurationError("peptides_per_mass_group must be >= 1")
+        if self.confusable_swaps < 1:
+            raise ConfigurationError("confusable_swaps must be >= 1")
+        if self.extra_singleton_peptides < 0:
+            raise ConfigurationError("extra_singleton_peptides must be >= 0")
+        if not self.charge_states:
+            raise ConfigurationError("need at least one charge state")
+        if any(charge < 1 for charge in self.charge_states):
+            raise ConfigurationError("charges must be >= 1")
+        if not 0.0 <= self.dropout_probability < 1.0:
+            raise ConfigurationError("dropout_probability must be in [0, 1)")
+        if not 0.0 <= self.unlabeled_fraction <= 1.0:
+            raise ConfigurationError("unlabeled_fraction must be in [0, 1]")
+        if self.noise_peaks < 0:
+            raise ConfigurationError("noise_peaks must be >= 0")
+
+
+@dataclass
+class SyntheticDataset:
+    """Generated spectra plus parallel ground-truth labels."""
+
+    spectra: List[MassSpectrum]
+    labels: List[Optional[str]]
+    peptides: List[str]
+
+    def __len__(self) -> int:
+        return len(self.spectra)
+
+
+def _replicate_spectrum(
+    peptide: str,
+    charge: int,
+    template_mz: np.ndarray,
+    template_intensity: np.ndarray,
+    replicate_ordinal: int,
+    config: SyntheticConfig,
+    rng: np.random.Generator,
+) -> MassSpectrum:
+    keep = rng.random(template_mz.size) >= config.dropout_probability
+    if not keep.any():
+        keep[int(rng.integers(0, template_mz.size))] = True
+    mz = template_mz[keep].copy()
+    intensity = template_intensity[keep].copy()
+
+    # Instrument mass error: ppm-scaled Gaussian jitter.
+    mz *= 1.0 + rng.normal(0.0, config.mz_jitter_ppm * 1e-6, size=mz.size)
+    intensity *= rng.lognormal(0.0, config.intensity_sigma, size=mz.size)
+
+    if config.noise_peaks:
+        noise_mz = rng.uniform(config.min_mz, config.max_mz, config.noise_peaks)
+        noise_intensity = rng.uniform(
+            0.0, config.noise_intensity_max, config.noise_peaks
+        )
+        mz = np.concatenate([mz, noise_mz])
+        intensity = np.concatenate([intensity, noise_intensity])
+
+    precursor = peptide_mz(peptide, charge)
+    precursor *= 1.0 + rng.normal(0.0, config.precursor_jitter_ppm * 1e-6)
+    return MassSpectrum(
+        identifier=f"{peptide}/{charge}#{replicate_ordinal}",
+        precursor_mz=precursor,
+        precursor_charge=charge,
+        mz=mz,
+        intensity=intensity,
+        metadata={"peptide": peptide},
+    )
+
+
+def generate_dataset(config: SyntheticConfig = SyntheticConfig()) -> SyntheticDataset:
+    """Generate a labelled synthetic dataset.
+
+    Every peptide appears at one randomly chosen charge state from
+    ``config.charge_states`` with ``replicates_per_peptide`` noisy copies;
+    a configurable fraction of labels is withheld (``None``) to model
+    spectra the search engine failed to identify.
+    """
+    rng = np.random.default_rng(config.seed)
+    peptides: List[str] = []
+    group_charge: dict = {}
+    while len(peptides) < config.num_peptides:
+        base = random_peptide(rng)
+        if base in peptides:
+            continue
+        charge = int(
+            config.charge_states[int(rng.integers(0, len(config.charge_states)))]
+        )
+        group = [base]
+        # Confusables: apply a few adjacent residue swaps (terminus
+        # fixed) -> identical mass (same bucket) and a largely shared
+        # fragment series differing at the swapped junctions.  These are
+        # the hard cases that drive incorrect clustering on real data;
+        # `confusable_swaps` tunes how hard.
+        attempts = 0
+        while (
+            len(group) < config.peptides_per_mass_group and attempts < 20
+        ):
+            attempts += 1
+            body = list(group[-1][:-1])
+            for _ in range(config.confusable_swaps):
+                position = int(rng.integers(0, len(body) - 1))
+                body[position], body[position + 1] = (
+                    body[position + 1],
+                    body[position],
+                )
+            variant = "".join(body) + base[-1]
+            if variant not in group and variant not in peptides:
+                group.append(variant)
+        for peptide in group:
+            if len(peptides) < config.num_peptides:
+                peptides.append(peptide)
+                group_charge[peptide] = charge
+
+    spectra: List[MassSpectrum] = []
+    labels: List[Optional[str]] = []
+    for peptide in peptides:
+        charge = group_charge[peptide]
+        template_mz = theoretical_mz_array(peptide, charge)
+        in_range = (template_mz >= config.min_mz) & (
+            template_mz <= config.max_mz
+        )
+        template_mz = template_mz[in_range]
+        if template_mz.size == 0:
+            continue
+        template_intensity = fragment_intensity_profile(template_mz.size, rng)
+        for replicate in range(config.replicates_per_peptide):
+            spectrum = _replicate_spectrum(
+                peptide,
+                charge,
+                template_mz,
+                template_intensity,
+                replicate,
+                config,
+                rng,
+            )
+            spectra.append(spectrum)
+            if rng.random() < config.unlabeled_fraction:
+                labels.append(None)
+            else:
+                labels.append(peptide)
+
+    for ordinal in range(config.extra_singleton_peptides):
+        peptide = random_peptide(rng)
+        charge = int(
+            config.charge_states[int(rng.integers(0, len(config.charge_states)))]
+        )
+        template_mz = theoretical_mz_array(peptide, charge)
+        in_range = (template_mz >= config.min_mz) & (
+            template_mz <= config.max_mz
+        )
+        template_mz = template_mz[in_range]
+        if template_mz.size == 0:
+            continue
+        template_intensity = fragment_intensity_profile(template_mz.size, rng)
+        spectrum = _replicate_spectrum(
+            peptide, charge, template_mz, template_intensity, 0, config, rng
+        )
+        spectra.append(spectrum)
+        peptides.append(peptide)
+        labels.append(
+            None if rng.random() < config.unlabeled_fraction else peptide
+        )
+
+    # Shuffle so bucket/cluster order carries no generation artefacts.
+    order = rng.permutation(len(spectra))
+    return SyntheticDataset(
+        spectra=[spectra[i] for i in order],
+        labels=[labels[i] for i in order],
+        peptides=peptides,
+    )
+
+
+def small_benchmark_dataset(seed: int = 7) -> SyntheticDataset:
+    """A compact labelled dataset for tests and quality benchmarks."""
+    return generate_dataset(
+        SyntheticConfig(
+            num_peptides=40,
+            replicates_per_peptide=12,
+            seed=seed,
+        )
+    )

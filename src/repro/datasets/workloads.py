@@ -1,0 +1,81 @@
+"""Named workload presets for experiments and benchmarks.
+
+Quality experiments across the repository share a handful of dataset
+shapes; naming them keeps benchmark configurations consistent and
+documents what each knob is *for*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import ConfigurationError
+from .synthetic import SyntheticConfig
+
+#: Registry of named presets.
+WORKLOADS: Dict[str, SyntheticConfig] = {
+    # A clean sanity-check workload: replicates separate cleanly, no
+    # isobaric confusables.  Tools should reach ~100 % clustered at 0 ICR.
+    "easy": SyntheticConfig(
+        num_peptides=12,
+        replicates_per_peptide=6,
+        peptides_per_mass_group=1,
+        dropout_probability=0.05,
+        noise_peaks=3,
+        intensity_sigma=0.15,
+        seed=1234,
+    ),
+    # The Fig. 6a/10/11 evaluation shape: isobaric confusable groups make
+    # incorrect clustering possible; 50 % singleton spectra cap the
+    # clustered ratio near the paper's real-data operating region.
+    "evaluation": SyntheticConfig(
+        num_peptides=30,
+        replicates_per_peptide=10,
+        extra_singleton_peptides=300,
+        charge_states=(2, 3),
+        dropout_probability=0.15,
+        noise_peaks=8,
+        seed=777,
+    ),
+    # A stress workload: heavy dropout + dense chemical noise, for
+    # robustness studies.
+    "noisy": SyntheticConfig(
+        num_peptides=20,
+        replicates_per_peptide=8,
+        extra_singleton_peptides=40,
+        dropout_probability=0.30,
+        noise_peaks=16,
+        seed=31337,
+    ),
+    # Incremental-update experiments: one deep population to split into
+    # multiple "instrument runs".
+    "incremental": SyntheticConfig(
+        num_peptides=20,
+        replicates_per_peptide=15,
+        extra_singleton_peptides=60,
+        seed=100,
+    ),
+    # Search-centric workload: partially unlabelled, as real search
+    # engines identify only a fraction of spectra.
+    "search": SyntheticConfig(
+        num_peptides=15,
+        replicates_per_peptide=8,
+        unlabeled_fraction=0.1,
+        seed=2024,
+    ),
+}
+
+
+def get_workload(name: str) -> SyntheticConfig:
+    """Look up a workload preset by name."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOADS)}"
+        ) from None
+
+
+def workload_names() -> list:
+    """All registered preset names."""
+    return sorted(WORKLOADS)

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the SpecHD reproduction.
+
+All library errors derive from :class:`SpecHDError` so that callers can catch
+one base class at API boundaries.  Subclasses are deliberately fine-grained:
+parsing problems, invalid spectra, configuration mistakes, and model-capacity
+violations fail differently and should be distinguishable in user code.
+"""
+
+from __future__ import annotations
+
+
+class SpecHDError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class SpectrumError(SpecHDError):
+    """An individual spectrum is malformed (e.g. mismatched peak arrays)."""
+
+
+class ParseError(SpecHDError):
+    """A spectrum file could not be parsed."""
+
+    def __init__(self, message: str, path: str = "", line: int = 0) -> None:
+        self.path = path
+        self.line = line
+        location = f" ({path}:{line})" if path else ""
+        super().__init__(f"{message}{location}")
+
+
+class EncodingError(SpecHDError):
+    """Hyperdimensional encoding was given invalid inputs or configuration."""
+
+
+class ClusteringError(SpecHDError):
+    """A clustering routine was given inconsistent inputs."""
+
+
+class ConfigurationError(SpecHDError):
+    """A configuration object contains invalid or inconsistent values."""
+
+
+class CapacityError(SpecHDError):
+    """A hardware model's resource budget (BRAM, HBM, ...) was exceeded."""
+
+
+class SearchError(SpecHDError):
+    """Database search failed (empty database, bad tolerance, ...)."""

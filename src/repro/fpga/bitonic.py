@@ -1,0 +1,136 @@
+"""Bitonic sorting network: functional model + hardware cost model.
+
+The Top-k Selector inside the preprocessing module uses "a streamlined
+Bitonic sorting algorithm" (§III-A).  A bitonic network of width ``w`` sorts
+in ``log2(w) * (log2(w) + 1) / 2`` comparator stages; on an FPGA all
+comparators of a stage fire in one cycle, so latency equals stage count and
+throughput is one block per cycle when pipelined.
+
+Both the functional sorter (used by tests to prove equivalence with NumPy
+sorting) and the comparator/stage counters (used by the MSAS cost model) are
+exposed.
+"""
+
+from __future__ import annotations
+
+from math import log2
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when ``value`` is a positive power of two."""
+    return value >= 1 and (value & (value - 1)) == 0
+
+
+def next_power_of_two(value: int) -> int:
+    """Smallest power of two >= ``value``."""
+    if value < 1:
+        raise ConfigurationError("value must be >= 1")
+    result = 1
+    while result < value:
+        result <<= 1
+    return result
+
+
+def bitonic_stage_count(width: int) -> int:
+    """Number of comparator stages for a width-``width`` bitonic network."""
+    if not is_power_of_two(width):
+        raise ConfigurationError(f"width must be a power of two, got {width}")
+    k = int(log2(width))
+    return k * (k + 1) // 2
+
+
+def bitonic_comparator_count(width: int) -> int:
+    """Total comparators in the network (``width/2`` per stage)."""
+    return bitonic_stage_count(width) * (width // 2)
+
+
+def bitonic_sort(values: np.ndarray, descending: bool = False) -> np.ndarray:
+    """Sort a 1-D array with the bitonic network (functional model).
+
+    Inputs whose length is not a power of two are padded with sentinels and
+    truncated after sorting, as the hardware pads short spectra.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ConfigurationError("bitonic_sort expects a 1-D array")
+    n = values.size
+    if n == 0:
+        return values.copy()
+    width = next_power_of_two(n)
+    pad_value = -np.inf if descending else np.inf
+    padded = np.full(width, pad_value, dtype=np.float64)
+    padded[:n] = values
+
+    # Iterative bitonic sort: k = size of bitonic sequences being merged,
+    # j = comparator span within the merge step.
+    k = 2
+    while k <= width:
+        j = k // 2
+        while j >= 1:
+            indices = np.arange(width)
+            partners = indices ^ j
+            mask = partners > indices
+            left = indices[mask]
+            right = partners[mask]
+            ascending_block = (left & k) == 0
+            swap_needed = np.where(
+                ascending_block,
+                padded[left] > padded[right],
+                padded[left] < padded[right],
+            )
+            if descending:
+                swap_needed = ~swap_needed
+                # The padding sentinel keeps pads at the tail either way.
+            swap_left = left[swap_needed]
+            swap_right = right[swap_needed]
+            padded[swap_left], padded[swap_right] = (
+                padded[swap_right].copy(),
+                padded[swap_left].copy(),
+            )
+            j //= 2
+        k *= 2
+    return padded[:n]
+
+
+def bitonic_top_k(
+    values: np.ndarray, k: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Indices and values of the ``k`` largest elements via bitonic sort.
+
+    Returns ``(indices, sorted_values)`` with values descending.  This is
+    the functional twin of the hardware Top-k selector: sort descending,
+    truncate to ``k``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if k < 1:
+        raise ConfigurationError("k must be >= 1")
+    n = values.size
+    if n == 0:
+        return np.array([], dtype=np.int64), np.array([], dtype=np.float64)
+    k = min(k, n)
+    # Sort (value, index) pairs to recover stable indices.
+    order = np.argsort(-values, kind="stable")[:k]
+    sorted_values = bitonic_sort(values, descending=True)[:k]
+    return order, sorted_values
+
+
+def top_k_selector_cycles(peak_count: int, width: int = 64) -> float:
+    """Cycles for the hardware Top-k selector to process one spectrum.
+
+    The streaming selector sorts ``width``-element blocks with the bitonic
+    network (one block per ``stage_count`` cycles, pipelined to 1 block/cycle
+    steady state) and merges block maxima; cost is one cycle per input peak
+    plus the network fill latency.
+    """
+    if peak_count < 0:
+        raise ConfigurationError("peak_count must be >= 0")
+    if peak_count == 0:
+        return 0.0
+    fill_latency = bitonic_stage_count(next_power_of_two(width))
+    blocks = -(-peak_count // width)
+    return fill_latency + blocks * width

@@ -1,0 +1,172 @@
+"""Alveo U280 device model: clock, resources, and utilisation checking.
+
+The model tracks the four fabric resources HLS designs budget against (LUT,
+FF, BRAM, DSP plus URAM) and validates that a kernel configuration fits.  It
+is deliberately coarse — per-kernel resource costs are first-order estimates
+of the SpecHD kernels' footprints — but it enforces the same design-space
+boundary the paper's design-space exploration operated inside (e.g. "why
+only 5 clustering kernels?": BRAM for the triangular distance matrix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..errors import CapacityError, ConfigurationError
+from . import constants
+
+
+@dataclass(frozen=True)
+class ResourceBudget:
+    """Available fabric resources."""
+
+    lut: int = constants.U280_LUT
+    ff: int = constants.U280_FF
+    bram_36k: int = constants.U280_BRAM_36K
+    uram: int = constants.U280_URAM
+    dsp: int = constants.U280_DSP
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """Resources consumed by one kernel instance."""
+
+    lut: int = 0
+    ff: int = 0
+    bram_36k: int = 0
+    uram: int = 0
+    dsp: int = 0
+
+    def scaled(self, count: int) -> "ResourceUsage":
+        """Usage of ``count`` replicated instances."""
+        if count < 0:
+            raise ConfigurationError("instance count must be >= 0")
+        return ResourceUsage(
+            lut=self.lut * count,
+            ff=self.ff * count,
+            bram_36k=self.bram_36k * count,
+            uram=self.uram * count,
+            dsp=self.dsp * count,
+        )
+
+    def plus(self, other: "ResourceUsage") -> "ResourceUsage":
+        """Element-wise sum."""
+        return ResourceUsage(
+            lut=self.lut + other.lut,
+            ff=self.ff + other.ff,
+            bram_36k=self.bram_36k + other.bram_36k,
+            uram=self.uram + other.uram,
+            dsp=self.dsp + other.dsp,
+        )
+
+
+def encoder_kernel_usage(dim: int = constants.DEFAULT_DIM) -> ResourceUsage:
+    """First-order resource estimate for one ID-Level encoder kernel.
+
+    The encoder keeps the Level memory and accumulator registers on chip and
+    streams ID vectors from HBM-backed URAM caching.  Costs scale with the
+    unrolled datapath width (``dim``).
+    """
+    words = dim // 64
+    return ResourceUsage(
+        lut=30_000 + 18 * dim,        # XOR array + majority comparators
+        ff=40_000 + 24 * dim,         # accumulator registers (12-bit x dim)
+        bram_36k=16 + words,          # level memory + stream FIFOs
+        uram=24,                      # ID memory cache
+        dsp=8,
+    )
+
+
+def cluster_kernel_usage(
+    dim: int = constants.DEFAULT_DIM, max_bucket: int = 2_500
+) -> ResourceUsage:
+    """First-order resource estimate for one NN-chain clustering kernel.
+
+    Dominated by the triangular distance matrix: ``max_bucket^2 / 2`` 16-bit
+    entries in BRAM/URAM (a 4096-spectrum bucket needs 16 MiB -> URAM).
+    """
+    matrix_bits = max_bucket * (max_bucket - 1) // 2 * 16
+    uram_blocks = -(-matrix_bits // (288 * 1024))  # 288 Kib per URAM block
+    return ResourceUsage(
+        lut=45_000 + 10 * dim,        # XOR/popcount tree + LW update ALU
+        ff=55_000 + 12 * dim,
+        bram_36k=48,                  # chain stack, cluster tables, FIFOs
+        uram=uram_blocks,
+        dsp=32,                       # fixed-point Lance-Williams FMAs
+    )
+
+
+@dataclass
+class U280Device:
+    """A U280 with a set of placed kernels.
+
+    Use :meth:`place` to add kernels; :class:`CapacityError` is raised when
+    the configuration no longer fits, which is how the ablation benchmark
+    discovers the maximum kernel count.
+    """
+
+    clock_hz: float = constants.U280_CLOCK_HZ
+    budget: ResourceBudget = field(default_factory=ResourceBudget)
+    hbm_bytes: int = constants.U280_HBM_BYTES
+    hbm_bandwidth: float = constants.U280_HBM_BANDWIDTH
+    _used: ResourceUsage = field(default_factory=ResourceUsage)
+    _kernels: Dict[str, int] = field(default_factory=dict)
+
+    def place(self, name: str, usage: ResourceUsage, count: int = 1) -> None:
+        """Place ``count`` instances of a kernel, enforcing the budget."""
+        if count < 1:
+            raise ConfigurationError("count must be >= 1")
+        candidate = self._used.plus(usage.scaled(count))
+        for resource in ("lut", "ff", "bram_36k", "uram", "dsp"):
+            if getattr(candidate, resource) > getattr(self.budget, resource):
+                raise CapacityError(
+                    f"placing {count} x {name} exceeds {resource}: "
+                    f"{getattr(candidate, resource)} > "
+                    f"{getattr(self.budget, resource)}"
+                )
+        self._used = candidate
+        self._kernels[name] = self._kernels.get(name, 0) + count
+
+    def utilization(self) -> Dict[str, float]:
+        """Fractional utilisation per resource class."""
+        return {
+            "lut": self._used.lut / self.budget.lut,
+            "ff": self._used.ff / self.budget.ff,
+            "bram_36k": self._used.bram_36k / self.budget.bram_36k,
+            "uram": self._used.uram / self.budget.uram,
+            "dsp": self._used.dsp / self.budget.dsp,
+        }
+
+    def kernel_counts(self) -> Dict[str, int]:
+        """Placed kernel instance counts by name."""
+        return dict(self._kernels)
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert kernel cycles to seconds at the device clock."""
+        if cycles < 0:
+            raise ConfigurationError("cycles must be >= 0")
+        return cycles / self.clock_hz
+
+
+def max_cluster_kernels(
+    dim: int = constants.DEFAULT_DIM, max_bucket: int = 2_500
+) -> int:
+    """Largest number of clustering kernels that fit next to one encoder.
+
+    This reproduces the design-space result behind the paper's choice of
+    five clustering kernels for 2 500-spectrum buckets.
+    """
+    count = 0
+    while True:
+        device = U280Device()
+        device.place("encoder", encoder_kernel_usage(dim), 1)
+        try:
+            device.place(
+                "cluster", cluster_kernel_usage(dim, max_bucket), count + 1
+            )
+        except CapacityError:
+            return count
+        count += 1
+        if count >= 64:  # safety: model breakdown, not a real design point
+            return count

@@ -1,0 +1,131 @@
+"""Design-space exploration over the SpecHD hardware configuration.
+
+§III-A: the MSAS/FPGA integration was "guided by design space exploration,
+... targeting both speed and energy optimization".  This module makes that
+exploration a first-class API: enumerate (kernel count, bucket capacity,
+D_hv) points, check resource feasibility on the U280 model, project time
+and energy for a target dataset, and extract the Pareto front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from ..errors import CapacityError, ConfigurationError
+from .device import U280Device, cluster_kernel_usage, encoder_kernel_usage
+from .energy import spechd_end_to_end_energy
+from .scheduler import project_dataset
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated hardware configuration."""
+
+    num_kernels: int
+    bucket_capacity: int
+    dim: int
+    feasible: bool
+    total_seconds: float = float("inf")
+    energy_joules: float = float("inf")
+    uram_utilization: float = 0.0
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance on (time, energy): <= on both, < on one."""
+        if not self.feasible:
+            return False
+        if not other.feasible:
+            return True
+        at_least_as_good = (
+            self.total_seconds <= other.total_seconds
+            and self.energy_joules <= other.energy_joules
+        )
+        strictly_better = (
+            self.total_seconds < other.total_seconds
+            or self.energy_joules < other.energy_joules
+        )
+        return at_least_as_good and strictly_better
+
+
+def evaluate_point(
+    num_kernels: int,
+    bucket_capacity: int,
+    dim: int,
+    num_spectra: int,
+    dataset_bytes: int,
+) -> DesignPoint:
+    """Feasibility-check and project one configuration."""
+    if num_kernels < 1 or bucket_capacity < 2:
+        raise ConfigurationError("invalid design point")
+    device = U280Device()
+    try:
+        device.place("encoder", encoder_kernel_usage(dim), 1)
+        device.place(
+            "cluster", cluster_kernel_usage(dim, bucket_capacity), num_kernels
+        )
+    except CapacityError:
+        return DesignPoint(
+            num_kernels=num_kernels,
+            bucket_capacity=bucket_capacity,
+            dim=dim,
+            feasible=False,
+        )
+    report = project_dataset(
+        num_spectra,
+        dataset_bytes,
+        num_cluster_kernels=num_kernels,
+        avg_bucket_size=bucket_capacity,
+        dim=dim,
+    )
+    return DesignPoint(
+        num_kernels=num_kernels,
+        bucket_capacity=bucket_capacity,
+        dim=dim,
+        feasible=True,
+        total_seconds=report.total_seconds,
+        energy_joules=spechd_end_to_end_energy(report),
+        uram_utilization=device.utilization()["uram"],
+    )
+
+
+def explore(
+    num_spectra: int,
+    dataset_bytes: int,
+    kernel_counts: Sequence[int] = tuple(range(1, 9)),
+    bucket_capacities: Sequence[int] = (1_000, 1_500, 2_000, 2_500, 3_000, 4_000),
+    dims: Sequence[int] = (2048,),
+) -> List[DesignPoint]:
+    """Evaluate the full cross product of configuration axes."""
+    points = []
+    for dim in dims:
+        for kernels in kernel_counts:
+            for capacity in bucket_capacities:
+                points.append(
+                    evaluate_point(
+                        kernels, capacity, dim, num_spectra, dataset_bytes
+                    )
+                )
+    return points
+
+
+def pareto_front(points: Iterable[DesignPoint]) -> List[DesignPoint]:
+    """Feasible points not dominated by any other point (time × energy)."""
+    feasible = [point for point in points if point.feasible]
+    front = [
+        point
+        for point in feasible
+        if not any(other.dominates(point) for other in feasible)
+    ]
+    return sorted(front, key=lambda p: (p.total_seconds, p.energy_joules))
+
+
+def best_feasible(
+    points: Iterable[DesignPoint],
+) -> Tuple[DesignPoint, DesignPoint]:
+    """The fastest and the most energy-frugal feasible points."""
+    feasible = [point for point in points if point.feasible]
+    if not feasible:
+        raise ConfigurationError("no feasible design point")
+    fastest = min(feasible, key=lambda p: p.total_seconds)
+    frugal = min(feasible, key=lambda p: p.energy_joules)
+    return fastest, frugal

@@ -1,0 +1,122 @@
+"""Energy meters: the XRT / RAPL / nvidia-smi analogues (Fig. 9).
+
+The paper measures FPGA power through Xilinx XRT, CPU power through Intel
+RAPL, and GPU power through nvidia-smi, then reports energy-efficiency
+ratios.  Our meters integrate (power x time) for each device with an
+active/idle split — the same first-order model those tools' sampled
+telemetry converges to for long steady workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigurationError
+from . import constants
+
+
+@dataclass(frozen=True)
+class DevicePower:
+    """Active/idle power pair for one device."""
+
+    name: str
+    active_w: float
+    idle_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.active_w < 0 or self.idle_w < 0:
+            raise ConfigurationError("power must be >= 0")
+
+
+#: The measurement domains of §IV-D with hardware-documented power draws.
+FPGA_U280 = DevicePower(
+    "fpga-u280", constants.U280_ACTIVE_POWER_W, constants.U280_IDLE_POWER_W
+)
+#: 12-core server CPU (paper's host): RAPL package power under load.
+CPU_SERVER = DevicePower("cpu-server", 150.0, 40.0)
+#: RTX 3090: 350 W board power at sustained compute (nvidia-smi).
+GPU_RTX3090 = DevicePower("gpu-rtx3090", 350.0, 30.0)
+#: SSD with the MSAS accelerator active.
+SSD_MSAS = DevicePower(
+    "ssd-msas",
+    constants.SSD_ACTIVE_POWER_W + constants.MSAS_CORE_POWER_W,
+    constants.SSD_IDLE_POWER_W,
+)
+
+
+@dataclass
+class EnergyMeter:
+    """Accumulates per-device energy over named workload phases."""
+
+    samples: List[Tuple[str, str, float, float]] = field(default_factory=list)
+
+    def record(
+        self, device: DevicePower, phase: str, seconds: float, duty: float = 1.0
+    ) -> float:
+        """Charge ``seconds`` of activity at ``duty`` cycle; returns joules.
+
+        ``duty`` blends active and idle power (a phase that keeps the device
+        50 % busy charges the midpoint), mirroring how sampled telemetry
+        averages over a phase.
+        """
+        if seconds < 0:
+            raise ConfigurationError("duration must be >= 0")
+        if not 0.0 <= duty <= 1.0:
+            raise ConfigurationError("duty must be in [0, 1]")
+        power = duty * device.active_w + (1.0 - duty) * device.idle_w
+        joules = power * seconds
+        self.samples.append((device.name, phase, seconds, joules))
+        return joules
+
+    def total_joules(self) -> float:
+        """Total energy across all devices and phases."""
+        return sum(joules for _, _, _, joules in self.samples)
+
+    def by_device(self) -> Dict[str, float]:
+        """Energy per device name."""
+        totals: Dict[str, float] = {}
+        for device, _, _, joules in self.samples:
+            totals[device] = totals.get(device, 0.0) + joules
+        return totals
+
+    def by_phase(self) -> Dict[str, float]:
+        """Energy per workload phase."""
+        totals: Dict[str, float] = {}
+        for _, phase, _, joules in self.samples:
+            totals[phase] = totals.get(phase, 0.0) + joules
+        return totals
+
+
+def energy_efficiency(baseline_joules: float, spechd_joules: float) -> float:
+    """Fig. 9's metric: baseline energy over SpecHD energy (higher = better)."""
+    if spechd_joules <= 0:
+        raise ConfigurationError("SpecHD energy must be positive")
+    if baseline_joules < 0:
+        raise ConfigurationError("baseline energy must be >= 0")
+    return baseline_joules / spechd_joules
+
+
+def spechd_end_to_end_energy(report) -> float:
+    """SpecHD end-to-end energy from an :class:`EndToEndReport`.
+
+    Charges the SSD+MSAS for preprocessing and the U280 for the on-card
+    phases (transfer + encode + cluster), with the host idle-attributed
+    during FPGA work (the host only orchestrates).
+    """
+    meter = EnergyMeter()
+    meter.record(SSD_MSAS, "preprocess", report.preprocess_seconds)
+    on_card = (
+        max(report.transfer_seconds, report.encode_seconds)
+        + report.cluster_seconds
+    )
+    meter.record(FPGA_U280, "fpga", on_card)
+    meter.record(CPU_SERVER, "host", report.host_overhead_seconds, duty=0.3)
+    return meter.total_joules()
+
+
+def spechd_clustering_energy(report) -> float:
+    """SpecHD clustering-phase energy (pre-encoded HVs, FPGA only)."""
+    meter = EnergyMeter()
+    meter.record(FPGA_U280, "cluster", report.cluster_seconds)
+    return meter.total_joules()

@@ -1,0 +1,99 @@
+"""HBM2 capacity and bandwidth model.
+
+The encoded hypervectors live in the U280's 8 GB HBM2 stack (§III-B); the
+clustering kernels stream them back out when building distance matrices.
+The model answers two questions the paper's design depends on:
+
+* does a dataset's encoded form fit on-card? (it does — that is the point
+  of the 24-108x compression), and
+* how long do the kernel-side transfers take at 460 GB/s?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CapacityError, ConfigurationError
+from . import constants
+
+
+@dataclass(frozen=True)
+class HBMTransfer:
+    """One modelled HBM transfer."""
+
+    num_bytes: int
+    seconds: float
+
+
+class HBMModel:
+    """Capacity accounting plus transfer timing for the HBM2 stack.
+
+    Parameters
+    ----------
+    capacity_bytes, bandwidth:
+        Default to the paper-stated 8 GB / 460 GB/s.
+    efficiency:
+        Fraction of peak bandwidth sustained by bursty kernel access
+        patterns (pseudo-channel conflicts, refresh); 0.8 is the commonly
+        reported sustained/peak ratio for HLS masters on the U280.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int = constants.U280_HBM_BYTES,
+        bandwidth: float = constants.U280_HBM_BANDWIDTH,
+        efficiency: float = 0.8,
+    ) -> None:
+        if capacity_bytes < 1:
+            raise ConfigurationError("capacity must be >= 1 byte")
+        if bandwidth <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        if not 0.0 < efficiency <= 1.0:
+            raise ConfigurationError("efficiency must be in (0, 1]")
+        self.capacity_bytes = capacity_bytes
+        self.bandwidth = bandwidth
+        self.efficiency = efficiency
+        self._allocated = 0
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Bytes currently allocated."""
+        return self._allocated
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes still available."""
+        return self.capacity_bytes - self._allocated
+
+    def allocate(self, num_bytes: int) -> None:
+        """Reserve space; raises :class:`CapacityError` when full."""
+        if num_bytes < 0:
+            raise ConfigurationError("allocation must be >= 0 bytes")
+        if self._allocated + num_bytes > self.capacity_bytes:
+            raise CapacityError(
+                f"HBM allocation of {num_bytes} B exceeds free space "
+                f"({self.free_bytes} B of {self.capacity_bytes} B)"
+            )
+        self._allocated += num_bytes
+
+    def release(self, num_bytes: int) -> None:
+        """Release previously allocated space."""
+        if num_bytes < 0 or num_bytes > self._allocated:
+            raise ConfigurationError(
+                f"cannot release {num_bytes} B (allocated {self._allocated} B)"
+            )
+        self._allocated -= num_bytes
+
+    def transfer(self, num_bytes: int) -> HBMTransfer:
+        """Time to move ``num_bytes`` at sustained bandwidth."""
+        if num_bytes < 0:
+            raise ConfigurationError("transfer size must be >= 0")
+        seconds = num_bytes / (self.bandwidth * self.efficiency)
+        return HBMTransfer(num_bytes=num_bytes, seconds=seconds)
+
+    def fits_encoded_dataset(
+        self, num_spectra: int, dim: int = constants.DEFAULT_DIM
+    ) -> bool:
+        """Whether a dataset's encoded hypervectors fit in free HBM."""
+        required = num_spectra * constants.encoded_record_bytes(dim)
+        return required <= self.free_bytes

@@ -1,0 +1,120 @@
+"""HLS optimisation model: pragmas, initiation intervals, and loop timing.
+
+The paper's kernels rely on three Vitis HLS idioms (§III-B/C): array
+partitioning (parallel memory ports), loop unrolling (spatial replication of
+the loop body), and pipelining (initiation-interval scheduling), composed
+under a dataflow region (task-level overlap of producer/consumer stages).
+
+This module models the first-order timing consequences of those pragmas so
+the kernel cycle models can be *derived* from loop structure instead of
+hard-coding throughputs — the same reasoning an HLS report gives you.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Sequence
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PartitionPragma:
+    """``#pragma HLS array_partition`` — multiplies memory ports by ``factor``.
+
+    ``factor=0`` denotes *complete* partitioning (one register per element).
+    """
+
+    factor: int = 0
+
+    def ports(self, depth: int) -> int:
+        """Concurrent accesses per cycle into an array of ``depth`` words."""
+        if depth < 1:
+            raise ConfigurationError("array depth must be >= 1")
+        if self.factor == 0:
+            return depth
+        if self.factor < 1:
+            raise ConfigurationError("partition factor must be >= 1 or 0")
+        # BRAM is dual-ported; partitioning into `factor` banks gives
+        # 2 * factor concurrent accesses.
+        return min(depth, 2 * self.factor)
+
+
+@dataclass(frozen=True)
+class PipelinedLoop:
+    """A pipelined loop: ``latency + II * (trips - 1)`` cycles.
+
+    Parameters
+    ----------
+    trips:
+        Trip count.
+    ii:
+        Initiation interval in cycles (1 = fully pipelined).
+    depth:
+        Pipeline depth (fill latency) in cycles.
+    """
+
+    trips: int
+    ii: float = 1.0
+    depth: int = 8
+
+    def __post_init__(self) -> None:
+        if self.trips < 0:
+            raise ConfigurationError("trip count must be >= 0")
+        if self.ii <= 0:
+            raise ConfigurationError("initiation interval must be > 0")
+        if self.depth < 1:
+            raise ConfigurationError("pipeline depth must be >= 1")
+
+    def cycles(self) -> float:
+        """Total cycles for the loop to drain."""
+        if self.trips == 0:
+            return 0.0
+        return self.depth + self.ii * (self.trips - 1)
+
+
+def unrolled_trips(trips: int, unroll_factor: int) -> int:
+    """Trip count after unrolling by ``unroll_factor`` (ceil division)."""
+    if trips < 0:
+        raise ConfigurationError("trip count must be >= 0")
+    if unroll_factor < 1:
+        raise ConfigurationError("unroll factor must be >= 1")
+    return ceil(trips / unroll_factor)
+
+
+def achievable_ii(
+    reads_per_iteration: int, ports: int, carried_dependency_ii: float = 1.0
+) -> float:
+    """The II a pipelined loop can reach given memory ports and dependencies.
+
+    II is bounded below by the memory-port pressure
+    (``reads / ports`` accesses must serialise) and by any loop-carried
+    dependency's recurrence II.
+    """
+    if reads_per_iteration < 0 or ports < 1:
+        raise ConfigurationError("invalid reads/ports")
+    port_bound = reads_per_iteration / ports if reads_per_iteration else 0.0
+    return max(1.0, port_bound, carried_dependency_ii)
+
+
+def dataflow_cycles(stage_cycles: Sequence[float]) -> float:
+    """Cycles for a dataflow region: the *slowest* stage dominates.
+
+    Under ``#pragma HLS dataflow`` stages run concurrently connected by
+    FIFOs, so steady-state throughput is set by the slowest stage rather
+    than the sum — this is how SpecHD overlaps spectra reads with distance
+    computation (§III-C).
+    """
+    if not stage_cycles:
+        return 0.0
+    if any(cycles < 0 for cycles in stage_cycles):
+        raise ConfigurationError("stage cycles must be >= 0")
+    return float(max(stage_cycles))
+
+
+def sequential_cycles(stage_cycles: Sequence[float]) -> float:
+    """Cycles without dataflow: stages serialise."""
+    if any(cycles < 0 for cycles in stage_cycles):
+        raise ConfigurationError("stage cycles must be >= 0")
+    return float(sum(stage_cycles))

@@ -1,0 +1,140 @@
+"""Cycle models of the three SpecHD FPGA kernels.
+
+Each model mirrors the loop structure of the corresponding HLS kernel and is
+derived with the pragma algebra in :mod:`repro.fpga.hls`:
+
+* **encoder kernel** (`hd_encoding`, §III-B): ID/Level memories completely
+  partitioned -> the peak loop pipelines at II = 1 with the XOR-accumulate
+  body unrolled across all ``D_hv`` dimensions; the majority threshold adds
+  one drain pass per spectrum.
+* **distance kernel** (§III-C "Optimized Distance Matrix Computation"): a
+  dataflow pair of (HBM read, XOR+popcount) stages computing the lower
+  triangle at II = :data:`~repro.fpga.constants.DISTANCE_II_CYCLES`.
+* **NN-chain kernel** (`agglomerative_ccl_kernel`): chain argmin scans over
+  partitioned BRAM rows, Lance-Williams updates, and the final consensus
+  (medoid) evaluation.
+
+The NN-chain kernel's work depends on the clustering trajectory; callers
+either supply measured operation counts (from
+:class:`repro.cluster.ClusteringStats`) for cycle-faithful replay, or use
+the closed-form bucket estimate for repository-scale projection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from . import constants
+from .hls import PipelinedLoop, dataflow_cycles
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Cycles plus the derived seconds at a given clock."""
+
+    cycles: float
+    clock_hz: float = constants.U280_CLOCK_HZ
+
+    @property
+    def seconds(self) -> float:
+        """Wall-clock seconds at the kernel clock."""
+        return self.cycles / self.clock_hz
+
+
+def encoder_cycles(
+    num_spectra: int,
+    peaks_per_spectrum: float = constants.AVG_PEAKS_PER_SPECTRUM,
+    dim: int = constants.DEFAULT_DIM,
+) -> float:
+    """Cycles for the encoder kernel to encode ``num_spectra`` spectra.
+
+    Per spectrum: the peak loop (II = 1 after partitioning, all ``dim``
+    lanes in parallel) plus a 4-cycle majority/write-out drain.  The
+    pipeline processes consecutive spectra back to back.
+    """
+    if num_spectra < 0 or peaks_per_spectrum < 0:
+        raise ConfigurationError("counts must be >= 0")
+    if dim % 64:
+        raise ConfigurationError("dim must be a multiple of 64")
+    peak_loop = PipelinedLoop(
+        trips=int(round(peaks_per_spectrum)),
+        ii=constants.ENCODER_II_CYCLES_PER_PEAK,
+        depth=8,
+    )
+    per_spectrum = peak_loop.cycles() + 4
+    return num_spectra * per_spectrum
+
+
+def distance_matrix_cycles(
+    bucket_size: int, dim: int = constants.DEFAULT_DIM
+) -> float:
+    """Cycles to fill one bucket's lower-triangular distance matrix.
+
+    Dataflow overlap of the HBM vector reads with the XOR/popcount pipe
+    means the matrix fill is bounded by the slower of the two streams; with
+    512-bit HBM ports the compute stage (II = 2 per pair at 2048 bits)
+    dominates.
+    """
+    if bucket_size < 0:
+        raise ConfigurationError("bucket_size must be >= 0")
+    pairs = bucket_size * (bucket_size - 1) // 2
+    read_beats_per_vector = dim / 512  # 512-bit HBM port
+    # The unrolled XOR + popcount tree processes 1024 bits per cycle, so
+    # the per-pair II scales with D_hv: 2 cycles at the paper's 2048 bits.
+    compute_ii = max(1.0, dim / 1024.0)
+    read_stage = PipelinedLoop(
+        trips=bucket_size, ii=read_beats_per_vector, depth=16
+    )
+    compute_stage = PipelinedLoop(trips=pairs, ii=compute_ii, depth=16)
+    return dataflow_cycles([read_stage.cycles(), compute_stage.cycles()])
+
+
+def nnchain_cycles_from_stats(
+    distance_scans: int, distance_updates: int, bucket_size: int
+) -> float:
+    """Cycle-faithful replay of a measured NN-chain run.
+
+    ``distance_scans`` and ``distance_updates`` come from
+    :class:`repro.cluster.ClusteringStats`; the consensus pass touches the
+    preserved original matrix once per cluster member pair (bounded above by
+    the full triangle).
+    """
+    if min(distance_scans, distance_updates, bucket_size) < 0:
+        raise ConfigurationError("counts must be >= 0")
+    scan = distance_scans * constants.NNCHAIN_SCAN_CYCLES_PER_ENTRY
+    update = distance_updates * constants.NNCHAIN_UPDATE_CYCLES_PER_ENTRY
+    consensus_entries = bucket_size * (bucket_size - 1) // 2
+    consensus = consensus_entries * constants.CONSENSUS_CYCLES_PER_ENTRY
+    return scan + update + consensus + constants.BUCKET_OVERHEAD_CYCLES
+
+
+def nnchain_cycles_estimate(bucket_size: int) -> float:
+    """Closed-form NN-chain cycle estimate for an ``n``-spectrum bucket.
+
+    Empirically (see ``tests/fpga/test_kernels.py``) NN-chain performs about
+    ``2 n^2`` scan examinations and ``n^2 / 2`` updates over a full run; the
+    estimate plugs those into the same cost model as the replay path.
+    """
+    if bucket_size < 0:
+        raise ConfigurationError("bucket_size must be >= 0")
+    scans = 2 * bucket_size * bucket_size
+    updates = bucket_size * bucket_size // 2
+    return nnchain_cycles_from_stats(scans, updates, bucket_size)
+
+
+def cluster_bucket_cycles(bucket_size: int, dim: int = constants.DEFAULT_DIM) -> float:
+    """Total clustering-kernel cycles for one bucket (distance + NN-chain)."""
+    return distance_matrix_cycles(bucket_size, dim) + nnchain_cycles_estimate(
+        bucket_size
+    )
+
+
+def encoder_timing(num_spectra: int, **kwargs) -> KernelTiming:
+    """Convenience wrapper returning :class:`KernelTiming`."""
+    return KernelTiming(cycles=encoder_cycles(num_spectra, **kwargs))
+
+
+def cluster_bucket_timing(bucket_size: int, **kwargs) -> KernelTiming:
+    """Convenience wrapper returning :class:`KernelTiming`."""
+    return KernelTiming(cycles=cluster_bucket_cycles(bucket_size, **kwargs))

@@ -1,0 +1,83 @@
+"""PCIe peer-to-peer (NVMe -> FPGA) transfer model.
+
+§III-A: "Enabling P2P allows for direct data exchanges between the FPGA and
+NVMe storage, eliminating intermediary host memory interactions and reducing
+bandwidth constraints."  The model compares the two paths:
+
+* **P2P**: one PCIe traversal, bounded by min(SSD read bw, PCIe bw).
+* **Host-mediated**: SSD -> host DRAM -> FPGA, bounded by the slower
+  bounce-buffer bandwidth and paying the copy twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from . import constants
+
+
+@dataclass(frozen=True)
+class TransferReport:
+    """Timing breakdown of a storage-to-FPGA transfer."""
+
+    num_bytes: int
+    seconds: float
+    path: str  # "p2p" or "host"
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Achieved bytes/s."""
+        if self.seconds == 0:
+            return 0.0
+        return self.num_bytes / self.seconds
+
+
+def ssd_read_bandwidth() -> float:
+    """Aggregate SSD external read bandwidth (channel-limited)."""
+    return constants.SSD_CHANNELS * constants.SSD_CHANNEL_BANDWIDTH
+
+
+def p2p_transfer(num_bytes: int, chunk_bytes: int = 64 * 2 ** 20) -> TransferReport:
+    """Time a P2P transfer of ``num_bytes`` from NVMe into HBM/FPGA.
+
+    The transfer streams in ``chunk_bytes`` DMA windows (the XRT P2P BO
+    granularity); each window pays the descriptor-setup latency once.
+    """
+    if num_bytes < 0:
+        raise ConfigurationError("transfer size must be >= 0")
+    if chunk_bytes < 1:
+        raise ConfigurationError("chunk size must be >= 1")
+    bandwidth = min(constants.PCIE_P2P_BANDWIDTH, ssd_read_bandwidth())
+    chunks = -(-num_bytes // chunk_bytes) if num_bytes else 0
+    seconds = num_bytes / bandwidth + chunks * constants.PCIE_TRANSFER_LATENCY_S
+    return TransferReport(num_bytes=num_bytes, seconds=seconds, path="p2p")
+
+
+def host_mediated_transfer(
+    num_bytes: int, chunk_bytes: int = 64 * 2 ** 20
+) -> TransferReport:
+    """Time the same transfer through host DRAM (the path P2P eliminates)."""
+    if num_bytes < 0:
+        raise ConfigurationError("transfer size must be >= 0")
+    if chunk_bytes < 1:
+        raise ConfigurationError("chunk size must be >= 1")
+    ssd_to_host = num_bytes / min(
+        constants.PCIE_HOST_BANDWIDTH, ssd_read_bandwidth()
+    )
+    host_to_fpga = num_bytes / constants.PCIE_HOST_BANDWIDTH
+    chunks = -(-num_bytes // chunk_bytes) if num_bytes else 0
+    # Two DMA setups per chunk: SSD->host and host->FPGA.
+    seconds = (
+        ssd_to_host
+        + host_to_fpga
+        + 2 * chunks * constants.PCIE_TRANSFER_LATENCY_S
+    )
+    return TransferReport(num_bytes=num_bytes, seconds=seconds, path="host")
+
+
+def p2p_speedup(num_bytes: int) -> float:
+    """Host-mediated time over P2P time for a given payload."""
+    if num_bytes == 0:
+        return 1.0
+    return host_mediated_transfer(num_bytes).seconds / p2p_transfer(num_bytes).seconds

@@ -1,0 +1,169 @@
+"""Dataflow scheduler: one encoder + N clustering kernels over a bucket stream.
+
+Fig. 3's top-level arrangement: preprocessed spectra stream over P2P into
+HBM, the encoder kernel turns them into hypervectors, and five clustering
+kernels drain precursor buckets in parallel.  The scheduler is an event-driven
+greedy dispatcher (each bucket goes to the earliest-free kernel), which is
+exactly how the XRT host code round-robins work across compute units.
+
+Two entry points:
+
+* :func:`schedule_buckets` — event-driven simulation over an explicit list
+  of bucket sizes (used by tests and small-scale pipelines).
+* :func:`project_dataset` — closed-form repository-scale projection from a
+  dataset descriptor (spectrum count + bytes), used by the Fig. 7/8/9
+  benchmarks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..errors import ConfigurationError
+from . import constants
+from .kernels import cluster_bucket_cycles, encoder_cycles
+from .msas import MSASModel
+from .p2p import p2p_transfer
+
+
+@dataclass(frozen=True)
+class ScheduleReport:
+    """Outcome of scheduling a bucket stream onto the kernel array."""
+
+    encode_seconds: float
+    cluster_seconds: float
+    kernel_busy_seconds: Dict[int, float]
+    num_buckets: int
+    num_spectra: int
+
+    @property
+    def makespan_seconds(self) -> float:
+        """Wall time with encode/cluster dataflow overlap.
+
+        The clustering kernels start draining buckets as soon as the encoder
+        emits them; at scale the phases overlap almost completely, so the
+        makespan is the slower phase plus a one-bucket pipeline fill.
+        """
+        return max(self.encode_seconds, self.cluster_seconds)
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max/mean busy-time ratio across clustering kernels (1.0 = ideal)."""
+        busy = list(self.kernel_busy_seconds.values())
+        if not busy or sum(busy) == 0:
+            return 1.0
+        mean = sum(busy) / len(busy)
+        return max(busy) / mean if mean else 1.0
+
+
+def schedule_buckets(
+    bucket_sizes: Sequence[int],
+    num_cluster_kernels: int = constants.DEFAULT_CLUSTER_KERNELS,
+    clock_hz: float = constants.U280_CLOCK_HZ,
+    dim: int = constants.DEFAULT_DIM,
+    peaks_per_spectrum: float = constants.AVG_PEAKS_PER_SPECTRUM,
+) -> ScheduleReport:
+    """Event-driven greedy schedule of buckets onto clustering kernels."""
+    if num_cluster_kernels < 1:
+        raise ConfigurationError("need at least one clustering kernel")
+    if any(size < 0 for size in bucket_sizes):
+        raise ConfigurationError("bucket sizes must be >= 0")
+    num_spectra = int(sum(bucket_sizes))
+    encode_seconds = (
+        encoder_cycles(num_spectra, peaks_per_spectrum, dim) / clock_hz
+    )
+
+    # Largest-first greedy onto the earliest-free kernel (LPT heuristic —
+    # the host dispatches the biggest pending bucket when a CU frees up).
+    free_at = [(0.0, kernel_id) for kernel_id in range(num_cluster_kernels)]
+    heapq.heapify(free_at)
+    busy: Dict[int, float] = {k: 0.0 for k in range(num_cluster_kernels)}
+    for size in sorted(bucket_sizes, reverse=True):
+        if size < 2:
+            continue  # singleton buckets need no clustering pass
+        duration = cluster_bucket_cycles(size, dim) / clock_hz
+        available, kernel_id = heapq.heappop(free_at)
+        heapq.heappush(free_at, (available + duration, kernel_id))
+        busy[kernel_id] += duration
+    cluster_seconds = max(end for end, _ in free_at)
+    return ScheduleReport(
+        encode_seconds=encode_seconds,
+        cluster_seconds=cluster_seconds,
+        kernel_busy_seconds=busy,
+        num_buckets=len(bucket_sizes),
+        num_spectra=num_spectra,
+    )
+
+
+@dataclass(frozen=True)
+class EndToEndReport:
+    """Full SpecHD end-to-end timing for a dataset descriptor."""
+
+    preprocess_seconds: float
+    transfer_seconds: float
+    encode_seconds: float
+    cluster_seconds: float
+    host_overhead_seconds: float
+    preprocess_energy_joules: float
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end wall time.
+
+        Preprocessing, P2P transfer and encoding overlap in a stream (the
+        paper's dataflow in Fig. 3); clustering overlaps encoding.  The
+        serial view below charges the max of the streaming stages plus
+        clustering drain plus host overhead — a deliberately conservative
+        composition (no stage double-counted, no free lunch).
+        """
+        streaming = max(
+            self.preprocess_seconds, self.transfer_seconds, self.encode_seconds
+        )
+        return streaming + self.cluster_seconds + self.host_overhead_seconds
+
+    @property
+    def clustering_phase_seconds(self) -> float:
+        """Standalone clustering time (pre-encoded HVs already in HBM)."""
+        return self.cluster_seconds
+
+
+def project_dataset(
+    num_spectra: int,
+    dataset_bytes: int,
+    num_cluster_kernels: int = constants.DEFAULT_CLUSTER_KERNELS,
+    avg_bucket_size: int = constants.AVG_BUCKET_SIZE,
+    clock_hz: float = constants.U280_CLOCK_HZ,
+    dim: int = constants.DEFAULT_DIM,
+    msas: MSASModel | None = None,
+) -> EndToEndReport:
+    """Closed-form end-to-end projection for a repository-scale dataset.
+
+    The bucket population is approximated by its mean size; because
+    clustering cost per spectrum is linear in bucket size (``n^2`` work over
+    ``n`` spectra), the mean-size approximation is first-order exact when
+    the size distribution is concentrated, and the benchmarks' sensitivity
+    ablation (`bench_ablation_resolution`) probes the spread.
+    """
+    if num_spectra < 1:
+        raise ConfigurationError("num_spectra must be >= 1")
+    if avg_bucket_size < 2:
+        raise ConfigurationError("avg_bucket_size must be >= 2")
+    msas = msas or MSASModel()
+    preprocess = msas.preprocess(dataset_bytes, num_spectra)
+    transfer = p2p_transfer(msas.output_bytes(num_spectra))
+    encode_seconds = encoder_cycles(num_spectra, dim=dim) / clock_hz
+
+    num_buckets = max(1, num_spectra // avg_bucket_size)
+    per_bucket = cluster_bucket_cycles(avg_bucket_size, dim) / clock_hz
+    cluster_seconds = per_bucket * num_buckets / num_cluster_kernels
+
+    return EndToEndReport(
+        preprocess_seconds=preprocess.seconds,
+        transfer_seconds=transfer.seconds,
+        encode_seconds=encode_seconds,
+        cluster_seconds=cluster_seconds,
+        host_overhead_seconds=constants.HOST_OVERHEAD_S,
+        preprocess_energy_joules=preprocess.energy_joules,
+    )

@@ -1,0 +1,160 @@
+"""Event-driven simulation of the Fig. 3 dataflow.
+
+The analytic scheduler (:mod:`repro.fpga.scheduler`) computes phase times
+in closed form; this module *simulates* the same architecture cycle by
+cycle at bucket granularity: one encoder kernel streams buckets into a
+bounded FIFO (the HBM staging area), and ``N`` clustering kernels consume
+them in arrival order.  The simulation exposes second-order effects the
+closed form hides — pipeline fill, FIFO back-pressure when clustering lags
+the encoder, and tail imbalance — and the test suite uses it to bound the
+analytic model's error.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from . import constants
+from .kernels import cluster_bucket_cycles, encoder_cycles
+
+
+@dataclass(frozen=True)
+class KernelInterval:
+    """One busy interval of a kernel: (start_s, end_s, bucket_size)."""
+
+    kernel_id: int
+    start: float
+    end: float
+    bucket_size: int
+
+
+@dataclass
+class SimulationTrace:
+    """Full outcome of one dataflow simulation."""
+
+    makespan: float
+    encode_done: float
+    intervals: List[KernelInterval] = field(default_factory=list)
+    max_queue_depth: int = 0
+    stall_seconds: float = 0.0  # encoder blocked on a full FIFO
+
+    def kernel_busy(self) -> dict:
+        """Total busy seconds per clustering kernel."""
+        busy: dict = {}
+        for interval in self.intervals:
+            busy[interval.kernel_id] = busy.get(interval.kernel_id, 0.0) + (
+                interval.end - interval.start
+            )
+        return busy
+
+    def utilization(self, num_kernels: int) -> float:
+        """Mean clustering-kernel utilisation over the makespan."""
+        if self.makespan <= 0:
+            return 0.0
+        total_busy = sum(self.kernel_busy().values())
+        return total_busy / (num_kernels * self.makespan)
+
+
+class DataflowSimulator:
+    """Simulates encoder -> FIFO -> N clustering kernels.
+
+    Parameters
+    ----------
+    num_cluster_kernels:
+        Clustering compute units (paper: 5).
+    fifo_depth:
+        Maximum encoded buckets staged in HBM before the encoder stalls.
+        The real card's 8 GB HBM holds far more than any realistic value;
+        small depths let tests exercise back-pressure.
+    clock_hz, dim, peaks_per_spectrum:
+        Kernel-model parameters, as in :mod:`repro.fpga.kernels`.
+    """
+
+    def __init__(
+        self,
+        num_cluster_kernels: int = constants.DEFAULT_CLUSTER_KERNELS,
+        fifo_depth: int = 64,
+        clock_hz: float = constants.U280_CLOCK_HZ,
+        dim: int = constants.DEFAULT_DIM,
+        peaks_per_spectrum: float = constants.AVG_PEAKS_PER_SPECTRUM,
+    ) -> None:
+        if num_cluster_kernels < 1:
+            raise ConfigurationError("need at least one clustering kernel")
+        if fifo_depth < 1:
+            raise ConfigurationError("fifo_depth must be >= 1")
+        self.num_cluster_kernels = num_cluster_kernels
+        self.fifo_depth = fifo_depth
+        self.clock_hz = clock_hz
+        self.dim = dim
+        self.peaks_per_spectrum = peaks_per_spectrum
+
+    def _encode_seconds(self, bucket_size: int) -> float:
+        return (
+            encoder_cycles(bucket_size, self.peaks_per_spectrum, self.dim)
+            / self.clock_hz
+        )
+
+    def _cluster_seconds(self, bucket_size: int) -> float:
+        if bucket_size < 2:
+            return 0.0
+        return cluster_bucket_cycles(bucket_size, self.dim) / self.clock_hz
+
+    def simulate(self, bucket_sizes: Sequence[int]) -> SimulationTrace:
+        """Run the simulation over a bucket arrival sequence (in order)."""
+        if any(size < 0 for size in bucket_sizes):
+            raise ConfigurationError("bucket sizes must be >= 0")
+
+        # Kernel availability as a min-heap of (free_at, kernel_id).
+        kernels: List[Tuple[float, int]] = [
+            (0.0, kernel_id)
+            for kernel_id in range(self.num_cluster_kernels)
+        ]
+        heapq.heapify(kernels)
+
+        trace = SimulationTrace(makespan=0.0, encode_done=0.0)
+        # The FIFO holds (ready_time, bucket_size) of encoded buckets not
+        # yet picked up; consumption is in arrival (FIFO) order.
+        queue: List[Tuple[float, int]] = []
+        encoder_time = 0.0
+        cluster_end = 0.0
+
+        def drain_one() -> None:
+            """Dispatch the head-of-line bucket to the earliest kernel."""
+            nonlocal cluster_end
+            ready_time, size = queue.pop(0)
+            free_at, kernel_id = heapq.heappop(kernels)
+            start = max(ready_time, free_at)
+            duration = self._cluster_seconds(size)
+            end = start + duration
+            if duration > 0:
+                trace.intervals.append(
+                    KernelInterval(kernel_id, start, end, size)
+                )
+            heapq.heappush(kernels, (end, kernel_id))
+            cluster_end = max(cluster_end, end)
+
+        for size in bucket_sizes:
+            # Back-pressure: wait until the FIFO has a slot.
+            while len(queue) >= self.fifo_depth:
+                stall_until = queue[0][0]
+                # Earliest a slot frees is when some kernel picks up the
+                # head; emulate by draining one bucket.
+                before = encoder_time
+                drain_one()
+                encoder_time = max(encoder_time, stall_until)
+                trace.stall_seconds += max(0.0, encoder_time - before)
+            encoder_time += self._encode_seconds(size)
+            queue.append((encoder_time, size))
+            trace.max_queue_depth = max(trace.max_queue_depth, len(queue))
+            # Opportunistically dispatch whatever kernels can take now.
+            while queue and kernels[0][0] <= queue[0][0]:
+                drain_one()
+
+        trace.encode_done = encoder_time
+        while queue:
+            drain_one()
+        trace.makespan = max(encoder_time, cluster_end)
+        return trace

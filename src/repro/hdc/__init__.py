@@ -1,0 +1,57 @@
+"""Hyperdimensional-computing substrate: packed bits, item memories, encoder."""
+
+from .bitops import (
+    WORD_BITS,
+    words_for_dim,
+    pack_bits,
+    unpack_bits,
+    popcount,
+    hamming_distance,
+    random_hypervectors,
+    flip_bits,
+    majority_bundle,
+)
+from .itemmemory import ItemMemory, ItemMemoryConfig
+from .encoder import IDLevelEncoder, EncoderConfig
+from .hamming import (
+    DISTANCE_DTYPE,
+    pairwise_hamming,
+    hamming_to_query,
+    condensed_index,
+    condensed_pairwise_hamming,
+    squareform,
+    normalized_hamming,
+)
+from .compression import (
+    CompressionReport,
+    hv_bytes_per_spectrum,
+    compression_from_spectra,
+    compression_from_descriptor,
+)
+
+__all__ = [
+    "WORD_BITS",
+    "words_for_dim",
+    "pack_bits",
+    "unpack_bits",
+    "popcount",
+    "hamming_distance",
+    "random_hypervectors",
+    "flip_bits",
+    "majority_bundle",
+    "ItemMemory",
+    "ItemMemoryConfig",
+    "IDLevelEncoder",
+    "EncoderConfig",
+    "DISTANCE_DTYPE",
+    "pairwise_hamming",
+    "hamming_to_query",
+    "condensed_index",
+    "condensed_pairwise_hamming",
+    "squareform",
+    "normalized_hamming",
+    "CompressionReport",
+    "hv_bytes_per_spectrum",
+    "compression_from_spectra",
+    "compression_from_descriptor",
+]

@@ -1,0 +1,153 @@
+"""The ID-Level spectrum encoder (Eq. 2 of the paper).
+
+For each peak ``(mz, intensity)`` of a preprocessed spectrum, the encoder
+binds the ID hypervector of the quantized m/z bin with the Level hypervector
+of the quantized intensity using XOR, accumulates the bound vectors
+dimension-wise, and applies a point-wise majority threshold:
+
+.. math::
+
+    \\text{spectra}_i = \\Big[ \\sum_{(i,j)} (\\text{ID}_i \\oplus L_j) \\Big]_{maj}
+
+The result is one binary hypervector per spectrum, packed 64 bits per word.
+The software implementation is bit-exact with the FPGA kernel model in
+:mod:`repro.fpga.kernels` (which consumes per-spectrum peak counts to compute
+cycle counts for the same computation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from ..errors import EncodingError
+from ..spectrum import MassSpectrum, QuantizerConfig, quantize_spectrum
+from .bitops import majority_bundle, pack_bits, unpack_bits
+from .itemmemory import ItemMemory, ItemMemoryConfig
+
+
+@dataclass(frozen=True)
+class EncoderConfig:
+    """End-to-end encoder configuration.
+
+    ``dim`` is the hypervector dimensionality ``D_hv`` (paper default 2048);
+    the quantizer bin counts must match the item-memory shapes.
+    """
+
+    dim: int = 2048
+    mz_bins: int = 34_976
+    intensity_levels: int = 64
+    min_mz: float = 101.0
+    max_mz: float = 1500.0
+    seed: int = 0x5BEC_4D
+
+    def item_memory_config(self) -> ItemMemoryConfig:
+        """Derive the matching :class:`ItemMemoryConfig`."""
+        return ItemMemoryConfig(
+            dim=self.dim,
+            mz_bins=self.mz_bins,
+            intensity_levels=self.intensity_levels,
+            seed=self.seed,
+        )
+
+    def quantizer_config(self) -> QuantizerConfig:
+        """Derive the matching :class:`QuantizerConfig`."""
+        return QuantizerConfig(
+            min_mz=self.min_mz,
+            max_mz=self.max_mz,
+            mz_bins=self.mz_bins,
+            intensity_levels=self.intensity_levels,
+        )
+
+
+class IDLevelEncoder:
+    """Encode preprocessed spectra into binary hypervectors.
+
+    Parameters
+    ----------
+    config:
+        Encoder configuration; defaults follow the paper (``D_hv = 2048``).
+    item_memory:
+        Optional pre-built item memory (shared across encoders to model the
+        FPGA's single on-chip copy).
+    """
+
+    def __init__(
+        self,
+        config: EncoderConfig = EncoderConfig(),
+        item_memory: ItemMemory | None = None,
+    ) -> None:
+        self.config = config
+        self.item_memory = item_memory or ItemMemory(config.item_memory_config())
+        if self.item_memory.config.dim != config.dim:
+            raise EncodingError(
+                "item memory dimensionality "
+                f"({self.item_memory.config.dim}) does not match encoder "
+                f"configuration ({config.dim})"
+            )
+        self._quantizer = config.quantizer_config()
+
+    @property
+    def dim(self) -> int:
+        """Hypervector dimensionality in bits."""
+        return self.config.dim
+
+    @property
+    def words(self) -> int:
+        """uint64 words per hypervector."""
+        return self.config.dim // 64
+
+    def encode(self, spectrum: MassSpectrum) -> np.ndarray:
+        """Encode one spectrum into a packed hypervector (1-D uint64).
+
+        Raises
+        ------
+        EncodingError
+            If the spectrum has no peaks (preprocessing should have dropped
+            it before encoding).
+        """
+        if spectrum.peak_count == 0:
+            raise EncodingError(
+                f"cannot encode empty spectrum {spectrum.identifier!r}"
+            )
+        id_indices, level_indices = quantize_spectrum(spectrum, self._quantizer)
+        bound = np.bitwise_xor(
+            self.item_memory.id_memory[id_indices],
+            self.item_memory.level_memory[level_indices],
+        )
+        bound_bits = unpack_bits(bound, self.config.dim)
+        accumulator = bound_bits.sum(axis=0, dtype=np.int64)
+        majority = majority_bundle(accumulator, spectrum.peak_count)
+        return pack_bits(majority)
+
+    def encode_batch(
+        self, spectra: Sequence[MassSpectrum]
+    ) -> np.ndarray:
+        """Encode a batch; returns packed matrix ``(n, dim // 64)``."""
+        if len(spectra) == 0:
+            return np.zeros((0, self.words), dtype=np.uint64)
+        encoded = np.empty((len(spectra), self.words), dtype=np.uint64)
+        for row, spectrum in enumerate(spectra):
+            encoded[row] = self.encode(spectrum)
+        return encoded
+
+    def encode_stream(
+        self, spectra: Iterable[MassSpectrum], batch_size: int = 4096
+    ) -> Iterable[np.ndarray]:
+        """Encode a stream lazily, yielding packed batches.
+
+        Mirrors the FPGA dataflow where the encoder kernel emits HVs to HBM
+        in bursts while the host streams spectra from storage.
+        """
+        if batch_size < 1:
+            raise EncodingError("batch_size must be >= 1")
+        batch: List[MassSpectrum] = []
+        for spectrum in spectra:
+            batch.append(spectrum)
+            if len(batch) == batch_size:
+                yield self.encode_batch(batch)
+                batch = []
+        if batch:
+            yield self.encode_batch(batch)

@@ -1,0 +1,106 @@
+"""Hamming-distance kernels on packed hypervector matrices.
+
+These functions are the software twins of the FPGA's XOR + popcount distance
+module (§III-C): pairwise distances over packed uint64 rows, a condensed
+lower-triangular layout matching the on-chip distance memory, and 16-bit
+fixed-point quantization identical to the hardware's storage format.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import EncodingError
+from .bitops import popcount
+
+#: The FPGA stores distances as 16-bit fixed point; with D_hv <= 65535 the
+#: raw Hamming count always fits losslessly.
+DISTANCE_DTYPE = np.uint16
+
+
+def pairwise_hamming(vectors: np.ndarray) -> np.ndarray:
+    """Dense symmetric pairwise Hamming-distance matrix (int64).
+
+    ``vectors`` is a packed matrix of shape ``(n, words)``.  For bucket-sized
+    inputs (n up to a few thousand) the O(n² · words) vectorised loop below
+    is memory-friendly: one XOR row-broadcast per anchor row.
+    """
+    vectors = np.asarray(vectors, dtype=np.uint64)
+    if vectors.ndim != 2:
+        raise EncodingError("pairwise_hamming expects a 2-D packed matrix")
+    n = vectors.shape[0]
+    distances = np.zeros((n, n), dtype=np.int64)
+    for row in range(n):
+        xor = np.bitwise_xor(vectors[row : row + 1], vectors[row + 1 :])
+        if xor.size:
+            row_distances = popcount(xor).sum(axis=1)
+            distances[row, row + 1 :] = row_distances
+            distances[row + 1 :, row] = row_distances
+    return distances
+
+
+def hamming_to_query(vectors: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Hamming distance from every row of ``vectors`` to a single ``query``."""
+    vectors = np.asarray(vectors, dtype=np.uint64)
+    query = np.asarray(query, dtype=np.uint64)
+    if query.ndim != 1 or vectors.ndim != 2:
+        raise EncodingError("expected (n, words) matrix and (words,) query")
+    if vectors.shape[1] != query.shape[0]:
+        raise EncodingError("word-count mismatch between matrix and query")
+    xor = np.bitwise_xor(vectors, query[None, :])
+    return popcount(xor).sum(axis=1)
+
+
+def condensed_index(i: int, j: int, n: int) -> int:
+    """Index into the condensed (lower-triangle, row-major) distance array.
+
+    The condensed layout stores ``d(i, j)`` for ``0 <= j < i < n`` at
+    position ``i*(i-1)/2 + j`` — exactly the addressing scheme of the FPGA's
+    triangular distance BRAM.
+    """
+    if i == j or i < 0 or j < 0 or i >= n or j >= n:
+        raise EncodingError(f"invalid condensed index ({i}, {j}) for n={n}")
+    if i < j:
+        i, j = j, i
+    return i * (i - 1) // 2 + j
+
+
+def condensed_pairwise_hamming(vectors: np.ndarray) -> np.ndarray:
+    """Condensed lower-triangular pairwise Hamming distances (uint16).
+
+    Returns an array of length ``n*(n-1)/2`` in the layout of
+    :func:`condensed_index`, stored with the hardware's 16-bit width.
+    """
+    vectors = np.asarray(vectors, dtype=np.uint64)
+    n = vectors.shape[0]
+    out = np.zeros(n * (n - 1) // 2, dtype=DISTANCE_DTYPE)
+    for i in range(1, n):
+        xor = np.bitwise_xor(vectors[:i], vectors[i : i + 1])
+        row = popcount(xor).sum(axis=1)
+        start = i * (i - 1) // 2
+        out[start : start + i] = row.astype(DISTANCE_DTYPE)
+    return out
+
+
+def squareform(condensed: np.ndarray, n: int) -> np.ndarray:
+    """Expand a condensed distance array into a dense symmetric matrix."""
+    condensed = np.asarray(condensed)
+    expected = n * (n - 1) // 2
+    if condensed.shape[0] != expected:
+        raise EncodingError(
+            f"condensed array has {condensed.shape[0]} entries, "
+            f"expected {expected} for n={n}"
+        )
+    dense = np.zeros((n, n), dtype=np.float64)
+    for i in range(1, n):
+        start = i * (i - 1) // 2
+        dense[i, :i] = condensed[start : start + i]
+        dense[:i, i] = condensed[start : start + i]
+    return dense
+
+
+def normalized_hamming(distances: np.ndarray, dim: int) -> np.ndarray:
+    """Normalise raw Hamming counts to [0, 1] by the dimensionality."""
+    if dim < 1:
+        raise EncodingError("dim must be >= 1")
+    return np.asarray(distances, dtype=np.float64) / float(dim)

@@ -1,0 +1,115 @@
+"""Item memories: the pre-allocated ID and Level hypervector tables.
+
+The ID-Level encoder (§III-B) draws from two read-only memories:
+
+* ``ID[0, f)`` — one i.i.d. random hypervector per quantized m/z bin.
+  Orthogonality between bins makes distinct m/z positions maximally
+  distinguishable.
+* ``L[0, q)`` — *level* hypervectors for quantized intensities, built by
+  progressively flipping a fixed random set of bits so that
+  ``hamming(L[a], L[b]) ∝ |a - b|``.  Nearby intensities therefore map to
+  nearby hypervectors, preserving intensity ordering in HD space.
+
+On the FPGA these arrays live in partitioned BRAM; here they are packed
+uint64 matrices generated deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import EncodingError
+from .bitops import pack_bits, unpack_bits, words_for_dim, WORD_BITS
+
+
+@dataclass(frozen=True)
+class ItemMemoryConfig:
+    """Shape of the encoder's item memories."""
+
+    dim: int = 2048
+    mz_bins: int = 34_976
+    intensity_levels: int = 64
+    seed: int = 0x5BEC_4D
+
+    def __post_init__(self) -> None:
+        if self.dim < WORD_BITS:
+            raise EncodingError(f"dim must be >= {WORD_BITS}, got {self.dim}")
+        if self.dim % WORD_BITS != 0:
+            raise EncodingError(
+                f"dim must be a multiple of {WORD_BITS}, got {self.dim}"
+            )
+        if self.mz_bins < 2:
+            raise EncodingError("mz_bins must be >= 2")
+        if self.intensity_levels < 2:
+            raise EncodingError("intensity_levels must be >= 2")
+
+
+class ItemMemory:
+    """Deterministic ID and Level hypervector tables.
+
+    Attributes
+    ----------
+    id_memory:
+        Packed uint64 array of shape ``(mz_bins, dim // 64)``.
+    level_memory:
+        Packed uint64 array of shape ``(intensity_levels, dim // 64)``.
+    """
+
+    def __init__(self, config: ItemMemoryConfig = ItemMemoryConfig()) -> None:
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.id_memory = self._build_id_memory(rng)
+        self.level_memory = self._build_level_memory(rng)
+
+    def _build_id_memory(self, rng: np.random.Generator) -> np.ndarray:
+        bits = rng.integers(
+            0, 2, size=(self.config.mz_bins, self.config.dim), dtype=np.uint8
+        )
+        return pack_bits(bits)
+
+    def _build_level_memory(self, rng: np.random.Generator) -> np.ndarray:
+        """Level HVs via progressive bit flipping.
+
+        Start from a random base vector; flip ``dim / (2 * (q - 1))`` fresh
+        bit positions per level so that the first and last levels end up at
+        the orthogonality distance ``dim / 2`` and intermediate levels
+        interpolate linearly.
+        """
+        dim = self.config.dim
+        levels = self.config.intensity_levels
+        base = rng.integers(0, 2, size=dim, dtype=np.uint8)
+        flip_order = rng.permutation(dim)
+        total_flips = dim // 2
+        bits = np.empty((levels, dim), dtype=np.uint8)
+        bits[0] = base
+        for level in range(1, levels):
+            flips_so_far = int(round(total_flips * level / (levels - 1)))
+            current = base.copy()
+            flip_positions = flip_order[:flips_so_far]
+            current[flip_positions] ^= 1
+            bits[level] = current
+        return pack_bits(bits)
+
+    @property
+    def dim(self) -> int:
+        """Hypervector dimensionality in bits."""
+        return self.config.dim
+
+    @property
+    def words(self) -> int:
+        """Words per hypervector."""
+        return words_for_dim(self.config.dim)
+
+    def id_bits(self, index: int) -> np.ndarray:
+        """Unpacked 0/1 bits of one ID hypervector (for tests/diagnostics)."""
+        return unpack_bits(self.id_memory[index], self.config.dim)
+
+    def level_bits(self, index: int) -> np.ndarray:
+        """Unpacked 0/1 bits of one Level hypervector."""
+        return unpack_bits(self.level_memory[index], self.config.dim)
+
+    def storage_bytes(self) -> int:
+        """On-chip storage footprint of both memories in bytes."""
+        return int(self.id_memory.nbytes + self.level_memory.nbytes)

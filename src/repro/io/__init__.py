@@ -1,0 +1,23 @@
+"""File-format substrate: MGF, MS2 and minimal mzML readers/writers."""
+
+from .mgf import read_mgf, write_mgf, mgf_to_string
+from .ms2 import read_ms2, write_ms2
+from .mzml import read_mzml, write_mzml
+from .mzxml import read_mzxml, write_mzxml
+from .detect import detect_format, read_spectra
+from .hvstore import HypervectorStore
+
+__all__ = [
+    "read_mgf",
+    "write_mgf",
+    "mgf_to_string",
+    "read_ms2",
+    "write_ms2",
+    "read_mzml",
+    "write_mzml",
+    "read_mzxml",
+    "write_mzxml",
+    "detect_format",
+    "read_spectra",
+    "HypervectorStore",
+]

@@ -1,0 +1,173 @@
+"""Persistence for encoded hypervector collections.
+
+The paper's data-compression argument (§IV-B) is that spectra, once
+encoded, can be *kept* in HD space: "storing spectral data in the
+hyperdimensional space, we achieve significant data compression" and
+"one-time preprocessing and subsequent updates ... emerge as a promising
+approach".  This module is that artefact: a compact on-disk container for
+packed hypervectors plus the precursor metadata needed for bucketing, with
+integrity checks.
+
+Format: a single ``.npz`` (zip of npy arrays) holding::
+
+    vectors        (n, dim/64) uint64 — the packed hypervectors
+    precursor_mz   (n,) float64
+    charge         (n,) int16
+    labels         (n,) int64          — cluster labels, -1 = unassigned
+    identifiers    (n,) unicode
+    meta           () unicode          — JSON: dim, seed, version
+
+Identifiers and metadata ride along so a store can be re-joined with its
+source run; the hypervector matrix dominates the footprint (dim/8 bytes
+per spectrum — the compression factor of Fig. 6b).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from ..errors import ParseError, SpecHDError
+from ..spectrum import MassSpectrum
+
+#: Format version written into the metadata record.
+FORMAT_VERSION = 1
+
+
+@dataclass
+class HypervectorStore:
+    """An in-memory hypervector collection, loadable/savable as ``.npz``."""
+
+    vectors: np.ndarray
+    precursor_mz: np.ndarray
+    charge: np.ndarray
+    labels: np.ndarray
+    identifiers: List[str]
+    dim: int
+    encoder_seed: int = 0
+
+    def __post_init__(self) -> None:
+        n = self.vectors.shape[0]
+        if not (
+            self.precursor_mz.shape[0]
+            == self.charge.shape[0]
+            == self.labels.shape[0]
+            == len(self.identifiers)
+            == n
+        ):
+            raise SpecHDError("hypervector store arrays have unequal lengths")
+        if self.dim % 64:
+            raise SpecHDError("dim must be a multiple of 64")
+        if self.vectors.shape[1] != self.dim // 64:
+            raise SpecHDError(
+                f"vector width {self.vectors.shape[1]} does not match "
+                f"dim {self.dim}"
+            )
+
+    def __len__(self) -> int:
+        return int(self.vectors.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate in-memory footprint of the packed vectors."""
+        return int(self.vectors.nbytes)
+
+    @classmethod
+    def from_encoding(
+        cls,
+        spectra: Sequence[MassSpectrum],
+        vectors: np.ndarray,
+        labels: np.ndarray | None = None,
+        dim: int | None = None,
+        encoder_seed: int = 0,
+    ) -> "HypervectorStore":
+        """Build a store from spectra and their encoded vectors."""
+        vectors = np.asarray(vectors, dtype=np.uint64)
+        if vectors.shape[0] != len(spectra):
+            raise SpecHDError(
+                f"{vectors.shape[0]} vectors for {len(spectra)} spectra"
+            )
+        if labels is None:
+            labels = np.full(len(spectra), -1, dtype=np.int64)
+        if dim is None:
+            dim = vectors.shape[1] * 64
+        return cls(
+            vectors=vectors,
+            precursor_mz=np.array(
+                [s.precursor_mz for s in spectra], dtype=np.float64
+            ),
+            charge=np.array(
+                [s.precursor_charge for s in spectra], dtype=np.int16
+            ),
+            labels=np.asarray(labels, dtype=np.int64),
+            identifiers=[s.identifier for s in spectra],
+            dim=dim,
+            encoder_seed=encoder_seed,
+        )
+
+    def save(self, path: Union[str, Path]) -> int:
+        """Write the store; returns the file size in bytes."""
+        path = Path(path)
+        meta = json.dumps(
+            {
+                "format_version": FORMAT_VERSION,
+                "dim": self.dim,
+                "encoder_seed": self.encoder_seed,
+                "count": len(self),
+            }
+        )
+        np.savez_compressed(
+            path,
+            vectors=self.vectors,
+            precursor_mz=self.precursor_mz,
+            charge=self.charge,
+            labels=self.labels,
+            identifiers=np.array(self.identifiers, dtype=object),
+            meta=np.array(meta),
+        )
+        # np.savez appends .npz when missing.
+        actual = path if path.suffix == ".npz" else path.with_suffix(
+            path.suffix + ".npz"
+        )
+        return actual.stat().st_size
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "HypervectorStore":
+        """Read a store back; validates the format metadata."""
+        path = Path(path)
+        if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+            path = path.with_suffix(path.suffix + ".npz")
+        try:
+            with np.load(path, allow_pickle=True) as archive:
+                meta = json.loads(str(archive["meta"]))
+                if meta.get("format_version") != FORMAT_VERSION:
+                    raise ParseError(
+                        f"unsupported store version "
+                        f"{meta.get('format_version')}",
+                        str(path),
+                    )
+                return cls(
+                    vectors=archive["vectors"].astype(np.uint64),
+                    precursor_mz=archive["precursor_mz"],
+                    charge=archive["charge"],
+                    labels=archive["labels"],
+                    identifiers=[str(i) for i in archive["identifiers"]],
+                    dim=int(meta["dim"]),
+                    encoder_seed=int(meta.get("encoder_seed", 0)),
+                )
+        except ParseError:
+            raise
+        except Exception as exc:  # np.load raises zip/pickle/OS errors
+            raise ParseError(
+                f"cannot read hypervector store: {exc}", str(path)
+            ) from exc
+
+    def compression_factor(self, raw_bytes: int) -> float:
+        """Fig. 6b-style factor against the original dataset size."""
+        if self.nbytes == 0:
+            return float("inf")
+        return raw_bytes / self.nbytes

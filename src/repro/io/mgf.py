@@ -1,0 +1,209 @@
+"""Mascot Generic Format (MGF) reader and writer.
+
+MGF is the simplest of the MS text formats: each spectrum is a
+``BEGIN IONS`` / ``END IONS`` block with ``KEY=VALUE`` headers followed by
+whitespace-separated ``mz intensity`` peak lines.  This implementation is
+self-contained (no pyteomics) and tolerant of the common real-world quirks:
+charge suffixes (``2+``), multiple values in ``PEPMASS``, blank lines, and
+``#`` comments.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import IO, Iterable, Iterator, List, Union
+
+import numpy as np
+
+from ..errors import ParseError
+from ..spectrum import MassSpectrum
+
+PathOrFile = Union[str, Path, IO[str]]
+
+
+def _parse_charge(raw: str) -> int:
+    """Parse an MGF CHARGE value such as ``2+``, ``+2``, ``2`` or ``2+ and 3+``."""
+    token = raw.strip().split()[0].split(",")[0]
+    token = token.strip()
+    negative = token.endswith("-") or token.startswith("-")
+    token = token.strip("+-")
+    if not token.isdigit():
+        raise ValueError(f"unparseable charge {raw!r}")
+    value = int(token)
+    return -value if negative else value
+
+
+def _open_maybe(path_or_file: PathOrFile, mode: str) -> tuple[IO[str], bool]:
+    """Return ``(file_object, should_close)`` for a path or open file."""
+    if isinstance(path_or_file, (str, Path)):
+        return open(path_or_file, mode, encoding="utf-8"), True
+    return path_or_file, False
+
+
+def read_mgf(path_or_file: PathOrFile) -> Iterator[MassSpectrum]:
+    """Iterate over the spectra in an MGF file.
+
+    Yields :class:`~repro.spectrum.MassSpectrum` objects; header keys other
+    than TITLE/PEPMASS/CHARGE/RTINSECONDS are preserved in ``metadata``.
+
+    Raises
+    ------
+    ParseError
+        On malformed blocks (peak line outside a block, missing PEPMASS,
+        unterminated block, unparseable numbers).
+    """
+    handle, should_close = _open_maybe(path_or_file, "r")
+    path_name = getattr(handle, "name", "<stream>")
+    try:
+        in_block = False
+        headers: dict[str, str] = {}
+        mz_values: List[float] = []
+        intensity_values: List[float] = []
+        spectrum_ordinal = 0
+
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if line == "BEGIN IONS":
+                if in_block:
+                    raise ParseError(
+                        "nested BEGIN IONS", path_name, line_number
+                    )
+                in_block = True
+                headers = {}
+                mz_values = []
+                intensity_values = []
+                continue
+            if line == "END IONS":
+                if not in_block:
+                    raise ParseError(
+                        "END IONS without BEGIN IONS", path_name, line_number
+                    )
+                yield _block_to_spectrum(
+                    headers,
+                    mz_values,
+                    intensity_values,
+                    spectrum_ordinal,
+                    path_name,
+                    line_number,
+                )
+                spectrum_ordinal += 1
+                in_block = False
+                continue
+            if not in_block:
+                # Permit global headers (e.g. COM=, ITOL=) outside blocks.
+                if "=" in line:
+                    continue
+                raise ParseError(
+                    f"unexpected content outside block: {line!r}",
+                    path_name,
+                    line_number,
+                )
+            if "=" in line and not line[0].isdigit():
+                key, _, value = line.partition("=")
+                headers[key.strip().upper()] = value.strip()
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ParseError(
+                    f"malformed peak line {line!r}", path_name, line_number
+                )
+            try:
+                mz_values.append(float(parts[0]))
+                intensity_values.append(float(parts[1]))
+            except ValueError as exc:
+                raise ParseError(
+                    f"non-numeric peak line {line!r}", path_name, line_number
+                ) from exc
+
+        if in_block:
+            raise ParseError("unterminated BEGIN IONS block", path_name, 0)
+    finally:
+        if should_close:
+            handle.close()
+
+
+def _block_to_spectrum(
+    headers: dict[str, str],
+    mz_values: List[float],
+    intensity_values: List[float],
+    ordinal: int,
+    path_name: str,
+    line_number: int,
+) -> MassSpectrum:
+    if "PEPMASS" not in headers:
+        raise ParseError("block missing PEPMASS", path_name, line_number)
+    try:
+        precursor_mz = float(headers["PEPMASS"].split()[0])
+    except ValueError as exc:
+        raise ParseError(
+            f"unparseable PEPMASS {headers['PEPMASS']!r}",
+            path_name,
+            line_number,
+        ) from exc
+    charge = 2
+    if "CHARGE" in headers:
+        try:
+            charge = _parse_charge(headers["CHARGE"])
+        except ValueError as exc:
+            raise ParseError(str(exc), path_name, line_number) from exc
+    retention_time = None
+    if "RTINSECONDS" in headers:
+        try:
+            retention_time = float(headers["RTINSECONDS"])
+        except ValueError as exc:
+            raise ParseError(
+                f"unparseable RTINSECONDS {headers['RTINSECONDS']!r}",
+                path_name,
+                line_number,
+            ) from exc
+    identifier = headers.get("TITLE", f"spectrum_{ordinal}")
+    metadata = {
+        key.lower(): value
+        for key, value in headers.items()
+        if key not in ("TITLE", "PEPMASS", "CHARGE", "RTINSECONDS")
+    }
+    return MassSpectrum(
+        identifier=identifier,
+        precursor_mz=precursor_mz,
+        precursor_charge=abs(charge),
+        mz=np.array(mz_values, dtype=np.float64),
+        intensity=np.array(intensity_values, dtype=np.float64),
+        retention_time=retention_time,
+        metadata=metadata,
+    )
+
+
+def write_mgf(
+    spectra: Iterable[MassSpectrum], path_or_file: PathOrFile
+) -> int:
+    """Write spectra to an MGF file; returns the number written."""
+    handle, should_close = _open_maybe(path_or_file, "w")
+    count = 0
+    try:
+        for spectrum in spectra:
+            handle.write("BEGIN IONS\n")
+            handle.write(f"TITLE={spectrum.identifier}\n")
+            handle.write(f"PEPMASS={spectrum.precursor_mz:.6f}\n")
+            handle.write(f"CHARGE={spectrum.precursor_charge}+\n")
+            if spectrum.retention_time is not None:
+                handle.write(f"RTINSECONDS={spectrum.retention_time:.3f}\n")
+            for key, value in sorted(spectrum.metadata.items()):
+                handle.write(f"{key.upper()}={value}\n")
+            for mz_value, intensity_value in spectrum.peaks():
+                handle.write(f"{mz_value:.5f} {intensity_value:.6g}\n")
+            handle.write("END IONS\n")
+            count += 1
+    finally:
+        if should_close:
+            handle.close()
+    return count
+
+
+def mgf_to_string(spectra: Iterable[MassSpectrum]) -> str:
+    """Serialise spectra to an MGF string (round-trip convenience)."""
+    buffer = io.StringIO()
+    write_mgf(spectra, buffer)
+    return buffer.getvalue()

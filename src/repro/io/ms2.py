@@ -1,0 +1,173 @@
+"""MS2 file format reader and writer.
+
+The MS2 format (McDonald et al., 2004) stores one spectrum per ``S`` record:
+
+.. code-block:: text
+
+    H   CreationDate ...          # file-level headers
+    S   1    1    503.25          # scan-first scan-last precursor-mz
+    I   RTime 12.5                # per-spectrum info lines
+    Z   2    1005.49              # charge and (M+H)+ mass
+    146.3 17.4                    # peak lines
+    ...
+
+Multiple ``Z`` lines are legal (ambiguous charge); this reader follows the
+common convention of emitting one spectrum per ``Z`` line.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import IO, Iterable, Iterator, List, Union
+
+import numpy as np
+
+from ..errors import ParseError
+from ..spectrum import MassSpectrum
+from ..units import PROTON_MASS
+from .mgf import _open_maybe
+
+PathOrFile = Union[str, Path, IO[str]]
+
+
+def read_ms2(path_or_file: PathOrFile) -> Iterator[MassSpectrum]:
+    """Iterate over spectra in an MS2 file (one per ``Z`` line)."""
+    handle, should_close = _open_maybe(path_or_file, "r")
+    path_name = getattr(handle, "name", "<stream>")
+    try:
+        scan_id = ""
+        precursor_mz = 0.0
+        charges: List[int] = []
+        info: dict[str, str] = {}
+        mz_values: List[float] = []
+        intensity_values: List[float] = []
+        have_record = False
+
+        def emit() -> Iterator[MassSpectrum]:
+            if not have_record:
+                return
+            if not charges:
+                charges.append(2)
+            for charge in charges:
+                suffix = f"/{charge}" if len(charges) > 1 else ""
+                retention = None
+                if "RTime" in info:
+                    try:
+                        retention = float(info["RTime"]) * 60.0
+                    except ValueError:
+                        retention = None
+                yield MassSpectrum(
+                    identifier=f"scan={scan_id}{suffix}",
+                    precursor_mz=precursor_mz,
+                    precursor_charge=charge,
+                    mz=np.array(mz_values, dtype=np.float64),
+                    intensity=np.array(intensity_values, dtype=np.float64),
+                    retention_time=retention,
+                    metadata={k.lower(): v for k, v in info.items()},
+                )
+
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
+            if not line:
+                continue
+            tag = line.split(None, 1)[0]
+            if tag == "H":
+                continue
+            if tag == "S":
+                yield from emit()
+                parts = line.split()
+                if len(parts) < 4:
+                    raise ParseError(
+                        f"malformed S line {line!r}", path_name, line_number
+                    )
+                scan_id = parts[1]
+                try:
+                    precursor_mz = float(parts[3])
+                except ValueError as exc:
+                    raise ParseError(
+                        f"non-numeric precursor m/z in {line!r}",
+                        path_name,
+                        line_number,
+                    ) from exc
+                charges = []
+                info = {}
+                mz_values = []
+                intensity_values = []
+                have_record = True
+                continue
+            if tag == "Z":
+                parts = line.split()
+                if len(parts) < 2:
+                    raise ParseError(
+                        f"malformed Z line {line!r}", path_name, line_number
+                    )
+                try:
+                    charges.append(int(float(parts[1])))
+                except ValueError as exc:
+                    raise ParseError(
+                        f"non-numeric charge in {line!r}",
+                        path_name,
+                        line_number,
+                    ) from exc
+                continue
+            if tag == "I":
+                parts = line.split(None, 2)
+                if len(parts) >= 3:
+                    info[parts[1]] = parts[2]
+                elif len(parts) == 2:
+                    info[parts[1]] = ""
+                continue
+            if not have_record:
+                raise ParseError(
+                    f"peak line before first S record: {line!r}",
+                    path_name,
+                    line_number,
+                )
+            parts = line.split()
+            if len(parts) < 2:
+                raise ParseError(
+                    f"malformed peak line {line!r}", path_name, line_number
+                )
+            try:
+                mz_values.append(float(parts[0]))
+                intensity_values.append(float(parts[1]))
+            except ValueError as exc:
+                raise ParseError(
+                    f"non-numeric peak line {line!r}", path_name, line_number
+                ) from exc
+        yield from emit()
+    finally:
+        if should_close:
+            handle.close()
+
+
+def write_ms2(
+    spectra: Iterable[MassSpectrum], path_or_file: PathOrFile
+) -> int:
+    """Write spectra to an MS2 file; returns the number written."""
+    handle, should_close = _open_maybe(path_or_file, "w")
+    count = 0
+    try:
+        handle.write("H\tExtractor\trepro.io.ms2\n")
+        for ordinal, spectrum in enumerate(spectra, start=1):
+            handle.write(
+                f"S\t{ordinal}\t{ordinal}\t{spectrum.precursor_mz:.5f}\n"
+            )
+            if spectrum.retention_time is not None:
+                handle.write(
+                    f"I\tRTime\t{spectrum.retention_time / 60.0:.4f}\n"
+                )
+            mh_mass = (
+                spectrum.precursor_mz * spectrum.precursor_charge
+                - (spectrum.precursor_charge - 1) * PROTON_MASS
+            )
+            handle.write(
+                f"Z\t{spectrum.precursor_charge}\t{mh_mass:.5f}\n"
+            )
+            for mz_value, intensity_value in spectrum.peaks():
+                handle.write(f"{mz_value:.4f} {intensity_value:.6g}\n")
+            count += 1
+    finally:
+        if should_close:
+            handle.close()
+    return count

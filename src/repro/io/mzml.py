@@ -1,0 +1,244 @@
+"""Minimal mzML reader and writer.
+
+mzML is the PSI XML standard for MS data.  This module implements the subset
+SpecHD's pipeline needs — MS2 spectra with base64-encoded 64-bit float peak
+arrays, precursor m/z and charge from selected-ion CV params — using only the
+standard library (``xml.etree`` + ``base64``/``struct``).  It is *not* a
+validating parser; it accepts any document whose ``<spectrum>`` elements carry
+the usual ``binaryDataArray`` children.
+"""
+
+from __future__ import annotations
+
+import base64
+import struct
+import zlib
+from pathlib import Path
+from typing import IO, Iterable, Iterator, List, Optional, Union
+from xml.etree import ElementTree
+
+import numpy as np
+
+from ..errors import ParseError
+from ..spectrum import MassSpectrum
+
+PathOrFile = Union[str, Path, IO[bytes], IO[str]]
+
+# CV accessions we understand.
+_CV_MZ_ARRAY = "MS:1000514"
+_CV_INTENSITY_ARRAY = "MS:1000515"
+_CV_64_BIT_FLOAT = "MS:1000523"
+_CV_32_BIT_FLOAT = "MS:1000521"
+_CV_ZLIB = "MS:1000574"
+_CV_NO_COMPRESSION = "MS:1000576"
+_CV_SELECTED_ION_MZ = "MS:1000744"
+_CV_CHARGE_STATE = "MS:1000041"
+_CV_MS_LEVEL = "MS:1000511"
+_CV_SCAN_START_TIME = "MS:1000016"
+
+
+def _strip_namespace(tag: str) -> str:
+    return tag.rsplit("}", 1)[-1]
+
+
+def _decode_binary(
+    encoded_text: str, is_64_bit: bool, is_zlib: bool
+) -> np.ndarray:
+    raw = base64.b64decode(encoded_text.strip().encode("ascii"))
+    if is_zlib:
+        raw = zlib.decompress(raw)
+    item = "d" if is_64_bit else "f"
+    count = len(raw) // struct.calcsize(item)
+    values = struct.unpack(f"<{count}{item}", raw)
+    return np.array(values, dtype=np.float64)
+
+
+def _encode_binary(values: np.ndarray, compress: bool) -> str:
+    raw = struct.pack(f"<{values.size}d", *values.astype(np.float64))
+    if compress:
+        raw = zlib.compress(raw)
+    return base64.b64encode(raw).decode("ascii")
+
+
+def read_mzml(path_or_file: PathOrFile) -> Iterator[MassSpectrum]:
+    """Iterate over MS2 spectra in an mzML document.
+
+    MS1 spectra (``ms level`` = 1) are skipped; spectra without a precursor
+    selected ion are skipped as well, since SpecHD clusters MS/MS only.
+    """
+    path_name = (
+        str(path_or_file)
+        if isinstance(path_or_file, (str, Path))
+        else getattr(path_or_file, "name", "<stream>")
+    )
+    try:
+        tree = ElementTree.parse(path_or_file)
+    except ElementTree.ParseError as exc:
+        raise ParseError(f"invalid XML: {exc}", path_name) from exc
+    root = tree.getroot()
+    for element in root.iter():
+        if _strip_namespace(element.tag) != "spectrum":
+            continue
+        spectrum = _parse_spectrum_element(element, path_name)
+        if spectrum is not None:
+            yield spectrum
+
+
+def _cv_params(element: ElementTree.Element) -> dict[str, str]:
+    params: dict[str, str] = {}
+    for child in element:
+        if _strip_namespace(child.tag) == "cvParam":
+            params[child.get("accession", "")] = child.get("value", "")
+    return params
+
+
+def _parse_spectrum_element(
+    element: ElementTree.Element, path_name: str
+) -> Optional[MassSpectrum]:
+    params = _cv_params(element)
+    if params.get(_CV_MS_LEVEL, "2") == "1":
+        return None
+
+    identifier = element.get("id", "")
+    precursor_mz: Optional[float] = None
+    charge = 2
+    retention_time: Optional[float] = None
+    mz_array: Optional[np.ndarray] = None
+    intensity_array: Optional[np.ndarray] = None
+
+    for node in element.iter():
+        tag = _strip_namespace(node.tag)
+        if tag == "selectedIon":
+            ion_params = _cv_params(node)
+            if _CV_SELECTED_ION_MZ in ion_params:
+                precursor_mz = float(ion_params[_CV_SELECTED_ION_MZ])
+            if _CV_CHARGE_STATE in ion_params:
+                charge = int(float(ion_params[_CV_CHARGE_STATE]))
+        elif tag == "scan":
+            scan_params = _cv_params(node)
+            if _CV_SCAN_START_TIME in scan_params:
+                # mzML scan start time is in minutes by convention.
+                retention_time = float(scan_params[_CV_SCAN_START_TIME]) * 60.0
+        elif tag == "binaryDataArray":
+            array_params = _cv_params(node)
+            is_64_bit = _CV_32_BIT_FLOAT not in array_params
+            is_zlib = _CV_ZLIB in array_params
+            binary_node = None
+            for child in node:
+                if _strip_namespace(child.tag) == "binary":
+                    binary_node = child
+                    break
+            if binary_node is None or not (binary_node.text or "").strip():
+                values = np.array([], dtype=np.float64)
+            else:
+                values = _decode_binary(binary_node.text, is_64_bit, is_zlib)
+            if _CV_MZ_ARRAY in array_params:
+                mz_array = values
+            elif _CV_INTENSITY_ARRAY in array_params:
+                intensity_array = values
+
+    if precursor_mz is None:
+        return None
+    if mz_array is None or intensity_array is None:
+        raise ParseError(
+            f"spectrum {identifier!r} missing peak arrays", path_name
+        )
+    if mz_array.size != intensity_array.size:
+        raise ParseError(
+            f"spectrum {identifier!r} has mismatched array lengths",
+            path_name,
+        )
+    return MassSpectrum(
+        identifier=identifier or "spectrum",
+        precursor_mz=precursor_mz,
+        precursor_charge=max(charge, 1),
+        mz=mz_array,
+        intensity=intensity_array,
+        retention_time=retention_time,
+    )
+
+
+def write_mzml(
+    spectra: Iterable[MassSpectrum],
+    path_or_file: Union[str, Path, IO[str]],
+    compress: bool = False,
+) -> int:
+    """Write spectra as a minimal (non-indexed) mzML document."""
+    spectra_list: List[MassSpectrum] = list(spectra)
+    lines: List[str] = []
+    lines.append('<?xml version="1.0" encoding="utf-8"?>')
+    lines.append('<mzML xmlns="http://psi.hupo.org/ms/mzml" version="1.1.0">')
+    lines.append(
+        f'  <run id="repro_run"><spectrumList count="{len(spectra_list)}">'
+    )
+    compression_cv = (
+        f'<cvParam accession="{_CV_ZLIB}" name="zlib compression" value=""/>'
+        if compress
+        else f'<cvParam accession="{_CV_NO_COMPRESSION}" name="no compression" value=""/>'
+    )
+    for index, spectrum in enumerate(spectra_list):
+        lines.append(
+            f'    <spectrum id="{_xml_escape(spectrum.identifier)}" '
+            f'index="{index}" defaultArrayLength="{spectrum.peak_count}">'
+        )
+        lines.append(
+            f'      <cvParam accession="{_CV_MS_LEVEL}" name="ms level" value="2"/>'
+        )
+        if spectrum.retention_time is not None:
+            lines.append("      <scanList count=\"1\"><scan>")
+            lines.append(
+                f'        <cvParam accession="{_CV_SCAN_START_TIME}" '
+                f'name="scan start time" value="{spectrum.retention_time / 60.0:.6f}"/>'
+            )
+            lines.append("      </scan></scanList>")
+        lines.append(
+            "      <precursorList count=\"1\"><precursor>"
+            "<selectedIonList count=\"1\"><selectedIon>"
+        )
+        lines.append(
+            f'        <cvParam accession="{_CV_SELECTED_ION_MZ}" '
+            f'name="selected ion m/z" value="{spectrum.precursor_mz:.6f}"/>'
+        )
+        lines.append(
+            f'        <cvParam accession="{_CV_CHARGE_STATE}" '
+            f'name="charge state" value="{spectrum.precursor_charge}"/>'
+        )
+        lines.append(
+            "      </selectedIon></selectedIonList></precursor></precursorList>"
+        )
+        lines.append('      <binaryDataArrayList count="2">')
+        for accession, name, values in (
+            (_CV_MZ_ARRAY, "m/z array", spectrum.mz),
+            (_CV_INTENSITY_ARRAY, "intensity array", spectrum.intensity),
+        ):
+            encoded = _encode_binary(values, compress)
+            lines.append("        <binaryDataArray>")
+            lines.append(
+                f'          <cvParam accession="{_CV_64_BIT_FLOAT}" '
+                f'name="64-bit float" value=""/>'
+            )
+            lines.append(f"          {compression_cv}")
+            lines.append(
+                f'          <cvParam accession="{accession}" name="{name}" value=""/>'
+            )
+            lines.append(f"          <binary>{encoded}</binary>")
+            lines.append("        </binaryDataArray>")
+        lines.append("      </binaryDataArrayList>")
+        lines.append("    </spectrum>")
+    lines.append("  </spectrumList></run>")
+    lines.append("</mzML>")
+    document = "\n".join(lines) + "\n"
+    if isinstance(path_or_file, (str, Path)):
+        Path(path_or_file).write_text(document, encoding="utf-8")
+    else:
+        path_or_file.write(document)
+    return len(spectra_list)
+
+
+def _xml_escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )

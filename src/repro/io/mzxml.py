@@ -1,0 +1,181 @@
+"""Minimal mzXML reader and writer.
+
+mzXML is the older ISB XML format the paper lists alongside mzML.  Peaks
+are stored as *interleaved* (m/z, intensity) pairs, base64-encoded in
+network (big-endian) byte order, optionally zlib-compressed.  This module
+supports MS2 scans with ``precursorMz`` children — the subset an MS/MS
+clustering pipeline consumes.
+"""
+
+from __future__ import annotations
+
+import base64
+import struct
+import zlib
+from pathlib import Path
+from typing import IO, Iterable, Iterator, List, Optional, Union
+from xml.etree import ElementTree
+
+import numpy as np
+
+from ..errors import ParseError
+from ..spectrum import MassSpectrum
+
+PathOrFile = Union[str, Path, IO[bytes], IO[str]]
+
+
+def _strip_namespace(tag: str) -> str:
+    return tag.rsplit("}", 1)[-1]
+
+
+def _decode_peaks(
+    text: str, precision: int, compressed: bool
+) -> tuple[np.ndarray, np.ndarray]:
+    raw = base64.b64decode(text.strip().encode("ascii"))
+    if compressed:
+        raw = zlib.decompress(raw)
+    item = "f" if precision == 32 else "d"
+    count = len(raw) // struct.calcsize(item)
+    values = struct.unpack(f">{count}{item}", raw)  # network byte order
+    interleaved = np.array(values, dtype=np.float64)
+    return interleaved[0::2], interleaved[1::2]
+
+
+def _encode_peaks(
+    mz: np.ndarray, intensity: np.ndarray, precision: int, compress: bool
+) -> str:
+    interleaved = np.empty(mz.size * 2, dtype=np.float64)
+    interleaved[0::2] = mz
+    interleaved[1::2] = intensity
+    item = "f" if precision == 32 else "d"
+    raw = struct.pack(f">{interleaved.size}{item}", *interleaved)
+    if compress:
+        raw = zlib.compress(raw)
+    return base64.b64encode(raw).decode("ascii")
+
+
+def read_mzxml(path_or_file: PathOrFile) -> Iterator[MassSpectrum]:
+    """Iterate over MS2 scans of an mzXML document.
+
+    MS1 scans and scans without a ``precursorMz`` child are skipped.
+    """
+    path_name = (
+        str(path_or_file)
+        if isinstance(path_or_file, (str, Path))
+        else getattr(path_or_file, "name", "<stream>")
+    )
+    try:
+        tree = ElementTree.parse(path_or_file)
+    except ElementTree.ParseError as exc:
+        raise ParseError(f"invalid XML: {exc}", path_name) from exc
+    for element in tree.getroot().iter():
+        if _strip_namespace(element.tag) != "scan":
+            continue
+        if element.get("msLevel", "2") != "2":
+            continue
+        spectrum = _parse_scan(element, path_name)
+        if spectrum is not None:
+            yield spectrum
+
+
+def _parse_scan(
+    element: ElementTree.Element, path_name: str
+) -> Optional[MassSpectrum]:
+    scan_number = element.get("num", "0")
+    retention = None
+    retention_raw = element.get("retentionTime", "")
+    if retention_raw.startswith("PT") and retention_raw.endswith("S"):
+        try:
+            retention = float(retention_raw[2:-1])
+        except ValueError:
+            retention = None
+
+    precursor_mz = None
+    charge = 2
+    mz = intensity = None
+    for child in element:
+        tag = _strip_namespace(child.tag)
+        if tag == "precursorMz":
+            try:
+                precursor_mz = float((child.text or "").strip())
+            except ValueError as exc:
+                raise ParseError(
+                    f"scan {scan_number}: bad precursorMz", path_name
+                ) from exc
+            raw_charge = child.get("precursorCharge")
+            if raw_charge:
+                charge = int(float(raw_charge))
+        elif tag == "peaks":
+            precision = int(child.get("precision", "32"))
+            compressed = child.get("compressionType", "none") == "zlib"
+            if (child.text or "").strip():
+                mz, intensity = _decode_peaks(
+                    child.text, precision, compressed
+                )
+            else:
+                mz = np.array([])
+                intensity = np.array([])
+    if precursor_mz is None:
+        return None
+    if mz is None or intensity is None:
+        raise ParseError(
+            f"scan {scan_number}: missing peaks element", path_name
+        )
+    return MassSpectrum(
+        identifier=f"scan={scan_number}",
+        precursor_mz=precursor_mz,
+        precursor_charge=max(charge, 1),
+        mz=mz,
+        intensity=intensity,
+        retention_time=retention,
+    )
+
+
+def write_mzxml(
+    spectra: Iterable[MassSpectrum],
+    path_or_file: Union[str, Path, IO[str]],
+    precision: int = 64,
+    compress: bool = False,
+) -> int:
+    """Write spectra as a minimal mzXML document; returns the count."""
+    if precision not in (32, 64):
+        raise ParseError("precision must be 32 or 64")
+    spectra_list: List[MassSpectrum] = list(spectra)
+    compression = "zlib" if compress else "none"
+    lines = ['<?xml version="1.0" encoding="utf-8"?>']
+    lines.append(
+        '<mzXML xmlns="http://sashimi.sourceforge.net/schema_revision/mzXML_3.2">'
+    )
+    lines.append(f'  <msRun scanCount="{len(spectra_list)}">')
+    for ordinal, spectrum in enumerate(spectra_list, start=1):
+        retention_attr = (
+            f' retentionTime="PT{spectrum.retention_time:.3f}S"'
+            if spectrum.retention_time is not None
+            else ""
+        )
+        lines.append(
+            f'    <scan num="{ordinal}" msLevel="2" '
+            f'peaksCount="{spectrum.peak_count}"{retention_attr}>'
+        )
+        lines.append(
+            f'      <precursorMz precursorCharge='
+            f'"{spectrum.precursor_charge}">'
+            f"{spectrum.precursor_mz:.6f}</precursorMz>"
+        )
+        encoded = _encode_peaks(
+            spectrum.mz, spectrum.intensity, precision, compress
+        )
+        lines.append(
+            f'      <peaks precision="{precision}" byteOrder="network" '
+            f'contentType="m/z-int" compressionType="{compression}">'
+            f"{encoded}</peaks>"
+        )
+        lines.append("    </scan>")
+    lines.append("  </msRun>")
+    lines.append("</mzXML>")
+    document = "\n".join(lines) + "\n"
+    if isinstance(path_or_file, (str, Path)):
+        Path(path_or_file).write_text(document, encoding="utf-8")
+    else:
+        path_or_file.write(document)
+    return len(spectra_list)

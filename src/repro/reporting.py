@@ -1,0 +1,60 @@
+"""Plain-text table/series formatters for the benchmark harness.
+
+Every benchmark prints the rows/series the corresponding paper artefact
+reports; these helpers keep the output layout consistent and readable in a
+terminal (no plotting dependencies).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an aligned ASCII table."""
+    string_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    divider = "-+-".join("-" * width for width in widths)
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(
+            cell.ljust(width) for cell, width in zip(cells, widths)
+        )
+
+    lines = [render_row(list(headers)), divider]
+    lines.extend(render_row(row) for row in string_rows)
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str, points: Iterable[Sequence[object]], labels: Sequence[str]
+) -> str:
+    """Render a named (x, y, ...) series as an indented list."""
+    lines = [title]
+    for point in points:
+        parts = [
+            f"{label}={value}" for label, value in zip(labels, point)
+        ]
+        lines.append("  " + "  ".join(parts))
+    return "\n".join(lines)
+
+
+def format_ratio(value: float) -> str:
+    """``12.3x`` style speedup/efficiency formatting."""
+    return f"{value:.1f}x"
+
+
+def format_percent(value: float, decimals: int = 1) -> str:
+    """``44.0%`` style percentage formatting (input is a fraction)."""
+    return f"{100.0 * value:.{decimals}f}%"
+
+
+def banner(title: str) -> str:
+    """Section banner used at the top of each benchmark's output."""
+    rule = "=" * max(len(title), 8)
+    return f"{rule}\n{title}\n{rule}"

@@ -1,0 +1,57 @@
+"""Database-search substrate: peptides, fragments, scoring, FDR."""
+
+from .peptide import (
+    RESIDUE_MASSES,
+    validate_peptide,
+    peptide_neutral_mass,
+    peptide_mz,
+    tryptic_digest,
+    random_peptide,
+)
+from .theoretical import (
+    FragmentIon,
+    fragment_ions,
+    theoretical_mz_array,
+    fragment_intensity_profile,
+)
+from .scoring import (
+    ScoreBreakdown,
+    match_peaks,
+    shared_peak_count,
+    hyperscore,
+)
+from .engine import (
+    SearchHit,
+    SearchStats,
+    SearchEngine,
+    decoy_sequence,
+    unique_peptides,
+)
+from .fdr import FDRResult, filter_by_fdr
+from .library import LibraryMatch, SpectralLibrary
+
+__all__ = [
+    "RESIDUE_MASSES",
+    "validate_peptide",
+    "peptide_neutral_mass",
+    "peptide_mz",
+    "tryptic_digest",
+    "random_peptide",
+    "FragmentIon",
+    "fragment_ions",
+    "theoretical_mz_array",
+    "fragment_intensity_profile",
+    "ScoreBreakdown",
+    "match_peaks",
+    "shared_peak_count",
+    "hyperscore",
+    "SearchHit",
+    "SearchStats",
+    "SearchEngine",
+    "decoy_sequence",
+    "unique_peptides",
+    "FDRResult",
+    "filter_by_fdr",
+    "LibraryMatch",
+    "SpectralLibrary",
+]

@@ -1,0 +1,68 @@
+"""Target-decoy false-discovery-rate control.
+
+Standard proteomics FDR: search targets and reversed decoys together, sort
+hits by score, and estimate ``FDR(threshold) = #decoys / #targets`` above
+each threshold; accept the lowest threshold whose estimated FDR stays under
+the budget (1 % by convention, as MSGF+ is run in the paper's Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import SearchError
+from .engine import SearchHit
+
+
+@dataclass(frozen=True)
+class FDRResult:
+    """Hits surviving FDR filtering, plus the score threshold applied."""
+
+    accepted: List[SearchHit]
+    score_threshold: float
+    estimated_fdr: float
+
+
+def filter_by_fdr(
+    hits: Sequence[Optional[SearchHit]], fdr_budget: float = 0.01
+) -> FDRResult:
+    """Filter hits at the given FDR budget via target-decoy competition.
+
+    Hits are sorted by descending score; walking down, the estimated FDR at
+    each prefix is ``decoys / max(targets, 1)``.  The threshold picks the
+    longest prefix whose estimate stays within budget.  Decoy hits are
+    excluded from the accepted list.
+    """
+    if not 0.0 < fdr_budget < 1.0:
+        raise SearchError(f"fdr_budget must be in (0, 1), got {fdr_budget}")
+    scored = sorted(
+        (hit for hit in hits if hit is not None),
+        key=lambda hit: hit.score,
+        reverse=True,
+    )
+    if not scored:
+        return FDRResult(accepted=[], score_threshold=float("inf"), estimated_fdr=0.0)
+
+    best_cut = 0
+    best_fdr = 0.0
+    decoys = 0
+    targets = 0
+    for index, hit in enumerate(scored, start=1):
+        if hit.is_decoy:
+            decoys += 1
+        else:
+            targets += 1
+        estimated = decoys / max(targets, 1)
+        if estimated <= fdr_budget:
+            best_cut = index
+            best_fdr = estimated
+    accepted = [hit for hit in scored[:best_cut] if not hit.is_decoy]
+    threshold = (
+        scored[best_cut - 1].score if best_cut > 0 else float("inf")
+    )
+    return FDRResult(
+        accepted=accepted,
+        score_threshold=threshold,
+        estimated_fdr=best_fdr,
+    )

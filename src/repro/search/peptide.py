@@ -1,0 +1,125 @@
+"""Peptide chemistry: residue masses, peptide mass, tryptic digestion.
+
+The search substrate needs only the monoisotopic arithmetic: residue masses,
+peptide neutral/precursor masses, and an in-silico tryptic digest for
+building search databases from protein sequences.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List
+
+from ..errors import SearchError
+from ..units import PROTON_MASS, WATER_MASS
+
+#: Monoisotopic residue masses, Da (standard 20 amino acids).
+RESIDUE_MASSES = {
+    "G": 57.02146,
+    "A": 71.03711,
+    "S": 87.03203,
+    "P": 97.05276,
+    "V": 99.06841,
+    "T": 101.04768,
+    "C": 103.00919,
+    "L": 113.08406,
+    "I": 113.08406,
+    "N": 114.04293,
+    "D": 115.02694,
+    "Q": 128.05858,
+    "K": 128.09496,
+    "E": 129.04259,
+    "M": 131.04049,
+    "H": 137.05891,
+    "F": 147.06841,
+    "R": 156.10111,
+    "Y": 163.06333,
+    "W": 186.07931,
+}
+
+_VALID_PEPTIDE = re.compile(r"^[GASPVTCLINDQKEMHFRYW]+$")
+
+
+def validate_peptide(sequence: str) -> str:
+    """Validate and normalise a peptide sequence (uppercase)."""
+    sequence = sequence.strip().upper()
+    if not sequence:
+        raise SearchError("empty peptide sequence")
+    if not _VALID_PEPTIDE.match(sequence):
+        bad = sorted(set(sequence) - set(RESIDUE_MASSES))
+        raise SearchError(
+            f"peptide {sequence!r} contains invalid residues {bad}"
+        )
+    return sequence
+
+
+def peptide_neutral_mass(sequence: str) -> float:
+    """Neutral monoisotopic mass: residues + one water (the termini)."""
+    sequence = validate_peptide(sequence)
+    return sum(RESIDUE_MASSES[residue] for residue in sequence) + WATER_MASS
+
+
+def peptide_mz(sequence: str, charge: int) -> float:
+    """Precursor m/z of a peptide at the given charge state."""
+    if charge < 1:
+        raise SearchError(f"charge must be >= 1, got {charge}")
+    return (peptide_neutral_mass(sequence) + charge * PROTON_MASS) / charge
+
+
+def tryptic_digest(
+    protein: str,
+    missed_cleavages: int = 0,
+    min_length: int = 6,
+    max_length: int = 30,
+) -> Iterator[str]:
+    """In-silico tryptic digest: cleave C-terminal of K/R except before P.
+
+    Yields unique peptides within the length window, allowing up to
+    ``missed_cleavages`` retained cleavage sites.
+    """
+    protein = protein.strip().upper()
+    if missed_cleavages < 0:
+        raise SearchError("missed_cleavages must be >= 0")
+    if min_length < 1 or max_length < min_length:
+        raise SearchError("invalid peptide length window")
+
+    # Cut positions: after K or R unless the next residue is P.
+    cuts: List[int] = [0]
+    for position in range(len(protein) - 1):
+        if protein[position] in "KR" and protein[position + 1] != "P":
+            cuts.append(position + 1)
+    cuts.append(len(protein))
+
+    seen = set()
+    for start_index in range(len(cuts) - 1):
+        for span in range(1, missed_cleavages + 2):
+            end_index = start_index + span
+            if end_index >= len(cuts):
+                break
+            peptide = protein[cuts[start_index] : cuts[end_index]]
+            if not min_length <= len(peptide) <= max_length:
+                continue
+            if not _VALID_PEPTIDE.match(peptide):
+                continue
+            if peptide in seen:
+                continue
+            seen.add(peptide)
+            yield peptide
+
+
+def random_peptide(rng, min_length: int = 7, max_length: int = 25) -> str:
+    """Draw a random peptide with a tryptic C-terminus (K or R).
+
+    Residue frequencies are uniform over the 20 standard amino acids except
+    the final residue, which is K/R as trypsin produces.
+    """
+    if min_length < 2 or max_length < min_length:
+        raise SearchError("invalid peptide length window")
+    length = int(rng.integers(min_length, max_length + 1))
+    residues = list(RESIDUE_MASSES.keys())
+    body = "".join(
+        residues[int(index)]
+        for index in rng.integers(0, len(residues), size=length - 1)
+    )
+    terminus = "K" if rng.random() < 0.5 else "R"
+    return body + terminus

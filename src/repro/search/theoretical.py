@@ -1,0 +1,100 @@
+"""Theoretical fragment spectra: b/y ion series for peptide sequences.
+
+Collision-induced dissociation predominantly produces b ions (N-terminal
+fragments) and y ions (C-terminal fragments).  The theoretical spectrum of a
+peptide is the set of singly-charged b/y m/z values (plus doubly-charged
+variants for precursors of charge >= 3) — the template both the synthetic
+spectrum generator and the database-search scorer consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..errors import SearchError
+from ..units import PROTON_MASS, WATER_MASS
+from .peptide import RESIDUE_MASSES, validate_peptide
+
+
+@dataclass(frozen=True)
+class FragmentIon:
+    """One theoretical fragment: series (b/y), ordinal, charge, m/z."""
+
+    series: str
+    ordinal: int
+    charge: int
+    mz: float
+
+
+def fragment_ions(
+    sequence: str, max_fragment_charge: int = 1
+) -> List[FragmentIon]:
+    """All b/y fragments of a peptide up to ``max_fragment_charge``.
+
+    b_i = sum of first i residues + proton;
+    y_i = sum of last i residues + water + proton.
+    """
+    sequence = validate_peptide(sequence)
+    if max_fragment_charge < 1:
+        raise SearchError("max_fragment_charge must be >= 1")
+    residue_masses = [RESIDUE_MASSES[residue] for residue in sequence]
+    prefix = np.cumsum(residue_masses)
+    total = prefix[-1]
+
+    ions: List[FragmentIon] = []
+    for ordinal in range(1, len(sequence)):
+        b_neutral = prefix[ordinal - 1]
+        y_neutral = total - prefix[ordinal - 1] + WATER_MASS
+        for charge in range(1, max_fragment_charge + 1):
+            ions.append(
+                FragmentIon(
+                    series="b",
+                    ordinal=ordinal,
+                    charge=charge,
+                    mz=(b_neutral + charge * PROTON_MASS) / charge,
+                )
+            )
+            ions.append(
+                FragmentIon(
+                    series="y",
+                    ordinal=len(sequence) - ordinal,
+                    charge=charge,
+                    mz=(y_neutral + charge * PROTON_MASS) / charge,
+                )
+            )
+    return ions
+
+
+def theoretical_mz_array(
+    sequence: str, precursor_charge: int = 2
+) -> np.ndarray:
+    """Sorted array of theoretical fragment m/z values for a peptide.
+
+    Fragment charge goes up to 2 for precursors of charge >= 3, matching
+    standard search-engine practice.
+    """
+    if precursor_charge < 1:
+        raise SearchError("precursor_charge must be >= 1")
+    max_fragment_charge = 2 if precursor_charge >= 3 else 1
+    values = sorted(
+        ion.mz for ion in fragment_ions(sequence, max_fragment_charge)
+    )
+    return np.array(values, dtype=np.float64)
+
+
+def fragment_intensity_profile(
+    num_fragments: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw plausible fragment intensities (log-normal, y-ions favoured).
+
+    Real CID intensities are roughly log-normal with a long tail; the
+    profile is normalised so the base peak is 1.0.
+    """
+    if num_fragments < 1:
+        raise SearchError("num_fragments must be >= 1")
+    intensities = rng.lognormal(mean=0.0, sigma=1.0, size=num_fragments)
+    intensities /= intensities.max()
+    return intensities

@@ -1,0 +1,202 @@
+"""Spectrum preprocessing: the software model of SpecHD's MSAS stages.
+
+The paper's near-storage preprocessing module is a fixed three-stage
+pipeline (§III-A):
+
+1. **Spectra Filter** — remove peaks near the precursor ion and peaks whose
+   intensity is below 1 % of the base peak.
+2. **Top-k Selector** — keep only the ``k`` most intense peaks (realised on
+   the FPGA with a bitonic sorting network; see :mod:`repro.fpga.bitonic`).
+3. **Scale and Normalization** — intensity scaling (square-root by default,
+   which is the standard variance-stabilising transform for ion counts)
+   followed by L2 normalisation.
+
+This module implements the same stages in NumPy so that the algorithmic
+behaviour can be tested and reused by both the software pipeline and the
+hardware model (which consumes the *operation counts* these functions report).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .spectrum import MassSpectrum
+
+#: Paper default: drop peaks below 1 % of the base-peak intensity.
+DEFAULT_MIN_INTENSITY_FRACTION = 0.01
+
+#: Window (Da) around the precursor m/z within which peaks are removed.
+DEFAULT_PRECURSOR_TOLERANCE_DA = 1.5
+
+#: Paper-scale default for the Top-k selector.
+DEFAULT_TOP_K = 50
+
+#: Minimum number of surviving peaks for a spectrum to be considered usable.
+DEFAULT_MIN_PEAKS = 5
+
+#: Default m/z acceptance window.
+DEFAULT_MZ_MIN = 101.0
+DEFAULT_MZ_MAX = 1500.0
+
+
+@dataclass(frozen=True)
+class PreprocessingConfig:
+    """Configuration for the preprocessing pipeline.
+
+    The defaults correspond to the settings the paper inherits from
+    HyperSpec/falcon-style preprocessing.
+    """
+
+    min_intensity_fraction: float = DEFAULT_MIN_INTENSITY_FRACTION
+    precursor_tolerance_da: float = DEFAULT_PRECURSOR_TOLERANCE_DA
+    top_k: int = DEFAULT_TOP_K
+    min_peaks: int = DEFAULT_MIN_PEAKS
+    min_mz: float = DEFAULT_MZ_MIN
+    max_mz: float = DEFAULT_MZ_MAX
+    scaling: str = "sqrt"  # one of: "sqrt", "rank", "none"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_intensity_fraction < 1.0:
+            raise ConfigurationError(
+                "min_intensity_fraction must be in [0, 1), got "
+                f"{self.min_intensity_fraction}"
+            )
+        if self.precursor_tolerance_da < 0:
+            raise ConfigurationError("precursor_tolerance_da must be >= 0")
+        if self.top_k < 1:
+            raise ConfigurationError(f"top_k must be >= 1, got {self.top_k}")
+        if self.min_peaks < 1:
+            raise ConfigurationError("min_peaks must be >= 1")
+        if self.min_mz >= self.max_mz:
+            raise ConfigurationError(
+                f"min_mz ({self.min_mz}) must be < max_mz ({self.max_mz})"
+            )
+        if self.scaling not in ("sqrt", "rank", "none"):
+            raise ConfigurationError(
+                f"unknown scaling {self.scaling!r}; "
+                "expected 'sqrt', 'rank', or 'none'"
+            )
+
+
+def filter_peaks(
+    spectrum: MassSpectrum, config: PreprocessingConfig
+) -> MassSpectrum:
+    """Stage 1 — the Spectra Filter.
+
+    Removes peaks (a) outside the configured m/z window, (b) within
+    ``precursor_tolerance_da`` of any precursor-ion m/z (all charge
+    reductions of the precursor are considered), and (c) below
+    ``min_intensity_fraction`` of the base peak.
+    """
+    mz = spectrum.mz
+    intensity = spectrum.intensity
+    keep = (mz >= config.min_mz) & (mz <= config.max_mz)
+
+    # Remove the precursor ion signal at every reduced charge state: a
+    # precursor of charge c appears at m/z values corresponding to charges
+    # 1..c after charge reduction in the collision cell.
+    neutral = spectrum.neutral_mass
+    from ..units import PROTON_MASS
+
+    for charge in range(1, spectrum.precursor_charge + 1):
+        precursor_mz_at_charge = (neutral + charge * PROTON_MASS) / charge
+        keep &= np.abs(mz - precursor_mz_at_charge) > config.precursor_tolerance_da
+
+    if intensity.size:
+        threshold = config.min_intensity_fraction * spectrum.base_peak_intensity
+        keep &= intensity >= threshold
+
+    return spectrum.with_peaks(mz[keep], intensity[keep])
+
+
+def select_top_k(spectrum: MassSpectrum, k: int) -> MassSpectrum:
+    """Stage 2 — the Top-k Selector.
+
+    Keeps the ``k`` most intense peaks, preserving m/z order.  This is the
+    software-equivalent of the FPGA's bitonic-sort based selector: the
+    hardware sorts by intensity and truncates; re-sorting the survivors by
+    m/z is free because downstream stages consume m/z-major streams.
+    """
+    if k < 1:
+        raise ConfigurationError(f"top_k must be >= 1, got {k}")
+    if spectrum.peak_count <= k:
+        return spectrum.copy()
+    # argpartition is the O(n) analogue of the truncated bitonic sort.
+    top_indices = np.argpartition(spectrum.intensity, -k)[-k:]
+    top_indices.sort()
+    return spectrum.with_peaks(
+        spectrum.mz[top_indices], spectrum.intensity[top_indices]
+    )
+
+
+def scale_and_normalize(
+    spectrum: MassSpectrum, scaling: str = "sqrt"
+) -> MassSpectrum:
+    """Stage 3 — Scale and Normalization.
+
+    ``sqrt`` compresses the dynamic range of ion counts, ``rank`` replaces
+    intensities with their ranks (robust to detector saturation), ``none``
+    leaves intensities untouched.  All modes finish with L2 normalisation so
+    that the dot product of two processed spectra is their cosine score.
+    """
+    intensity = spectrum.intensity.astype(np.float64)
+    if scaling == "sqrt":
+        scaled = np.sqrt(intensity)
+    elif scaling == "rank":
+        order = np.argsort(np.argsort(intensity, kind="stable"), kind="stable")
+        scaled = (order + 1).astype(np.float64)
+    elif scaling == "none":
+        scaled = intensity.copy()
+    else:
+        raise ConfigurationError(f"unknown scaling {scaling!r}")
+    norm = np.linalg.norm(scaled)
+    if norm > 0:
+        scaled = scaled / norm
+    return spectrum.with_peaks(spectrum.mz, scaled)
+
+
+def preprocess_spectrum(
+    spectrum: MassSpectrum,
+    config: PreprocessingConfig = PreprocessingConfig(),
+) -> MassSpectrum | None:
+    """Run the full three-stage pipeline on one spectrum.
+
+    Returns ``None`` when the spectrum does not survive quality control
+    (fewer than ``config.min_peaks`` peaks after filtering), matching the
+    behaviour of production MS pipelines which drop unusable spectra early.
+    """
+    filtered = filter_peaks(spectrum, config)
+    if filtered.peak_count < config.min_peaks:
+        return None
+    selected = select_top_k(filtered, config.top_k)
+    return scale_and_normalize(selected, config.scaling)
+
+
+def preprocess_batch(
+    spectra: Iterable[MassSpectrum],
+    config: PreprocessingConfig = PreprocessingConfig(),
+) -> List[MassSpectrum]:
+    """Preprocess a batch, dropping spectra that fail quality control."""
+    processed: List[MassSpectrum] = []
+    for spectrum in spectra:
+        result = preprocess_spectrum(spectrum, config)
+        if result is not None:
+            processed.append(result)
+    return processed
+
+
+def preprocessing_survival_rate(
+    spectra: Sequence[MassSpectrum],
+    config: PreprocessingConfig = PreprocessingConfig(),
+) -> float:
+    """Fraction of spectra that survive preprocessing (QC pass rate)."""
+    if not spectra:
+        return 0.0
+    survivors = sum(
+        1 for s in spectra if preprocess_spectrum(s, config) is not None
+    )
+    return survivors / len(spectra)

@@ -1,0 +1,105 @@
+"""Quantization of m/z and intensity values for ID-Level encoding.
+
+The ID-Level encoder (§III-B) consumes *quantized* peaks: each m/z value is
+mapped to one of ``f`` ID bins and each intensity to one of ``q`` levels.
+The FPGA realises this with fixed-point arithmetic; here we provide the
+bit-exact software model plus helpers for choosing bin counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .spectrum import MassSpectrum
+
+#: Default number of m/z bins (``f`` in the paper's notation).  At the
+#: default window of [101, 1500] Da this corresponds to ~0.04 Da bins,
+#: within the 0.05 Da high-resolution bucket granularity the paper quotes.
+DEFAULT_MZ_BINS = 34_976
+
+#: Default number of intensity levels (``q``).
+DEFAULT_INTENSITY_LEVELS = 64
+
+
+@dataclass(frozen=True)
+class QuantizerConfig:
+    """Configuration of the peak quantizer.
+
+    Parameters
+    ----------
+    min_mz, max_mz:
+        The accepted m/z window; peaks outside are clamped to the boundary
+        bins (preprocessing should already have removed them).
+    mz_bins:
+        Number of ID bins ``f``.
+    intensity_levels:
+        Number of Level bins ``q``.  Intensities are assumed to lie in
+        ``[0, 1]`` after L2 normalisation; values above 1 clamp to the top
+        level.
+    """
+
+    min_mz: float = 101.0
+    max_mz: float = 1500.0
+    mz_bins: int = DEFAULT_MZ_BINS
+    intensity_levels: int = DEFAULT_INTENSITY_LEVELS
+
+    def __post_init__(self) -> None:
+        if self.min_mz >= self.max_mz:
+            raise ConfigurationError(
+                f"min_mz ({self.min_mz}) must be < max_mz ({self.max_mz})"
+            )
+        if self.mz_bins < 2:
+            raise ConfigurationError("mz_bins must be >= 2")
+        if self.intensity_levels < 2:
+            raise ConfigurationError("intensity_levels must be >= 2")
+
+    @property
+    def mz_bin_width(self) -> float:
+        """Width of one m/z bin in Da."""
+        return (self.max_mz - self.min_mz) / self.mz_bins
+
+
+def quantize_mz(
+    mz: np.ndarray, config: QuantizerConfig = QuantizerConfig()
+) -> np.ndarray:
+    """Map m/z values to integer ID-bin indices in ``[0, mz_bins)``."""
+    mz = np.asarray(mz, dtype=np.float64)
+    scaled = (mz - config.min_mz) / (config.max_mz - config.min_mz)
+    bins = np.floor(scaled * config.mz_bins).astype(np.int64)
+    return np.clip(bins, 0, config.mz_bins - 1)
+
+
+def quantize_intensity(
+    intensity: np.ndarray, config: QuantizerConfig = QuantizerConfig()
+) -> np.ndarray:
+    """Map intensities in ``[0, 1]`` to level indices in ``[0, levels)``."""
+    intensity = np.asarray(intensity, dtype=np.float64)
+    bins = np.floor(intensity * config.intensity_levels).astype(np.int64)
+    return np.clip(bins, 0, config.intensity_levels - 1)
+
+
+def quantize_spectrum(
+    spectrum: MassSpectrum, config: QuantizerConfig = QuantizerConfig()
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Quantize a preprocessed spectrum to ``(id_indices, level_indices)``.
+
+    The two arrays have length ``spectrum.peak_count`` and index into the
+    encoder's ID and Level item memories respectively.
+    """
+    return (
+        quantize_mz(spectrum.mz, config),
+        quantize_intensity(spectrum.intensity, config),
+    )
+
+
+def dequantize_mz(
+    bins: np.ndarray, config: QuantizerConfig = QuantizerConfig()
+) -> np.ndarray:
+    """Map bin indices back to bin-centre m/z values (for diagnostics)."""
+    bins = np.asarray(bins, dtype=np.float64)
+    width = config.mz_bin_width
+    return config.min_mz + (bins + 0.5) * width

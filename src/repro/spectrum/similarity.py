@@ -1,0 +1,101 @@
+"""Peak-level spectrum similarity measures.
+
+These operate on the *raw* (pre-encoding) peak representation and serve two
+purposes: (a) ground-truth similarity for validating that the HDC encoding
+preserves neighbourhood structure, and (b) the scoring primitive for the
+non-HDC baseline tools (msCRUSH/falcon-style cosine on binned vectors).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import SpectrumError
+from .spectrum import MassSpectrum
+
+
+def binned_vector(
+    spectrum: MassSpectrum,
+    bin_width: float = 1.0005,
+    min_mz: float = 101.0,
+    max_mz: float = 1500.0,
+) -> np.ndarray:
+    """Dense binned intensity vector of a spectrum.
+
+    The default bin width of 1.0005 Da is the standard peptide-friendly bin
+    (average spacing of isotopic clusters).  Intensities falling in the same
+    bin accumulate; the result is L2-normalised.
+    """
+    if bin_width <= 0:
+        raise SpectrumError(f"bin_width must be positive, got {bin_width}")
+    num_bins = int(np.ceil((max_mz - min_mz) / bin_width))
+    vector = np.zeros(num_bins, dtype=np.float64)
+    mask = (spectrum.mz >= min_mz) & (spectrum.mz < max_mz)
+    bins = ((spectrum.mz[mask] - min_mz) / bin_width).astype(np.int64)
+    np.add.at(vector, bins, spectrum.intensity[mask])
+    norm = np.linalg.norm(vector)
+    if norm > 0:
+        vector /= norm
+    return vector
+
+
+def cosine_similarity(
+    first: MassSpectrum,
+    second: MassSpectrum,
+    fragment_tolerance_da: float = 0.05,
+) -> float:
+    """Greedy tolerance-matched cosine similarity between two spectra.
+
+    Peaks are matched greedily in m/z order within ``fragment_tolerance_da``;
+    the score is the normalised dot product over matched pairs.  This is the
+    classic "dot product" score used throughout MS clustering literature.
+    """
+    if fragment_tolerance_da <= 0:
+        raise SpectrumError("fragment_tolerance_da must be positive")
+    mz_a, int_a = first.mz, first.intensity
+    mz_b, int_b = second.mz, second.intensity
+    norm_a = np.linalg.norm(int_a)
+    norm_b = np.linalg.norm(int_b)
+    if norm_a == 0 or norm_b == 0:
+        return 0.0
+
+    score = 0.0
+    i = j = 0
+    while i < mz_a.size and j < mz_b.size:
+        delta = mz_a[i] - mz_b[j]
+        if abs(delta) <= fragment_tolerance_da:
+            score += int_a[i] * int_b[j]
+            i += 1
+            j += 1
+        elif delta < 0:
+            i += 1
+        else:
+            j += 1
+    return float(score / (norm_a * norm_b))
+
+
+def pairwise_cosine_matrix(
+    spectra: Sequence[MassSpectrum],
+    bin_width: float = 1.0005,
+) -> np.ndarray:
+    """Dense pairwise cosine-similarity matrix via binned vectors.
+
+    Used for small validation sets only — at repository scale this matrix is
+    exactly the object SpecHD's bucketing exists to avoid.
+    """
+    if not spectra:
+        return np.zeros((0, 0), dtype=np.float64)
+    vectors = np.stack([binned_vector(s, bin_width) for s in spectra])
+    similarity = vectors @ vectors.T
+    np.clip(similarity, -1.0, 1.0, out=similarity)
+    return similarity
+
+
+def cosine_distance_matrix(
+    spectra: Sequence[MassSpectrum],
+    bin_width: float = 1.0005,
+) -> np.ndarray:
+    """Pairwise cosine *distance* (``1 - similarity``) matrix."""
+    return 1.0 - pairwise_cosine_matrix(spectra, bin_width)

@@ -1,0 +1,131 @@
+"""Spectrum quality-control validation.
+
+Production MS pipelines validate instrument output before spending compute
+on it; this module provides structured per-spectrum checks plus a dataset-
+level QC report.  Errors (``severity="error"``) mean the spectrum cannot be
+processed meaningfully; warnings flag suspicious-but-usable content (e.g.
+very few peaks, zero intensities, precursor outside the scan range).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .spectrum import MassSpectrum
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """A single finding from validating one spectrum."""
+
+    code: str
+    severity: str  # "error" or "warning"
+    message: str
+
+
+@dataclass
+class ValidationReport:
+    """All findings for one spectrum."""
+
+    identifier: str
+    issues: List[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def is_valid(self) -> bool:
+        """True when no error-severity issues were found."""
+        return not any(issue.severity == "error" for issue in self.issues)
+
+    @property
+    def warnings(self) -> List[ValidationIssue]:
+        """Warning-severity findings only."""
+        return [i for i in self.issues if i.severity == "warning"]
+
+
+def validate_spectrum(
+    spectrum: MassSpectrum,
+    min_peaks: int = 5,
+    min_mz: float = 50.0,
+    max_mz: float = 4_000.0,
+    max_precursor_mz: float = 3_000.0,
+) -> ValidationReport:
+    """Run all QC checks on one spectrum."""
+    report = ValidationReport(identifier=spectrum.identifier)
+
+    def issue(code: str, severity: str, message: str) -> None:
+        report.issues.append(ValidationIssue(code, severity, message))
+
+    if spectrum.peak_count == 0:
+        issue("empty", "error", "spectrum has no peaks")
+        return report
+    if spectrum.peak_count < min_peaks:
+        issue(
+            "too-few-peaks",
+            "warning",
+            f"only {spectrum.peak_count} peaks (minimum useful: {min_peaks})",
+        )
+    if np.any(~np.isfinite(spectrum.mz)) or np.any(
+        ~np.isfinite(spectrum.intensity)
+    ):
+        issue("non-finite", "error", "NaN or infinite peak values")
+        return report
+    if np.any(spectrum.intensity < 0):
+        issue("negative-intensity", "error", "negative intensities")
+    if np.all(spectrum.intensity == 0):
+        issue("all-zero-intensity", "error", "every intensity is zero")
+    elif np.any(spectrum.intensity == 0):
+        issue("zero-intensity", "warning", "some intensities are zero")
+    if spectrum.mz.min() < min_mz or spectrum.mz.max() > max_mz:
+        issue(
+            "mz-out-of-range",
+            "warning",
+            f"peaks outside [{min_mz}, {max_mz}] Da",
+        )
+    if spectrum.precursor_mz > max_precursor_mz:
+        issue(
+            "precursor-out-of-range",
+            "warning",
+            f"precursor m/z {spectrum.precursor_mz:.1f} beyond "
+            f"{max_precursor_mz}",
+        )
+    duplicates = np.sum(np.diff(spectrum.mz) == 0)
+    if duplicates:
+        issue(
+            "duplicate-mz",
+            "warning",
+            f"{duplicates} duplicated m/z values",
+        )
+    return report
+
+
+@dataclass
+class DatasetQCReport:
+    """Aggregate QC over a dataset."""
+
+    total: int
+    valid: int
+    issue_counts: Dict[str, int]
+
+    @property
+    def valid_fraction(self) -> float:
+        """Fraction of spectra with no error-severity issues."""
+        return self.valid / self.total if self.total else 1.0
+
+
+def validate_dataset(
+    spectra: Sequence[MassSpectrum], **kwargs
+) -> DatasetQCReport:
+    """Validate a dataset; returns aggregate counts per issue code."""
+    issue_counts: Dict[str, int] = {}
+    valid = 0
+    for spectrum in spectra:
+        report = validate_spectrum(spectrum, **kwargs)
+        if report.is_valid:
+            valid += 1
+        for issue in report.issues:
+            issue_counts[issue.code] = issue_counts.get(issue.code, 0) + 1
+    return DatasetQCReport(
+        total=len(spectra), valid=valid, issue_counts=issue_counts
+    )

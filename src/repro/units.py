@@ -1,0 +1,97 @@
+"""Physical constants and unit helpers used across the library.
+
+Masses are monoisotopic and expressed in dalton (Da).  The proton mass is the
+value the paper uses in its bucketing equation (Eq. 1), where the charge mass
+is quoted as 1.00794 Da (the average mass of hydrogen); we expose both it and
+the conventional monoisotopic proton mass so the bucketing module can follow
+the paper exactly while the search engine uses the physically conventional
+value.
+"""
+
+from __future__ import annotations
+
+#: Charge-carrier mass used by the paper's bucketing equation (Eq. 1), Da.
+PAPER_CHARGE_MASS = 1.00794
+
+#: Monoisotopic proton mass, Da (used for peptide m/z computations).
+PROTON_MASS = 1.007276466621
+
+#: Monoisotopic mass of a water molecule, Da (peptide termini).
+WATER_MASS = 18.010564684
+
+#: Monoisotopic mass of an ammonia molecule, Da (a/x-ion offsets).
+AMMONIA_MASS = 17.026549101
+
+#: One gibibyte in bytes.
+GIB = 1024 ** 3
+
+#: One gigabyte (decimal) in bytes; storage vendors and the paper's dataset
+#: sizes use decimal gigabytes.
+GB = 10 ** 9
+
+#: One mebibyte in bytes.
+MIB = 1024 ** 2
+
+#: One megabyte (decimal) in bytes.
+MB = 10 ** 6
+
+#: One kibibyte in bytes.
+KIB = 1024
+
+
+def mass_to_mz(neutral_mass: float, charge: int) -> float:
+    """Convert a neutral monoisotopic mass to an observed m/z.
+
+    Parameters
+    ----------
+    neutral_mass:
+        Neutral (uncharged) monoisotopic mass in Da.
+    charge:
+        Positive charge state.
+
+    Raises
+    ------
+    ValueError
+        If ``charge`` is not a positive integer.
+    """
+    if charge < 1:
+        raise ValueError(f"charge must be >= 1, got {charge}")
+    return (neutral_mass + charge * PROTON_MASS) / charge
+
+
+def mz_to_mass(mz: float, charge: int) -> float:
+    """Convert an observed m/z back to the neutral monoisotopic mass."""
+    if charge < 1:
+        raise ValueError(f"charge must be >= 1, got {charge}")
+    return mz * charge - charge * PROTON_MASS
+
+
+def joules(watts: float, seconds: float) -> float:
+    """Energy in joules for sustained power ``watts`` over ``seconds``."""
+    if watts < 0 or seconds < 0:
+        raise ValueError("power and time must be non-negative")
+    return watts * seconds
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-readable decimal byte count (``131 GB`` style, as in the paper)."""
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB", "PB"):
+        if abs(value) < 1000.0 or unit == "PB":
+            if unit == "B":
+                return f"{int(value)} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= 1000.0
+    raise AssertionError("unreachable")
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-readable duration (``43.4 s``, ``5.2 min``, ``1.3 h``)."""
+    if seconds < 0:
+        raise ValueError("duration must be non-negative")
+    if seconds < 120:
+        return f"{seconds:.2f} s"
+    minutes = seconds / 60.0
+    if minutes < 120:
+        return f"{minutes:.1f} min"
+    return f"{minutes / 60.0:.1f} h"

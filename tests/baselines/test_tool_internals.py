@@ -1,0 +1,138 @@
+"""Unit tests for baseline tools' internal machinery.
+
+The shared behavioural tests (test_tools.py) treat tools as black boxes;
+these verify each tool's characteristic mechanism directly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FalconLike,
+    GleamsLike,
+    MaRaClusterLike,
+    MsCrushLike,
+)
+from repro.datasets import generate_dataset, get_workload
+from repro.spectrum import MassSpectrum
+
+
+@pytest.fixture(scope="module")
+def easy_spectra():
+    return generate_dataset(get_workload("easy")).spectra
+
+
+class TestGleamsEmbedding:
+    def test_embedding_shape_and_norm(self, easy_spectra):
+        tool = GleamsLike(embedding_dim=32)
+        embedded = tool.embed(easy_spectra[:10])
+        assert embedded.shape == (10, 32)
+        norms = np.linalg.norm(embedded, axis=1)
+        np.testing.assert_allclose(norms, 1.0, rtol=1e-9)
+
+    def test_projection_preserves_neighbourhoods(self, easy_spectra):
+        """Johnson-Lindenstrauss property: replicates of one peptide embed
+        closer together than spectra of different peptides."""
+        tool = GleamsLike(embedding_dim=32)
+        by_peptide = {}
+        for spectrum in easy_spectra:
+            by_peptide.setdefault(
+                spectrum.metadata["peptide"], []
+            ).append(spectrum)
+        peptides = [p for p, group in by_peptide.items() if len(group) >= 2]
+        first_group = by_peptide[peptides[0]]
+        second_group = by_peptide[peptides[1]]
+        embedded = tool.embed(
+            [first_group[0], first_group[1], second_group[0]]
+        )
+        intra = np.linalg.norm(embedded[0] - embedded[1])
+        inter = np.linalg.norm(embedded[0] - embedded[2])
+        assert intra < inter
+
+    def test_deterministic_projection(self, easy_spectra):
+        first = GleamsLike(seed=1).embed(easy_spectra[:5])
+        second = GleamsLike(seed=1).embed(easy_spectra[:5])
+        np.testing.assert_array_equal(first, second)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            GleamsLike(embedding_dim=1)
+
+
+class TestFalconHashing:
+    def test_hashed_vectors_unit_norm(self, easy_spectra):
+        tool = FalconLike(hashed_dim=200)
+        hashed = tool.vectorize(easy_spectra[:8])
+        assert hashed.shape == (8, 200)
+        norms = np.linalg.norm(hashed, axis=1)
+        np.testing.assert_allclose(norms[norms > 0], 1.0, rtol=1e-9)
+
+    def test_hashing_preserves_self_similarity(self, easy_spectra):
+        tool = FalconLike(hashed_dim=400)
+        hashed = tool.vectorize(easy_spectra[:2] + easy_spectra[:1])
+        # Same spectrum hashed twice -> identical vector.
+        np.testing.assert_allclose(hashed[0], hashed[2])
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            FalconLike(hashed_dim=1)
+
+
+class TestMsCrushLSH:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MsCrushLike(num_iterations=0)
+        with pytest.raises(ValueError):
+            MsCrushLike(hashes_per_table=0)
+
+    def test_more_iterations_cluster_at_least_as_much(self, easy_spectra):
+        """Each extra LSH iteration can only add candidate pairs."""
+        from repro.cluster import clustered_spectra_ratio
+
+        few = MsCrushLike(num_iterations=1, seed=9).cluster(
+            easy_spectra, 0.6
+        )
+        many = MsCrushLike(num_iterations=12, seed=9).cluster(
+            easy_spectra, 0.6
+        )
+        assert clustered_spectra_ratio(many) >= clustered_spectra_ratio(few)
+
+    def test_high_threshold_conservative(self, easy_spectra):
+        labels = MsCrushLike().cluster(easy_spectra, 0.999)
+        from repro.cluster import incorrect_clustering_ratio
+
+        truth = [s.metadata["peptide"] for s in easy_spectra]
+        assert incorrect_clustering_ratio(labels, truth) < 0.02
+
+
+class TestMaRaClusterRarity:
+    def test_rare_fragment_evidence_beats_common(self):
+        """Two spectra sharing a *rare* fragment must be closer than two
+        sharing only a ubiquitous one."""
+        tool = MaRaClusterLike(bin_width=0.05)
+        common = 500.0  # appears in every spectrum
+        rare = 900.0    # appears in two spectra only
+
+        def spectrum(name, peaks):
+            return MassSpectrum(
+                name, 450.0, 2, np.array(sorted(peaks)),
+                np.ones(len(peaks)),
+            )
+
+        spectra = [
+            spectrum("a", [common, rare, 200.0]),
+            spectrum("b", [common, rare, 300.0]),
+            spectrum("c", [common, 250.0, 350.0]),
+            spectrum("d", [common, 260.0, 360.0]),
+            spectrum("e", [common, 270.0, 370.0]),
+        ]
+        sets, frequencies = tool._fragment_sets(spectra)
+        rare_bin = int(rare / tool.bin_width)
+        common_bin = int(common / tool.bin_width)
+        assert frequencies[rare_bin] == 2
+        assert frequencies[common_bin] == 5
+        # Cluster at a moderate threshold: a and b (rare shared) join
+        # before c/d/e pairs (only the common fragment shared).
+        labels = tool.cluster(spectra, threshold=0.75)
+        assert labels[0] == labels[1]
+        assert labels[2] != labels[0]

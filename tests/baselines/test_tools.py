@@ -1,0 +1,129 @@
+"""Tests for the baseline clustering tool implementations.
+
+Every tool must (a) produce valid labels, (b) respond to its threshold in
+the conservative->aggressive direction, and (c) recover obvious replicate
+structure on easy synthetic data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FalconLike,
+    GleamsLike,
+    HyperSpecDBSCAN,
+    HyperSpecHAC,
+    MSClusterLike,
+    MaRaClusterLike,
+    MsCrushLike,
+    SpectraClusterLike,
+)
+from repro.cluster import clustered_spectra_ratio, incorrect_clustering_ratio
+from repro.datasets import SyntheticConfig, generate_dataset
+from repro.hdc import EncoderConfig, IDLevelEncoder
+
+
+@pytest.fixture(scope="module")
+def easy_dataset():
+    """Low-noise dataset where replicates are clearly similar."""
+    return generate_dataset(
+        SyntheticConfig(
+            num_peptides=12,
+            replicates_per_peptide=6,
+            peptides_per_mass_group=1,  # no confusables: this set is "easy"
+            dropout_probability=0.05,
+            noise_peaks=3,
+            intensity_sigma=0.15,
+            seed=1234,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def shared_encoder():
+    return IDLevelEncoder(
+        EncoderConfig(dim=1024, mz_bins=8_000, intensity_levels=32)
+    )
+
+
+def tool_instances(shared_encoder):
+    return [
+        (HyperSpecHAC(encoder=shared_encoder), 0.35),
+        (HyperSpecDBSCAN(encoder=shared_encoder), 0.30),
+        (GleamsLike(), 0.6),
+        (FalconLike(), 0.5),
+        (MsCrushLike(), 0.6),
+        (MaRaClusterLike(), 0.7),
+        (MSClusterLike(), 0.5),
+        (SpectraClusterLike(), 0.5),
+    ]
+
+
+class TestAllTools:
+    def test_labels_valid_shape(self, easy_dataset, shared_encoder):
+        for tool, threshold in tool_instances(shared_encoder):
+            labels = tool.cluster(easy_dataset.spectra, threshold)
+            assert labels.shape == (len(easy_dataset.spectra),), tool.name
+            assert labels.dtype == np.int64, tool.name
+
+    def test_recovers_replicate_structure(self, easy_dataset, shared_encoder):
+        """Every tool should cluster a meaningful fraction with low ICR on
+        easy data at a sensible operating point."""
+        for tool, threshold in tool_instances(shared_encoder):
+            labels = tool.cluster(easy_dataset.spectra, threshold)
+            ratio = clustered_spectra_ratio(labels)
+            icr = incorrect_clustering_ratio(labels, easy_dataset.labels)
+            assert ratio > 0.15, f"{tool.name}: ratio {ratio}"
+            assert icr < 0.25, f"{tool.name}: ICR {icr}"
+
+    def test_threshold_grid_nonempty(self, shared_encoder):
+        for tool, _ in tool_instances(shared_encoder):
+            grid = tool.threshold_grid()
+            assert len(grid) >= 5, tool.name
+
+
+class TestThresholdDirection:
+    def test_hac_more_aggressive_more_clustered(
+        self, easy_dataset, shared_encoder
+    ):
+        tool = HyperSpecHAC(encoder=shared_encoder)
+        conservative = clustered_spectra_ratio(
+            tool.cluster(easy_dataset.spectra, 0.1)
+        )
+        aggressive = clustered_spectra_ratio(
+            tool.cluster(easy_dataset.spectra, 0.45)
+        )
+        assert aggressive >= conservative
+
+    def test_dbscan_eps_direction(self, easy_dataset, shared_encoder):
+        tool = HyperSpecDBSCAN(encoder=shared_encoder)
+        small = clustered_spectra_ratio(tool.cluster(easy_dataset.spectra, 0.05))
+        large = clustered_spectra_ratio(tool.cluster(easy_dataset.spectra, 0.45))
+        assert large >= small
+
+    def test_mscrush_similarity_direction(self, easy_dataset):
+        tool = MsCrushLike()
+        strict = clustered_spectra_ratio(
+            tool.cluster(easy_dataset.spectra, 0.95)
+        )
+        loose = clustered_spectra_ratio(
+            tool.cluster(easy_dataset.spectra, 0.45)
+        )
+        assert loose >= strict
+
+
+class TestDBSCANvsHACQuality:
+    def test_hac_quality_at_matched_clustering(
+        self, easy_dataset, shared_encoder
+    ):
+        """Fig. 10's qualitative claim: at similar clustered ratios, the
+        DBSCAN flavour tends to be no better on ICR than HAC (chaining)."""
+        hac = HyperSpecHAC(encoder=shared_encoder)
+        dbscan = HyperSpecDBSCAN(encoder=shared_encoder)
+        hac_labels = hac.cluster(easy_dataset.spectra, 0.35)
+        dbscan_labels = dbscan.cluster(easy_dataset.spectra, 0.35)
+        hac_icr = incorrect_clustering_ratio(hac_labels, easy_dataset.labels)
+        dbscan_icr = incorrect_clustering_ratio(
+            dbscan_labels, easy_dataset.labels
+        )
+        assert hac_icr <= dbscan_icr + 0.05

@@ -1,0 +1,89 @@
+"""Tests for DBSCAN on precomputed distances."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import DBSCANConfig, dbscan_num_clusters, dbscan_precomputed
+from repro.errors import ClusteringError
+
+
+def blob_distances():
+    """Two tight blobs far apart, plus one isolated noise point."""
+    points = np.array(
+        [
+            [0.0], [0.1], [0.2],        # blob A
+            [10.0], [10.1], [10.15],    # blob B
+            [100.0],                    # noise
+        ]
+    )
+    return np.abs(points - points.T)
+
+
+class TestBasicBehaviour:
+    def test_two_blobs_plus_noise(self):
+        labels = dbscan_precomputed(
+            blob_distances(), DBSCANConfig(eps=0.5, min_samples=2)
+        )
+        assert dbscan_num_clusters(labels) == 2
+        assert labels[6] == -1
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_eps_zero_all_noise_unless_duplicates(self):
+        labels = dbscan_precomputed(
+            blob_distances(), DBSCANConfig(eps=0.0, min_samples=2)
+        )
+        assert dbscan_num_clusters(labels) == 0
+        assert np.all(labels == -1)
+
+    def test_large_eps_single_cluster(self):
+        labels = dbscan_precomputed(
+            blob_distances(), DBSCANConfig(eps=1000.0, min_samples=2)
+        )
+        assert dbscan_num_clusters(labels) == 1
+        assert np.all(labels == 0)
+
+    def test_min_samples_controls_core_points(self):
+        # With min_samples=4 the 3-point blobs are not dense enough.
+        labels = dbscan_precomputed(
+            blob_distances(), DBSCANConfig(eps=0.5, min_samples=4)
+        )
+        assert dbscan_num_clusters(labels) == 0
+
+
+class TestAgainstScipyReference:
+    def test_matches_sklearn_semantics_on_random_data(self, rng):
+        """Cross-check against a direct reimplementation of core/border rules."""
+        points = rng.normal(size=(40, 2))
+        deltas = points[:, None, :] - points[None, :, :]
+        distances = np.sqrt((deltas ** 2).sum(axis=-1))
+        eps, min_samples = 0.7, 3
+        labels = dbscan_precomputed(
+            distances, DBSCANConfig(eps=eps, min_samples=min_samples)
+        )
+        neighbours = (distances <= eps).sum(axis=1)
+        is_core = neighbours >= min_samples
+        # Every core point must be clustered.
+        assert np.all(labels[is_core] >= 0)
+        # Every noise point must be non-core.
+        assert not np.any(is_core[labels == -1])
+        # Core points within eps must share a cluster.
+        for i in range(40):
+            for j in range(40):
+                if is_core[i] and is_core[j] and distances[i, j] <= eps:
+                    assert labels[i] == labels[j]
+
+
+class TestValidation:
+    def test_negative_eps_rejected(self):
+        with pytest.raises(ClusteringError):
+            DBSCANConfig(eps=-1.0)
+
+    def test_zero_min_samples_rejected(self):
+        with pytest.raises(ClusteringError):
+            DBSCANConfig(eps=1.0, min_samples=0)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ClusteringError):
+            dbscan_precomputed(np.zeros((2, 3)), DBSCANConfig(eps=1.0))

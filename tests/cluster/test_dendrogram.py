@@ -1,0 +1,93 @@
+"""Tests for dendrogram cuts and the union-find."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    UnionFind,
+    cluster_sizes,
+    cut_at_height,
+    cut_into_k,
+    merge_heights_are_monotone,
+    nn_chain_linkage,
+)
+from repro.errors import ClusteringError
+
+
+class TestUnionFind:
+    def test_initial_singletons(self):
+        uf = UnionFind(4)
+        assert len(set(uf.labels())) == 4
+
+    def test_union_merges(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.find(0) == uf.find(1)
+        assert not uf.union(1, 0)  # already together
+
+    def test_labels_canonical_order(self):
+        uf = UnionFind(4)
+        uf.union(2, 3)
+        labels = uf.labels()
+        assert labels[0] == 0
+        assert labels[1] == 1
+        assert labels[2] == labels[3] == 2
+
+    def test_transitive(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.find(0) == uf.find(2)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ClusteringError):
+            UnionFind(-1)
+
+
+class TestCutAtHeight:
+    def test_zero_threshold_no_merges(self, random_distance_matrix):
+        result = nn_chain_linkage(random_distance_matrix, "complete")
+        labels = cut_at_height(result, -1.0)
+        assert len(set(labels)) == random_distance_matrix.shape[0]
+
+    def test_infinite_threshold_one_cluster(self, random_distance_matrix):
+        result = nn_chain_linkage(random_distance_matrix, "complete")
+        labels = cut_at_height(result, np.inf)
+        assert len(set(labels)) == 1
+
+    def test_cluster_count_monotone_in_threshold(self, random_distance_matrix):
+        result = nn_chain_linkage(random_distance_matrix, "average")
+        heights = np.sort(result.heights())
+        counts = [
+            len(set(cut_at_height(result, t)))
+            for t in np.linspace(0, heights[-1], 10)
+        ]
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+
+class TestCutIntoK:
+    def test_exact_k(self, random_distance_matrix):
+        result = nn_chain_linkage(random_distance_matrix, "complete")
+        for k in (1, 2, 5, random_distance_matrix.shape[0]):
+            labels = cut_into_k(result, k)
+            assert len(set(labels)) == k
+
+    def test_invalid_k(self, random_distance_matrix):
+        result = nn_chain_linkage(random_distance_matrix, "complete")
+        with pytest.raises(ClusteringError):
+            cut_into_k(result, 0)
+        with pytest.raises(ClusteringError):
+            cut_into_k(result, random_distance_matrix.shape[0] + 1)
+
+
+class TestMonotonicity:
+    def test_reducible_linkages_monotone(self, random_distance_matrix):
+        for linkage in ("single", "complete", "average", "ward"):
+            result = nn_chain_linkage(random_distance_matrix, linkage)
+            assert merge_heights_are_monotone(result), linkage
+
+
+class TestClusterSizes:
+    def test_histogram(self):
+        labels = np.array([0, 0, 1, 2, 2, 2])
+        assert cluster_sizes(labels) == {0: 2, 1: 1, 2: 3}

@@ -1,0 +1,109 @@
+"""Tests for Newick/TSV exports."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.cluster import nn_chain_linkage
+from repro.cluster.export import (
+    read_assignments_tsv,
+    to_newick,
+    write_assignments_tsv,
+)
+from repro.errors import ClusteringError
+
+
+@pytest.fixture()
+def small_result():
+    matrix = np.array(
+        [
+            [0.0, 1.0, 6.0, 7.0],
+            [1.0, 0.0, 5.0, 8.0],
+            [6.0, 5.0, 0.0, 2.0],
+            [7.0, 8.0, 2.0, 0.0],
+        ]
+    )
+    return nn_chain_linkage(matrix, "single")
+
+
+class TestNewick:
+    def test_structure(self, small_result):
+        newick = to_newick(small_result, ["a", "b", "c", "d"])
+        assert newick.endswith(";")
+        assert newick.count("(") == 3  # n-1 internal nodes
+        for name in ("a", "b", "c", "d"):
+            assert name in newick
+
+    def test_close_pairs_are_siblings(self, small_result):
+        newick = to_newick(small_result, ["a", "b", "c", "d"])
+        # a-b at distance 1 and c-d at distance 2 must be sister pairs.
+        assert "(a:" in newick or "(b:" in newick
+        assert ("a:1" in newick and "b:1" in newick)
+
+    def test_branch_lengths_non_negative(self, small_result):
+        newick = to_newick(small_result)
+        lengths = [
+            float(token.split(",")[0].split(")")[0])
+            for token in newick.split(":")[1:]
+        ]
+        assert all(length >= 0 for length in lengths)
+
+    def test_name_escaping(self, small_result):
+        newick = to_newick(
+            small_result, ["plain", "with space", "with,comma", "with'quote"]
+        )
+        assert "'with space'" in newick
+        assert "'with,comma'" in newick
+        assert "'with''quote'" in newick
+
+    def test_wrong_name_count(self, small_result):
+        with pytest.raises(ClusteringError):
+            to_newick(small_result, ["only", "three", "names"])
+
+    def test_single_leaf(self):
+        result = nn_chain_linkage(np.zeros((1, 1)))
+        assert to_newick(result, ["solo"]) == "solo;"
+
+
+class TestAssignmentsTSV:
+    def test_roundtrip(self, tmp_path):
+        labels = np.array([0, 0, 1, 2, -1])
+        identifiers = [f"spec{i}" for i in range(5)]
+        path = tmp_path / "assignments.tsv"
+        assert write_assignments_tsv(labels, identifiers, path) == 5
+        read_ids, read_labels = read_assignments_tsv(path)
+        assert read_ids == identifiers
+        np.testing.assert_array_equal(read_labels, labels)
+
+    def test_extra_columns(self):
+        buffer = io.StringIO()
+        write_assignments_tsv(
+            np.array([0, 1]),
+            ["a", "b"],
+            buffer,
+            extra_columns={"peptide": ["PEPK", "TIDEK"]},
+        )
+        text = buffer.getvalue()
+        assert "identifier\tcluster\tpeptide" in text
+        assert "a\t0\tPEPK" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ClusteringError):
+            write_assignments_tsv(np.array([0]), ["a", "b"], io.StringIO())
+
+    def test_bad_extra_column_rejected(self):
+        with pytest.raises(ClusteringError):
+            write_assignments_tsv(
+                np.array([0]), ["a"], io.StringIO(),
+                extra_columns={"x": [1, 2]},
+            )
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ClusteringError, match="bad header"):
+            read_assignments_tsv(io.StringIO("foo\tbar\n"))
+
+    def test_non_integer_cluster_rejected(self):
+        buffer = io.StringIO("identifier\tcluster\na\tx\n")
+        with pytest.raises(ClusteringError, match="non-integer"):
+            read_assignments_tsv(buffer)

@@ -1,0 +1,122 @@
+"""Tests for the Lance–Williams linkage algebra."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    SUPPORTED_LINKAGES,
+    finalize_heights,
+    lance_williams_coefficients,
+    prepare_distances,
+    update_distance,
+    update_distance_rows,
+    validate_linkage,
+)
+from repro.errors import ClusteringError
+
+
+class TestCoefficients:
+    def test_single_linkage(self):
+        assert lance_williams_coefficients("single", 1, 1, 1) == (
+            0.5, 0.5, 0.0, -0.5
+        )
+
+    def test_complete_linkage(self):
+        assert lance_williams_coefficients("complete", 3, 5, 2) == (
+            0.5, 0.5, 0.0, 0.5
+        )
+
+    def test_average_linkage_weights_by_size(self):
+        alpha_i, alpha_j, beta, gamma = lance_williams_coefficients(
+            "average", 3, 1, 7
+        )
+        assert alpha_i == pytest.approx(0.75)
+        assert alpha_j == pytest.approx(0.25)
+        assert beta == 0.0 and gamma == 0.0
+
+    def test_ward_coefficients(self):
+        alpha_i, alpha_j, beta, gamma = lance_williams_coefficients(
+            "ward", 2, 3, 5
+        )
+        assert alpha_i == pytest.approx(7 / 10)
+        assert alpha_j == pytest.approx(8 / 10)
+        assert beta == pytest.approx(-5 / 10)
+        assert gamma == 0.0
+
+    def test_unknown_linkage_rejected(self):
+        with pytest.raises(ClusteringError, match="unknown linkage"):
+            lance_williams_coefficients("centroid", 1, 1, 1)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ClusteringError):
+            lance_williams_coefficients("single", 0, 1, 1)
+
+
+class TestScalarUpdate:
+    def test_single_is_min(self):
+        assert update_distance("single", 2.0, 5.0, 1.0, 1, 1, 1) == 2.0
+
+    def test_complete_is_max(self):
+        assert update_distance("complete", 2.0, 5.0, 1.0, 1, 1, 1) == 5.0
+
+    def test_average_is_weighted_mean(self):
+        result = update_distance("average", 2.0, 6.0, 1.0, 1, 3, 1)
+        assert result == pytest.approx((2.0 + 3 * 6.0) / 4)
+
+
+class TestRowUpdate:
+    @pytest.mark.parametrize("linkage", SUPPORTED_LINKAGES)
+    def test_rows_match_scalar(self, linkage, rng):
+        d_ik = rng.uniform(1, 10, 8)
+        d_jk = rng.uniform(1, 10, 8)
+        sizes_k = rng.integers(1, 5, 8)
+        d_ij = 0.5
+        rows = update_distance_rows(linkage, d_ik, d_jk, d_ij, 2, 3, sizes_k)
+        for index in range(8):
+            scalar = update_distance(
+                linkage,
+                float(d_ik[index]),
+                float(d_jk[index]),
+                d_ij,
+                2,
+                3,
+                int(sizes_k[index]),
+            )
+            assert rows[index] == pytest.approx(scalar)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ClusteringError):
+            update_distance_rows(
+                "single", np.ones(3), np.ones(4), 1.0, 1, 1, np.ones(3)
+            )
+
+    def test_ward_requires_matching_sizes(self):
+        with pytest.raises(ClusteringError):
+            update_distance_rows(
+                "ward", np.ones(3), np.ones(3), 1.0, 1, 1, np.ones(4)
+            )
+
+
+class TestPrepareFinalize:
+    def test_ward_squares_and_sqrt_roundtrip(self):
+        distances = np.array([2.0, 3.0])
+        prepared = prepare_distances("ward", distances)
+        np.testing.assert_allclose(prepared, [4.0, 9.0])
+        np.testing.assert_allclose(
+            finalize_heights("ward", prepared), distances
+        )
+
+    def test_other_linkages_pass_through(self):
+        distances = np.array([2.0, 3.0])
+        np.testing.assert_allclose(
+            prepare_distances("complete", distances), distances
+        )
+
+    def test_prepare_returns_copy(self):
+        distances = np.array([2.0])
+        prepared = prepare_distances("complete", distances)
+        prepared[0] = 99.0
+        assert distances[0] == 2.0
+
+    def test_validate_normalises_case(self):
+        assert validate_linkage(" Complete ") == "complete"

@@ -1,0 +1,146 @@
+"""Tests for the clustering-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    clustered_spectra_ratio,
+    completeness,
+    incorrect_clustering_ratio,
+    quality_report,
+    threshold_for_target_icr,
+)
+from repro.cluster.metrics import QualityReport
+from repro.errors import ClusteringError
+
+
+class TestClusteredRatio:
+    def test_all_singletons_zero(self):
+        assert clustered_spectra_ratio(np.arange(5)) == 0.0
+
+    def test_all_one_cluster(self):
+        assert clustered_spectra_ratio(np.zeros(5, dtype=int)) == 1.0
+
+    def test_noise_counts_as_unclustered(self):
+        labels = np.array([0, 0, -1, -1])
+        assert clustered_spectra_ratio(labels) == pytest.approx(0.5)
+
+    def test_mixed(self):
+        labels = np.array([0, 0, 0, 1, 2])  # 3 clustered of 5
+        assert clustered_spectra_ratio(labels) == pytest.approx(0.6)
+
+    def test_empty(self):
+        assert clustered_spectra_ratio(np.array([], dtype=int)) == 0.0
+
+
+class TestICR:
+    def test_pure_clusters_zero(self):
+        labels = np.array([0, 0, 1, 1])
+        truth = ["A", "A", "B", "B"]
+        assert incorrect_clustering_ratio(labels, truth) == 0.0
+
+    def test_minority_counted(self):
+        labels = np.array([0, 0, 0, 0])
+        truth = ["A", "A", "A", "B"]
+        assert incorrect_clustering_ratio(labels, truth) == pytest.approx(0.25)
+
+    def test_singletons_excluded(self):
+        labels = np.array([0, 1, 2, 3])
+        truth = ["A", "B", "C", "D"]
+        assert incorrect_clustering_ratio(labels, truth) == 0.0
+
+    def test_unlabelled_excluded(self):
+        labels = np.array([0, 0, 0])
+        truth = ["A", "A", None]
+        assert incorrect_clustering_ratio(labels, truth) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ClusteringError):
+            incorrect_clustering_ratio(np.array([0]), ["A", "B"])
+
+
+class TestCompleteness:
+    def test_perfect_clustering(self):
+        labels = np.array([0, 0, 1, 1])
+        truth = ["A", "A", "B", "B"]
+        assert completeness(labels, truth) == pytest.approx(1.0)
+
+    def test_split_class_penalised(self):
+        labels = np.array([0, 1, 2, 2])
+        truth = ["A", "A", "B", "B"]
+        value = completeness(labels, truth)
+        assert 0.0 <= value < 1.0
+
+    def test_single_class_gathered_is_one(self):
+        labels = np.array([0, 0])
+        truth = ["A", "A"]
+        assert completeness(labels, truth) == pytest.approx(1.0)
+
+    def test_single_class_split_is_zero(self):
+        labels = np.array([0, 1])
+        truth = ["A", "A"]
+        assert completeness(labels, truth) == pytest.approx(0.0)
+
+    def test_matches_sklearn_formula(self, rng):
+        """Cross-check against hand-computed V-measure completeness."""
+        from collections import Counter
+
+        labels = rng.integers(0, 5, 60)
+        classes = [f"C{int(c)}" for c in rng.integers(0, 4, 60)]
+        value = completeness(labels, classes)
+
+        total = 60
+        cluster_counts = Counter(labels.tolist())
+        h_c = -sum(
+            (c / total) * np.log(c / total) for c in cluster_counts.values()
+        )
+        joint = Counter(zip(classes, labels.tolist()))
+        class_counts = Counter(classes)
+        h_c_given_k = -sum(
+            (n / total) * np.log(n / class_counts[peptide])
+            for (peptide, _), n in joint.items()
+        )
+        expected = 1.0 - h_c_given_k / h_c
+        assert value == pytest.approx(expected)
+
+    def test_all_unlabelled_returns_one(self):
+        assert completeness(np.array([0, 1]), [None, None]) == 1.0
+
+
+class TestQualityReport:
+    def test_bundle_fields(self):
+        labels = np.array([0, 0, 1])
+        truth = ["A", "A", "B"]
+        report = quality_report(labels, truth)
+        assert isinstance(report, QualityReport)
+        assert report.num_spectra == 3
+        assert report.num_clusters == 2
+        assert "clustered" in str(report)
+
+
+class TestThresholdTuning:
+    def test_picks_most_aggressive_within_budget(self):
+        # Larger threshold -> higher clustered ratio and higher ICR.
+        def evaluate(threshold):
+            return QualityReport(
+                clustered_spectra_ratio=threshold,
+                incorrect_clustering_ratio=threshold / 10.0,
+                completeness=0.8,
+                num_spectra=100,
+                num_clusters=10,
+            )
+
+        chosen = threshold_for_target_icr(
+            evaluate, [0.05, 0.1, 0.2, 0.3], target_icr=0.011
+        )
+        assert chosen == 0.1
+
+    def test_falls_back_to_smallest(self):
+        def evaluate(threshold):
+            return QualityReport(1.0, 0.5, 0.5, 10, 1)
+
+        assert threshold_for_target_icr(evaluate, [0.3, 0.1], 0.01) == 0.1
+
+    def test_empty_thresholds_rejected(self):
+        with pytest.raises(ClusteringError):
+            threshold_for_target_icr(lambda t: None, [], 0.01)

@@ -1,0 +1,120 @@
+"""Tests for pair-counting metrics and the adjusted Rand index."""
+
+from math import comb
+
+import numpy as np
+import pytest
+
+from repro.cluster.paircounts import (
+    PairCounts,
+    adjusted_rand_index,
+    pair_counts,
+)
+from repro.errors import ClusteringError
+
+
+class TestPairCounts:
+    def test_perfect_clustering(self):
+        labels = np.array([0, 0, 1, 1])
+        truth = ["A", "A", "B", "B"]
+        counts = pair_counts(labels, truth)
+        assert counts.true_positive == 2
+        assert counts.false_positive == 0
+        assert counts.false_negative == 0
+        assert counts.true_negative == 4
+        assert counts.precision == 1.0
+        assert counts.recall == 1.0
+        assert counts.f1 == 1.0
+        assert counts.rand_index == 1.0
+
+    def test_one_bad_merge(self):
+        labels = np.array([0, 0, 0, 1])
+        truth = ["A", "A", "B", "B"]
+        counts = pair_counts(labels, truth)
+        # co-clustered pairs: (0,1) TP, (0,2) FP, (1,2) FP.
+        assert counts.true_positive == 1
+        assert counts.false_positive == 2
+        # same-class split pair: (2,3).
+        assert counts.false_negative == 1
+        assert counts.precision == pytest.approx(1 / 3)
+        assert counts.recall == pytest.approx(1 / 2)
+
+    def test_all_singletons(self):
+        labels = np.arange(5)
+        truth = ["A"] * 5
+        counts = pair_counts(labels, truth)
+        assert counts.true_positive == 0
+        assert counts.false_negative == comb(5, 2)
+        assert counts.precision == 1.0  # vacuous
+        assert counts.recall == 0.0
+
+    def test_noise_points_are_singletons(self):
+        labels = np.array([-1, -1, 0, 0])
+        truth = ["A", "A", "A", "A"]
+        counts = pair_counts(labels, truth)
+        assert counts.true_positive == 1  # only the 0-0 pair
+        assert counts.false_positive == 0
+
+    def test_unlabelled_excluded(self):
+        labels = np.array([0, 0, 0])
+        truth = ["A", "A", None]
+        counts = pair_counts(labels, truth)
+        assert counts.true_positive == 1
+        assert counts.false_positive == 0
+
+    def test_matches_brute_force(self, rng):
+        labels = rng.integers(0, 4, 30)
+        truth = [f"P{int(x)}" for x in rng.integers(0, 3, 30)]
+        counts = pair_counts(labels, truth)
+        tp = fp = fn = tn = 0
+        for i in range(30):
+            for j in range(i + 1, 30):
+                same_cluster = labels[i] == labels[j]
+                same_class = truth[i] == truth[j]
+                if same_cluster and same_class:
+                    tp += 1
+                elif same_cluster:
+                    fp += 1
+                elif same_class:
+                    fn += 1
+                else:
+                    tn += 1
+        assert (counts.true_positive, counts.false_positive,
+                counts.false_negative, counts.true_negative) == (tp, fp, fn, tn)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ClusteringError):
+            pair_counts(np.array([0]), ["A", "B"])
+
+
+class TestAdjustedRand:
+    def test_perfect_is_one(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        truth = ["A", "A", "B", "B", "C", "C"]
+        assert adjusted_rand_index(labels, truth) == pytest.approx(1.0)
+
+    def test_label_permutation_invariant(self):
+        truth = ["A", "A", "B", "B", "C", "C"]
+        first = adjusted_rand_index(np.array([0, 0, 1, 1, 2, 2]), truth)
+        second = adjusted_rand_index(np.array([5, 5, 9, 9, 1, 1]), truth)
+        assert first == pytest.approx(second)
+
+    def test_random_labels_near_zero(self, rng):
+        values = []
+        for trial in range(10):
+            labels = rng.integers(0, 5, 200)
+            truth = [f"P{int(x)}" for x in rng.integers(0, 5, 200)]
+            values.append(adjusted_rand_index(labels, truth))
+        assert abs(float(np.mean(values))) < 0.05
+
+    def test_single_cluster_vs_many_classes(self):
+        labels = np.zeros(6, dtype=int)
+        truth = ["A", "A", "B", "B", "C", "C"]
+        ari = adjusted_rand_index(labels, truth)
+        assert ari == pytest.approx(0.0, abs=1e-9)
+
+    def test_worse_than_chance_is_negative(self):
+        # Systematically split every class across two clusters.
+        labels = np.array([0, 1, 0, 1])
+        truth = ["A", "A", "B", "B"]
+        assert adjusted_rand_index(labels, truth) < 0.0

@@ -1,0 +1,107 @@
+"""Tests for cluster summaries."""
+
+import numpy as np
+import pytest
+
+from repro import SpecHDConfig, SpecHDPipeline
+from repro.cluster.summarize import summarize_clusters, summaries_to_table
+from repro.datasets import generate_dataset, get_workload
+from repro.errors import ClusteringError
+from repro.hdc import EncoderConfig
+
+
+@pytest.fixture(scope="module")
+def run():
+    data = generate_dataset(get_workload("easy"))
+    pipeline = SpecHDPipeline(
+        SpecHDConfig(
+            encoder=EncoderConfig(dim=1024, mz_bins=8_000, intensity_levels=32),
+            cluster_threshold=0.35,
+        )
+    )
+    return data, pipeline.run(data.spectra)
+
+
+class TestSummaries:
+    def test_covers_all_clusters(self, run):
+        data, result = run
+        summaries = summarize_clusters(
+            result.spectra,
+            result.labels,
+            result.distances_by_bucket,
+            result.bucket_keys,
+            result.medoids,
+        )
+        assert {s.label for s in summaries} == set(
+            int(l) for l in result.labels
+        )
+
+    def test_sizes_sum_to_total(self, run):
+        data, result = run
+        summaries = summarize_clusters(result.spectra, result.labels)
+        assert sum(s.size for s in summaries) == len(result.spectra)
+
+    def test_min_size_filter(self, run):
+        data, result = run
+        multi = summarize_clusters(
+            result.spectra, result.labels, min_size=2
+        )
+        assert all(s.size >= 2 for s in multi)
+
+    def test_intra_distance_populated_for_multi(self, run):
+        data, result = run
+        summaries = summarize_clusters(
+            result.spectra,
+            result.labels,
+            result.distances_by_bucket,
+            result.bucket_keys,
+            result.medoids,
+            min_size=2,
+        )
+        assert summaries
+        for summary in summaries:
+            assert summary.intra_max_distance >= summary.intra_mean_distance
+            assert summary.intra_mean_distance > 0
+
+    def test_purity_on_clean_data(self, run):
+        data, result = run
+        summaries = summarize_clusters(
+            result.spectra, result.labels, min_size=2
+        )
+        # The easy workload clusters purely.
+        assert all(s.purity == pytest.approx(1.0) for s in summaries)
+        assert all(s.majority_peptide for s in summaries)
+
+    def test_medoid_identifier_matches(self, run):
+        data, result = run
+        summaries = summarize_clusters(
+            result.spectra,
+            result.labels,
+            result.distances_by_bucket,
+            result.bucket_keys,
+            result.medoids,
+            min_size=2,
+        )
+        for summary in summaries:
+            medoid = result.medoids[summary.label]
+            assert (
+                summary.medoid_identifier
+                == result.spectra[medoid].identifier
+            )
+
+    def test_length_mismatch_rejected(self, run):
+        data, result = run
+        with pytest.raises(ClusteringError):
+            summarize_clusters(result.spectra[:-1], result.labels)
+
+
+class TestTable:
+    def test_render(self, run):
+        data, result = run
+        summaries = summarize_clusters(
+            result.spectra, result.labels, min_size=2
+        )
+        table = summaries_to_table(summaries)
+        assert "cluster" in table
+        assert "purity" in table
+        assert len(table.splitlines()) == len(summaries) + 2

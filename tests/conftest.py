@@ -1,0 +1,54 @@
+"""Shared fixtures for the SpecHD reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import SyntheticConfig, generate_dataset
+from repro.hdc import EncoderConfig, IDLevelEncoder
+from repro.spectrum import MassSpectrum
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """Deterministic RNG shared across tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def simple_spectrum() -> MassSpectrum:
+    """A small hand-built spectrum with known peaks."""
+    return MassSpectrum(
+        identifier="simple",
+        precursor_mz=500.25,
+        precursor_charge=2,
+        mz=np.array([150.0, 200.5, 350.75, 420.0, 890.1]),
+        intensity=np.array([10.0, 55.0, 100.0, 20.0, 5.0]),
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_encoder() -> IDLevelEncoder:
+    """A small-dimension encoder (fast to build, shared session-wide)."""
+    return IDLevelEncoder(
+        EncoderConfig(dim=256, mz_bins=2_000, intensity_levels=16)
+    )
+
+
+@pytest.fixture(scope="session")
+def labelled_dataset():
+    """A compact synthetic labelled dataset shared across tests."""
+    return generate_dataset(
+        SyntheticConfig(
+            num_peptides=20, replicates_per_peptide=8, seed=99
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def random_distance_matrix(rng) -> np.ndarray:
+    """A random symmetric distance matrix from Euclidean points (n=30)."""
+    points = rng.normal(size=(30, 5))
+    deltas = points[:, None, :] - points[None, :, :]
+    return np.sqrt((deltas ** 2).sum(axis=-1))

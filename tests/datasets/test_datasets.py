@@ -1,0 +1,122 @@
+"""Tests for PRIDE descriptors and the synthetic generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_ORDER,
+    PRIDE_DATASETS,
+    SyntheticConfig,
+    generate_dataset,
+    get_dataset,
+    small_benchmark_dataset,
+)
+from repro.errors import ConfigurationError
+from repro.search import peptide_mz
+from repro.units import GB
+
+
+class TestPrideDescriptors:
+    def test_all_five_present(self):
+        assert len(PRIDE_DATASETS) == 5
+        assert set(DATASET_ORDER) == set(PRIDE_DATASETS)
+
+    def test_table1_values(self):
+        human = get_dataset("PXD000561")
+        assert human.num_spectra == 21_100_000
+        assert human.size_gb == pytest.approx(131.0, rel=0.01)
+        assert human.paper_pp_seconds == 43.38
+        assert human.paper_pp_joules == 382.62
+
+    def test_bytes_per_spectrum_ordering(self):
+        # PXD001197 (25 GB / 1.1 M) is profile-heavy -> most bytes/spectrum.
+        heaviest = max(
+            PRIDE_DATASETS.values(), key=lambda d: d.bytes_per_spectrum
+        )
+        assert heaviest.pride_id == "PXD001197"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown dataset"):
+            get_dataset("PXD999999")
+
+
+class TestSyntheticGenerator:
+    def test_shape_and_labels(self, labelled_dataset):
+        assert len(labelled_dataset.spectra) == len(labelled_dataset.labels)
+        assert len(labelled_dataset) == 20 * 8
+
+    def test_labels_match_metadata(self, labelled_dataset):
+        for spectrum, label in zip(
+            labelled_dataset.spectra, labelled_dataset.labels
+        ):
+            if label is not None:
+                assert spectrum.metadata["peptide"] == label
+
+    def test_precursor_consistent_with_peptide(self, labelled_dataset):
+        for spectrum in labelled_dataset.spectra[:20]:
+            peptide = spectrum.metadata["peptide"]
+            expected = peptide_mz(peptide, spectrum.precursor_charge)
+            assert spectrum.precursor_mz == pytest.approx(expected, rel=1e-4)
+
+    def test_deterministic_for_seed(self):
+        config = SyntheticConfig(num_peptides=5, replicates_per_peptide=3, seed=5)
+        first = generate_dataset(config)
+        second = generate_dataset(config)
+        assert first.peptides == second.peptides
+        np.testing.assert_array_equal(
+            first.spectra[0].mz, second.spectra[0].mz
+        )
+
+    def test_different_seeds_differ(self):
+        first = generate_dataset(SyntheticConfig(num_peptides=5, seed=1))
+        second = generate_dataset(SyntheticConfig(num_peptides=5, seed=2))
+        assert first.peptides != second.peptides
+
+    def test_unlabeled_fraction(self):
+        data = generate_dataset(
+            SyntheticConfig(
+                num_peptides=10,
+                replicates_per_peptide=10,
+                unlabeled_fraction=0.5,
+                seed=3,
+            )
+        )
+        unlabeled = sum(1 for label in data.labels if label is None)
+        assert 0.3 < unlabeled / len(data.labels) < 0.7
+
+    def test_noise_peaks_present(self):
+        noisy = generate_dataset(
+            SyntheticConfig(num_peptides=3, noise_peaks=30, seed=4)
+        )
+        clean = generate_dataset(
+            SyntheticConfig(num_peptides=3, noise_peaks=0, seed=4)
+        )
+        mean_noisy = np.mean([s.peak_count for s in noisy.spectra])
+        mean_clean = np.mean([s.peak_count for s in clean.spectra])
+        assert mean_noisy > mean_clean + 20
+
+    def test_replicates_share_precursor_bucket(self):
+        from repro.spectrum import BucketingConfig, bucket_key
+
+        data = generate_dataset(
+            SyntheticConfig(num_peptides=5, replicates_per_peptide=5, seed=6)
+        )
+        by_peptide = {}
+        for spectrum in data.spectra:
+            by_peptide.setdefault(
+                spectrum.metadata["peptide"], []
+            ).append(bucket_key(spectrum, BucketingConfig(resolution=1.0)))
+        for keys in by_peptide.values():
+            assert len(set(keys)) == 1
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticConfig(num_peptides=0)
+        with pytest.raises(ConfigurationError):
+            SyntheticConfig(charge_states=())
+        with pytest.raises(ConfigurationError):
+            SyntheticConfig(dropout_probability=1.0)
+
+    def test_small_benchmark_dataset(self):
+        data = small_benchmark_dataset()
+        assert len(data) == 40 * 12

@@ -1,0 +1,40 @@
+"""Tests for workload presets."""
+
+import pytest
+
+from repro.datasets import generate_dataset
+from repro.datasets.workloads import WORKLOADS, get_workload, workload_names
+from repro.errors import ConfigurationError
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert set(workload_names()) == set(WORKLOADS)
+        assert "evaluation" in workload_names()
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown workload"):
+            get_workload("nope")
+
+    def test_all_presets_generate(self):
+        for name in workload_names():
+            config = get_workload(name)
+            data = generate_dataset(config)
+            assert len(data) > 0, name
+            assert len(data.spectra) == len(data.labels), name
+
+    def test_easy_has_no_confusables(self):
+        assert get_workload("easy").peptides_per_mass_group == 1
+
+    def test_evaluation_is_singleton_heavy(self):
+        config = get_workload("evaluation")
+        replicated = config.num_peptides * config.replicates_per_peptide
+        assert config.extra_singleton_peptides >= replicated * 0.8
+
+    def test_search_has_unlabelled(self):
+        assert get_workload("search").unlabeled_fraction > 0
+
+    def test_presets_are_deterministic(self):
+        first = generate_dataset(get_workload("easy"))
+        second = generate_dataset(get_workload("easy"))
+        assert first.peptides == second.peptides

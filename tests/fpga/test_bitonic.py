@@ -1,0 +1,103 @@
+"""Tests for the bitonic sorting network."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fpga import (
+    bitonic_comparator_count,
+    bitonic_sort,
+    bitonic_stage_count,
+    bitonic_top_k,
+    is_power_of_two,
+    next_power_of_two,
+    top_k_selector_cycles,
+)
+
+
+class TestPowerOfTwo:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(64)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(48)
+
+    def test_next_power_of_two(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(33) == 64
+        with pytest.raises(ConfigurationError):
+            next_power_of_two(0)
+
+
+class TestNetworkCosts:
+    def test_stage_count_formula(self):
+        # width 64: k=6 -> 6*7/2 = 21 stages.
+        assert bitonic_stage_count(64) == 21
+        assert bitonic_stage_count(2) == 1
+        assert bitonic_stage_count(8) == 6
+
+    def test_comparator_count(self):
+        assert bitonic_comparator_count(8) == 6 * 4
+
+    def test_non_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bitonic_stage_count(48)
+
+
+class TestFunctionalSort:
+    def test_matches_numpy_sort(self, rng):
+        for size in (1, 2, 7, 16, 33, 100):
+            values = rng.normal(size=size)
+            np.testing.assert_allclose(
+                bitonic_sort(values), np.sort(values)
+            )
+
+    def test_descending(self, rng):
+        values = rng.normal(size=50)
+        np.testing.assert_allclose(
+            bitonic_sort(values, descending=True), np.sort(values)[::-1]
+        )
+
+    def test_duplicates(self):
+        values = np.array([3.0, 1.0, 3.0, 1.0, 2.0])
+        np.testing.assert_allclose(bitonic_sort(values), np.sort(values))
+
+    def test_empty(self):
+        assert bitonic_sort(np.array([])).size == 0
+
+    def test_2d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bitonic_sort(np.zeros((2, 2)))
+
+
+class TestTopK:
+    def test_values_are_k_largest_descending(self, rng):
+        values = rng.normal(size=40)
+        _, top_values = bitonic_top_k(values, 5)
+        np.testing.assert_allclose(top_values, np.sort(values)[::-1][:5])
+
+    def test_indices_recover_values(self, rng):
+        values = rng.normal(size=40)
+        indices, top_values = bitonic_top_k(values, 5)
+        np.testing.assert_allclose(np.sort(values[indices]), np.sort(top_values))
+
+    def test_k_larger_than_input(self):
+        values = np.array([2.0, 1.0])
+        indices, top_values = bitonic_top_k(values, 10)
+        assert top_values.size == 2
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            bitonic_top_k(np.array([1.0]), 0)
+
+
+class TestSelectorCycles:
+    def test_scales_with_peak_count(self):
+        assert top_k_selector_cycles(400) > top_k_selector_cycles(100)
+
+    def test_zero_peaks(self):
+        assert top_k_selector_cycles(0) == 0.0
+
+    def test_includes_fill_latency(self):
+        # One block of 64: fill (21) + 64.
+        assert top_k_selector_cycles(64, width=64) == 21 + 64

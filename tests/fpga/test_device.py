@@ -1,0 +1,81 @@
+"""Tests for the U280 device/resource model."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.fpga import (
+    ResourceUsage,
+    U280Device,
+    cluster_kernel_usage,
+    encoder_kernel_usage,
+    max_cluster_kernels,
+)
+
+
+class TestResourceUsage:
+    def test_scaled(self):
+        usage = ResourceUsage(lut=10, bram_36k=2)
+        tripled = usage.scaled(3)
+        assert tripled.lut == 30
+        assert tripled.bram_36k == 6
+
+    def test_plus(self):
+        total = ResourceUsage(lut=10).plus(ResourceUsage(lut=5, dsp=1))
+        assert total.lut == 15
+        assert total.dsp == 1
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ResourceUsage().scaled(-1)
+
+
+class TestPlacement:
+    def test_place_within_budget(self):
+        device = U280Device()
+        device.place("encoder", encoder_kernel_usage(), 1)
+        assert device.kernel_counts() == {"encoder": 1}
+        assert 0.0 < device.utilization()["lut"] < 1.0
+
+    def test_overflow_raises_capacity_error(self):
+        device = U280Device()
+        huge = ResourceUsage(uram=10_000)
+        with pytest.raises(CapacityError, match="uram"):
+            device.place("monster", huge)
+
+    def test_failed_placement_does_not_commit(self):
+        device = U280Device()
+        try:
+            device.place("monster", ResourceUsage(uram=10_000))
+        except CapacityError:
+            pass
+        assert device.utilization()["uram"] == 0.0
+
+    def test_zero_count_rejected(self):
+        device = U280Device()
+        with pytest.raises(ConfigurationError):
+            device.place("k", ResourceUsage(), 0)
+
+
+class TestDesignPoint:
+    def test_paper_design_point_five_kernels(self):
+        """The paper's configuration (1 encoder + 5 cluster kernels) fits,
+        a sixth clustering kernel does not: the URAM distance matrices are
+        the binding constraint."""
+        assert max_cluster_kernels(dim=2048, max_bucket=2_500) == 5
+
+    def test_smaller_buckets_allow_more_kernels(self):
+        assert max_cluster_kernels(dim=2048, max_bucket=1_000) > 5
+
+    def test_paper_configuration_fits_explicitly(self):
+        device = U280Device()
+        device.place("encoder", encoder_kernel_usage(2048), 1)
+        device.place("cluster", cluster_kernel_usage(2048, 2_500), 5)
+        utilization = device.utilization()
+        assert all(value <= 1.0 for value in utilization.values())
+        assert utilization["uram"] > 0.8  # URAM-bound design
+
+    def test_cycles_to_seconds(self):
+        device = U280Device()
+        assert device.cycles_to_seconds(3e8) == pytest.approx(1.0)
+        with pytest.raises(ConfigurationError):
+            device.cycles_to_seconds(-1)

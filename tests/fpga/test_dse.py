@@ -1,0 +1,104 @@
+"""Tests for the design-space exploration API."""
+
+import pytest
+
+from repro.datasets import get_dataset
+from repro.errors import ConfigurationError
+from repro.fpga.dse import (
+    DesignPoint,
+    best_feasible,
+    evaluate_point,
+    explore,
+    pareto_front,
+)
+
+DATASET = get_dataset("PXD000561")
+
+
+@pytest.fixture(scope="module")
+def points():
+    return explore(DATASET.num_spectra, DATASET.size_bytes)
+
+
+class TestEvaluatePoint:
+    def test_paper_point_feasible(self):
+        point = evaluate_point(
+            5, 2_500, 2048, DATASET.num_spectra, DATASET.size_bytes
+        )
+        assert point.feasible
+        assert point.total_seconds < 300
+        assert point.uram_utilization > 0.8
+
+    def test_oversized_point_infeasible(self):
+        point = evaluate_point(
+            8, 4_000, 2048, DATASET.num_spectra, DATASET.size_bytes
+        )
+        assert not point.feasible
+        assert point.total_seconds == float("inf")
+
+    def test_invalid_point(self):
+        with pytest.raises(ConfigurationError):
+            evaluate_point(0, 2_500, 2048, 1, 1)
+
+
+class TestExplore:
+    def test_cross_product_size(self, points):
+        assert len(points) == 8 * 6  # kernels x capacities
+
+    def test_contains_feasible_and_infeasible(self, points):
+        feasibility = {point.feasible for point in points}
+        assert feasibility == {True, False}
+
+    def test_paper_point_present(self, points):
+        match = [
+            p for p in points
+            if p.num_kernels == 5 and p.bucket_capacity == 2_500
+        ]
+        assert len(match) == 1 and match[0].feasible
+
+
+class TestPareto:
+    def test_front_nonempty_and_feasible(self, points):
+        front = pareto_front(points)
+        assert front
+        assert all(point.feasible for point in front)
+
+    def test_front_is_mutually_nondominated(self, points):
+        front = pareto_front(points)
+        for a in front:
+            for b in front:
+                assert not a.dominates(b) or a == b
+
+    def test_dominated_points_excluded(self, points):
+        front = pareto_front(points)
+        front_set = {
+            (p.num_kernels, p.bucket_capacity) for p in front
+        }
+        for point in points:
+            if not point.feasible:
+                continue
+            if any(other.dominates(point) for other in front):
+                assert (
+                    point.num_kernels, point.bucket_capacity
+                ) not in front_set
+
+    def test_dominance_semantics(self):
+        fast = DesignPoint(1, 1000, 2048, True, 10.0, 100.0)
+        slow = DesignPoint(1, 1000, 2048, True, 20.0, 200.0)
+        infeasible = DesignPoint(9, 9000, 2048, False)
+        assert fast.dominates(slow)
+        assert not slow.dominates(fast)
+        assert fast.dominates(infeasible)
+        assert not infeasible.dominates(fast)
+
+
+class TestBestFeasible:
+    def test_returns_extremes(self, points):
+        fastest, frugal = best_feasible(points)
+        assert fastest.feasible and frugal.feasible
+        assert fastest.total_seconds <= frugal.total_seconds
+        assert frugal.energy_joules <= fastest.energy_joules
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            best_feasible([DesignPoint(9, 9000, 2048, False)])

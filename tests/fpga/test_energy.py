@@ -1,0 +1,91 @@
+"""Tests for the energy meters and efficiency accounting."""
+
+import pytest
+
+from repro.datasets import get_dataset
+from repro.errors import ConfigurationError
+from repro.fpga import (
+    CPU_SERVER,
+    DevicePower,
+    EnergyMeter,
+    FPGA_U280,
+    GPU_RTX3090,
+    energy_efficiency,
+    project_dataset,
+    spechd_clustering_energy,
+    spechd_end_to_end_energy,
+)
+
+
+class TestDevicePower:
+    def test_negative_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DevicePower("bad", -1.0)
+
+    def test_catalogue_ordering(self):
+        """GPU > CPU > FPGA active power, the premise of Fig. 9."""
+        assert GPU_RTX3090.active_w > CPU_SERVER.active_w > FPGA_U280.active_w
+
+
+class TestEnergyMeter:
+    def test_full_duty_active_power(self):
+        meter = EnergyMeter()
+        joules = meter.record(FPGA_U280, "x", 10.0, duty=1.0)
+        assert joules == pytest.approx(10.0 * FPGA_U280.active_w)
+
+    def test_zero_duty_idle_power(self):
+        meter = EnergyMeter()
+        joules = meter.record(FPGA_U280, "x", 10.0, duty=0.0)
+        assert joules == pytest.approx(10.0 * FPGA_U280.idle_w)
+
+    def test_duty_blend(self):
+        meter = EnergyMeter()
+        joules = meter.record(CPU_SERVER, "x", 1.0, duty=0.5)
+        expected = 0.5 * CPU_SERVER.active_w + 0.5 * CPU_SERVER.idle_w
+        assert joules == pytest.approx(expected)
+
+    def test_aggregations(self):
+        meter = EnergyMeter()
+        meter.record(FPGA_U280, "a", 1.0)
+        meter.record(FPGA_U280, "b", 2.0)
+        meter.record(CPU_SERVER, "a", 1.0)
+        assert meter.total_joules() == pytest.approx(
+            sum(meter.by_device().values())
+        )
+        assert set(meter.by_phase()) == {"a", "b"}
+
+    def test_invalid_duty(self):
+        with pytest.raises(ConfigurationError):
+            EnergyMeter().record(FPGA_U280, "x", 1.0, duty=1.5)
+
+
+class TestEfficiency:
+    def test_ratio(self):
+        assert energy_efficiency(100.0, 10.0) == pytest.approx(10.0)
+
+    def test_zero_spechd_rejected(self):
+        with pytest.raises(ConfigurationError):
+            energy_efficiency(100.0, 0.0)
+
+
+class TestSpecHDEnergy:
+    def test_end_to_end_exceeds_clustering(self):
+        dataset = get_dataset("PXD000561")
+        report = project_dataset(dataset.num_spectra, dataset.size_bytes)
+        assert spechd_end_to_end_energy(report) > spechd_clustering_energy(
+            report
+        )
+
+    def test_clustering_energy_is_fpga_only(self):
+        dataset = get_dataset("PXD000561")
+        report = project_dataset(dataset.num_spectra, dataset.size_bytes)
+        expected = report.cluster_seconds * FPGA_U280.active_w
+        assert spechd_clustering_energy(report) == pytest.approx(expected)
+
+    def test_magnitude_kilojoules(self):
+        """SpecHD processes the 131 GB dataset for a few kJ — the scale that
+        makes 14x-40x efficiency wins over GPU/CPU tools possible."""
+        dataset = get_dataset("PXD000561")
+        report = project_dataset(dataset.num_spectra, dataset.size_bytes)
+        total = spechd_end_to_end_energy(report)
+        assert 1e3 < total < 2e4

@@ -1,0 +1,82 @@
+"""Tests for the HLS pragma/timing model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fpga import (
+    PartitionPragma,
+    PipelinedLoop,
+    achievable_ii,
+    dataflow_cycles,
+    sequential_cycles,
+    unrolled_trips,
+)
+
+
+class TestPartition:
+    def test_complete_partition_all_ports(self):
+        assert PartitionPragma(factor=0).ports(depth=100) == 100
+
+    def test_cyclic_partition_dual_ported(self):
+        assert PartitionPragma(factor=4).ports(depth=100) == 8
+
+    def test_ports_capped_by_depth(self):
+        assert PartitionPragma(factor=64).ports(depth=10) == 10
+
+    def test_invalid_factor(self):
+        with pytest.raises(ConfigurationError):
+            PartitionPragma(factor=-1).ports(10)
+
+
+class TestPipelinedLoop:
+    def test_ii_one_formula(self):
+        loop = PipelinedLoop(trips=100, ii=1.0, depth=8)
+        assert loop.cycles() == 8 + 99
+
+    def test_ii_two(self):
+        loop = PipelinedLoop(trips=100, ii=2.0, depth=8)
+        assert loop.cycles() == 8 + 2 * 99
+
+    def test_zero_trips(self):
+        assert PipelinedLoop(trips=0).cycles() == 0.0
+
+    def test_invalid_ii(self):
+        with pytest.raises(ConfigurationError):
+            PipelinedLoop(trips=1, ii=0.0)
+
+
+class TestUnroll:
+    def test_exact_division(self):
+        assert unrolled_trips(128, 8) == 16
+
+    def test_ceil_division(self):
+        assert unrolled_trips(130, 8) == 17
+
+    def test_identity(self):
+        assert unrolled_trips(7, 1) == 7
+
+
+class TestAchievableII:
+    def test_port_bound(self):
+        assert achievable_ii(reads_per_iteration=8, ports=2) == 4.0
+
+    def test_dependency_bound(self):
+        assert achievable_ii(2, 4, carried_dependency_ii=3.0) == 3.0
+
+    def test_floor_of_one(self):
+        assert achievable_ii(1, 16) == 1.0
+
+
+class TestComposition:
+    def test_dataflow_is_max(self):
+        assert dataflow_cycles([100.0, 50.0, 75.0]) == 100.0
+
+    def test_sequential_is_sum(self):
+        assert sequential_cycles([100.0, 50.0]) == 150.0
+
+    def test_dataflow_beats_sequential(self):
+        stages = [120.0, 80.0, 100.0]
+        assert dataflow_cycles(stages) < sequential_cycles(stages)
+
+    def test_empty_dataflow(self):
+        assert dataflow_cycles([]) == 0.0

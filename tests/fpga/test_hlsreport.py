@@ -1,0 +1,70 @@
+"""Tests for the HLS-style design reports."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fpga import U280Device
+from repro.fpga.hlsreport import (
+    cluster_report,
+    encoder_report,
+    full_design_report,
+    render_report,
+)
+
+
+class TestKernelReports:
+    def test_encoder_report_fields(self):
+        report = encoder_report(num_spectra=1_000)
+        assert report.name == "hd_encoding"
+        assert report.initiation_interval == 1
+        assert report.latency_cycles > 0
+        assert report.latency_seconds > 0
+        assert report.resources.lut > 0
+
+    def test_cluster_report_ii_scales_with_dim(self):
+        narrow = cluster_report(bucket_size=1_000, dim=1024)
+        wide = cluster_report(bucket_size=1_000, dim=4096)
+        assert wide.initiation_interval > narrow.initiation_interval
+
+    def test_cluster_latency_grows_with_bucket(self):
+        small = cluster_report(bucket_size=500)
+        large = cluster_report(bucket_size=2_500)
+        assert large.latency_cycles > small.latency_cycles
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            encoder_report(num_spectra=0)
+        with pytest.raises(ConfigurationError):
+            cluster_report(bucket_size=1)
+
+    def test_utilization_fractions(self):
+        device = U280Device()
+        report = cluster_report()
+        utilization = report.utilization(device)
+        assert 0.0 < utilization["uram"] < 1.0
+        assert all(0.0 <= value <= 1.0 for value in utilization.values())
+
+
+class TestRendering:
+    def test_render_contains_sections(self):
+        device = U280Device()
+        text = render_report(
+            [encoder_report(), cluster_report()], device
+        )
+        assert "== Kernel: hd_encoding" in text
+        assert "== Kernel: agglomerative_ccl_kernel" in text
+        assert "II       :" in text
+        assert "URAM" in text
+
+    def test_full_design_report(self):
+        text = full_design_report()
+        assert "1x encoder + 5x clustering" in text
+        assert "Device totals" in text
+        # The URAM-bound design: totals show high URAM share.
+        assert "URAM 9" in text  # 90-something percent
+
+    def test_full_report_rejects_infeasible(self):
+        from repro.errors import CapacityError
+
+        with pytest.raises(CapacityError):
+            full_design_report(num_cluster_kernels=8, bucket_size=4_000)

@@ -1,0 +1,113 @@
+"""Tests for the kernel cycle models."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import nn_chain_linkage
+from repro.errors import ConfigurationError
+from repro.fpga import (
+    cluster_bucket_cycles,
+    distance_matrix_cycles,
+    encoder_cycles,
+    encoder_timing,
+    nnchain_cycles_estimate,
+    nnchain_cycles_from_stats,
+)
+from repro.fpga import constants
+
+
+class TestEncoderModel:
+    def test_linear_in_spectra(self):
+        assert encoder_cycles(2_000) == pytest.approx(2 * encoder_cycles(1_000))
+
+    def test_per_spectrum_cost(self):
+        # 50 peaks at II=1 + 8 fill + 4 drain.
+        per_spectrum = encoder_cycles(1, peaks_per_spectrum=50)
+        assert per_spectrum == pytest.approx(8 + 49 + 4)
+
+    def test_timing_wrapper(self):
+        timing = encoder_timing(300_000_000)
+        assert timing.seconds == pytest.approx(
+            timing.cycles / constants.U280_CLOCK_HZ
+        )
+
+    def test_invalid_dim(self):
+        with pytest.raises(ConfigurationError):
+            encoder_cycles(10, dim=100)
+
+
+class TestDistanceModel:
+    def test_quadratic_in_bucket_size(self):
+        ratio = distance_matrix_cycles(2_000) / distance_matrix_cycles(1_000)
+        assert 3.5 < ratio < 4.5
+
+    def test_zero_bucket(self):
+        assert distance_matrix_cycles(0) >= 0
+
+    def test_compute_stage_dominates_at_default_dim(self):
+        """At D_hv=2048 the XOR/popcount pipe (II=2 over n^2/2 pairs)
+        dominates the HBM read stage."""
+        n = 1_000
+        pairs = n * (n - 1) // 2
+        assert distance_matrix_cycles(n) == pytest.approx(
+            16 + constants.DISTANCE_II_CYCLES * (pairs - 1), rel=0.01
+        )
+
+
+class TestNNChainModel:
+    def test_replay_from_measured_stats(self, rng):
+        """Cycle replay consumes real operation counts from a real run."""
+        points = rng.normal(size=(60, 4))
+        deltas = points[:, None, :] - points[None, :, :]
+        distances = np.sqrt((deltas ** 2).sum(axis=-1))
+        result = nn_chain_linkage(distances, "complete")
+        cycles = nnchain_cycles_from_stats(
+            result.stats.distance_scans,
+            result.stats.distance_updates,
+            60,
+        )
+        assert cycles > constants.BUCKET_OVERHEAD_CYCLES
+
+    def test_estimate_brackets_replay(self, rng):
+        """The closed-form estimate should be within 2x of measured replay."""
+        points = rng.normal(size=(120, 4))
+        deltas = points[:, None, :] - points[None, :, :]
+        distances = np.sqrt((deltas ** 2).sum(axis=-1))
+        result = nn_chain_linkage(distances, "complete")
+        replay = nnchain_cycles_from_stats(
+            result.stats.distance_scans,
+            result.stats.distance_updates,
+            120,
+        )
+        estimate = nnchain_cycles_estimate(120)
+        assert 0.5 < estimate / replay < 2.0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            nnchain_cycles_from_stats(-1, 0, 10)
+
+
+class TestCalibrationAnchors:
+    def test_fig8_standalone_clustering_80s(self):
+        """Fig. 8 anchor: clustering PXD000561 (21.1 M spectra) in ~80 s
+        with 5 kernels at 300 MHz."""
+        num_spectra = 21_100_000
+        bucket = constants.AVG_BUCKET_SIZE
+        buckets = num_spectra // bucket
+        total_cycles = cluster_bucket_cycles(bucket) * buckets
+        seconds = total_cycles / (
+            constants.U280_CLOCK_HZ * constants.DEFAULT_CLUSTER_KERNELS
+        )
+        assert seconds == pytest.approx(80.0, rel=0.10)
+
+    def test_encoding_is_not_the_bottleneck(self):
+        """A single encoder keeps up with five clustering kernels."""
+        num_spectra = 21_100_000
+        encode_seconds = encoder_cycles(num_spectra) / constants.U280_CLOCK_HZ
+        bucket = constants.AVG_BUCKET_SIZE
+        cluster_seconds = (
+            cluster_bucket_cycles(bucket)
+            * (num_spectra // bucket)
+            / (constants.U280_CLOCK_HZ * constants.DEFAULT_CLUSTER_KERNELS)
+        )
+        assert encode_seconds < cluster_seconds / 5

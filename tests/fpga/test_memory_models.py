@@ -1,0 +1,115 @@
+"""Tests for the HBM, P2P, and SSD models."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.fpga import (
+    HBMModel,
+    SSDConfig,
+    SSDModel,
+    host_mediated_transfer,
+    p2p_speedup,
+    p2p_transfer,
+    ssd_read_bandwidth,
+)
+from repro.fpga import constants
+
+
+class TestHBM:
+    def test_capacity_accounting(self):
+        hbm = HBMModel()
+        hbm.allocate(10 ** 9)
+        assert hbm.allocated_bytes == 10 ** 9
+        hbm.release(10 ** 9)
+        assert hbm.free_bytes == hbm.capacity_bytes
+
+    def test_overflow_raises(self):
+        hbm = HBMModel(capacity_bytes=100)
+        with pytest.raises(CapacityError):
+            hbm.allocate(101)
+
+    def test_release_more_than_allocated(self):
+        hbm = HBMModel()
+        with pytest.raises(ConfigurationError):
+            hbm.release(1)
+
+    def test_transfer_time_at_sustained_bandwidth(self):
+        hbm = HBMModel(efficiency=0.8)
+        transfer = hbm.transfer(constants.U280_HBM_BANDWIDTH)
+        assert transfer.seconds == pytest.approx(1.0 / 0.8)
+
+    def test_encoded_dataset_fits_check(self):
+        hbm = HBMModel()
+        # 21.1M spectra * 272 B = 5.7 GB < 8 GB: the paper's point that the
+        # compressed dataset fits on-card.
+        assert hbm.fits_encoded_dataset(21_100_000, dim=2048)
+        assert not hbm.fits_encoded_dataset(40_000_000, dim=2048)
+
+    def test_invalid_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            HBMModel(efficiency=0.0)
+
+
+class TestP2P:
+    def test_p2p_faster_than_host_path(self):
+        payload = 10 * 10 ** 9
+        assert (
+            p2p_transfer(payload).seconds
+            < host_mediated_transfer(payload).seconds
+        )
+
+    def test_speedup_greater_than_one(self):
+        assert p2p_speedup(10 ** 9) > 1.0
+
+    def test_speedup_of_empty_transfer(self):
+        assert p2p_speedup(0) == 1.0
+
+    def test_effective_bandwidth_below_link_rate(self):
+        report = p2p_transfer(10 ** 9)
+        assert report.effective_bandwidth <= constants.PCIE_P2P_BANDWIDTH
+
+    def test_bandwidth_bounded_by_ssd(self):
+        # SSD aggregate (~3 GB/s) is the bottleneck, not PCIe (11 GB/s).
+        assert ssd_read_bandwidth() < constants.PCIE_P2P_BANDWIDTH
+        report = p2p_transfer(10 ** 10)
+        assert report.effective_bandwidth == pytest.approx(
+            ssd_read_bandwidth(), rel=0.01
+        )
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            p2p_transfer(-1)
+
+
+class TestSSD:
+    def test_internal_bandwidth_is_channel_aggregate(self):
+        config = SSDConfig()
+        assert config.internal_bandwidth == (
+            config.channels * config.channel_bandwidth
+        )
+
+    def test_internal_read_report(self):
+        ssd = SSDModel()
+        report = ssd.internal_read(ssd.config.internal_bandwidth)
+        assert report.seconds == pytest.approx(1.0)
+        assert report.energy_joules == pytest.approx(
+            ssd.config.active_power_w
+        )
+
+    def test_external_read_not_faster_than_internal(self):
+        ssd = SSDModel()
+        internal = ssd.internal_read(10 ** 10)
+        external = ssd.external_read(10 ** 10)
+        assert external.seconds >= internal.seconds * 0.9
+
+    def test_idle_energy(self):
+        ssd = SSDModel()
+        assert ssd.idle_energy(10.0) == pytest.approx(
+            10.0 * ssd.config.idle_power_w
+        )
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            SSDConfig(channels=0)
+        with pytest.raises(ConfigurationError):
+            SSDConfig(active_power_w=1.0, idle_power_w=5.0)

@@ -1,0 +1,72 @@
+"""Tests for the MSAS near-storage preprocessing model (Table I)."""
+
+import pytest
+
+from repro.datasets import DATASET_ORDER, get_dataset
+from repro.errors import ConfigurationError
+from repro.fpga import MSASConfig, MSASModel
+
+
+class TestTableICalibration:
+    """The model must land within 10 % of every Table I row."""
+
+    @pytest.mark.parametrize("pride_id", DATASET_ORDER)
+    def test_preprocessing_time(self, pride_id):
+        dataset = get_dataset(pride_id)
+        report = MSASModel().preprocess(
+            dataset.size_bytes, dataset.num_spectra
+        )
+        assert report.seconds == pytest.approx(
+            dataset.paper_pp_seconds, rel=0.10
+        )
+
+    @pytest.mark.parametrize("pride_id", DATASET_ORDER)
+    def test_preprocessing_energy(self, pride_id):
+        dataset = get_dataset(pride_id)
+        report = MSASModel().preprocess(
+            dataset.size_bytes, dataset.num_spectra
+        )
+        assert report.energy_joules == pytest.approx(
+            dataset.paper_pp_joules, rel=0.12
+        )
+
+    def test_throughput_near_3gbps(self):
+        dataset = get_dataset("PXD000561")
+        report = MSASModel().preprocess(
+            dataset.size_bytes, dataset.num_spectra
+        )
+        assert 2.8e9 < report.throughput < 3.3e9
+
+
+class TestModelStructure:
+    def test_bandwidth_bound_at_scale(self):
+        dataset = get_dataset("PXD000561")
+        report = MSASModel().preprocess(
+            dataset.size_bytes, dataset.num_spectra
+        )
+        assert report.bound == "bandwidth"
+
+    def test_compute_bound_when_pipeline_slow(self):
+        slow = MSASConfig(clock_hz=1e6)  # pathologically slow accelerator
+        report = MSASModel(slow).preprocess(10 ** 9, 10 ** 6)
+        assert report.bound == "compute"
+
+    def test_compute_seconds_scale_with_spectra(self):
+        model = MSASModel()
+        assert model.compute_seconds(2_000_000) == pytest.approx(
+            2 * model.compute_seconds(1_000_000)
+        )
+
+    def test_output_smaller_than_input(self):
+        """Preprocessing shrinks the stream (the point of near-storage)."""
+        dataset = get_dataset("PXD000561")
+        output = MSASModel().output_bytes(dataset.num_spectra)
+        assert output < dataset.size_bytes / 10
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            MSASModel().preprocess(-1, 10)
+        with pytest.raises(ConfigurationError):
+            MSASModel().output_bytes(-1)
+        with pytest.raises(ConfigurationError):
+            MSASConfig(raw_peaks_per_spectrum=0)

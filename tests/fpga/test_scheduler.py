@@ -1,0 +1,94 @@
+"""Tests for the dataflow scheduler and end-to-end projection."""
+
+import pytest
+
+from repro.datasets import get_dataset
+from repro.errors import ConfigurationError
+from repro.fpga import project_dataset, schedule_buckets
+
+
+class TestScheduleBuckets:
+    def test_totals(self):
+        report = schedule_buckets([100, 200, 50, 1])
+        assert report.num_spectra == 351
+        assert report.num_buckets == 4
+
+    def test_more_kernels_not_slower(self):
+        sizes = [300, 250, 200, 150, 100, 80, 60]
+        one = schedule_buckets(sizes, num_cluster_kernels=1)
+        five = schedule_buckets(sizes, num_cluster_kernels=5)
+        assert five.cluster_seconds <= one.cluster_seconds
+        assert five.cluster_seconds < one.cluster_seconds / 2
+
+    def test_speedup_saturates_beyond_bucket_count(self):
+        sizes = [500, 500]
+        two = schedule_buckets(sizes, num_cluster_kernels=2)
+        eight = schedule_buckets(sizes, num_cluster_kernels=8)
+        assert eight.cluster_seconds == pytest.approx(two.cluster_seconds)
+
+    def test_singletons_skip_clustering(self):
+        only_singletons = schedule_buckets([1] * 100)
+        assert only_singletons.cluster_seconds == 0.0
+
+    def test_load_balance_reasonable(self):
+        sizes = [400] * 20
+        report = schedule_buckets(sizes, num_cluster_kernels=5)
+        assert report.load_imbalance == pytest.approx(1.0, abs=0.05)
+
+    def test_makespan_is_slower_phase(self):
+        report = schedule_buckets([300, 300, 300])
+        assert report.makespan_seconds == max(
+            report.encode_seconds, report.cluster_seconds
+        )
+
+    def test_invalid_kernel_count(self):
+        with pytest.raises(ConfigurationError):
+            schedule_buckets([10], num_cluster_kernels=0)
+
+    def test_negative_bucket_rejected(self):
+        with pytest.raises(ConfigurationError):
+            schedule_buckets([-1])
+
+
+class TestProjectDataset:
+    def test_pxd000561_under_five_minutes(self):
+        """The headline: 25 M spectra / 131 GB clustered end-to-end in
+        'just 5 minutes'."""
+        dataset = get_dataset("PXD000561")
+        report = project_dataset(dataset.num_spectra, dataset.size_bytes)
+        assert report.total_seconds < 300.0
+
+    def test_clustering_phase_near_80s(self):
+        dataset = get_dataset("PXD000561")
+        report = project_dataset(dataset.num_spectra, dataset.size_bytes)
+        assert report.clustering_phase_seconds == pytest.approx(80.0, rel=0.10)
+
+    def test_preprocess_matches_table1(self):
+        dataset = get_dataset("PXD000561")
+        report = project_dataset(dataset.num_spectra, dataset.size_bytes)
+        assert report.preprocess_seconds == pytest.approx(
+            dataset.paper_pp_seconds, rel=0.10
+        )
+
+    def test_more_kernels_reduce_total(self):
+        dataset = get_dataset("PXD003258")
+        one = project_dataset(
+            dataset.num_spectra, dataset.size_bytes, num_cluster_kernels=1
+        )
+        five = project_dataset(
+            dataset.num_spectra, dataset.size_bytes, num_cluster_kernels=5
+        )
+        assert five.total_seconds < one.total_seconds
+
+    def test_scaling_across_datasets(self):
+        small = get_dataset("PXD001468")
+        large = get_dataset("PXD000561")
+        small_report = project_dataset(small.num_spectra, small.size_bytes)
+        large_report = project_dataset(large.num_spectra, large.size_bytes)
+        assert large_report.total_seconds > small_report.total_seconds
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            project_dataset(0, 100)
+        with pytest.raises(ConfigurationError):
+            project_dataset(100, 100, avg_bucket_size=1)

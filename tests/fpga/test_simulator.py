@@ -1,0 +1,107 @@
+"""Tests for the event-driven dataflow simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fpga import schedule_buckets
+from repro.fpga.simulator import DataflowSimulator
+
+
+class TestBasicBehaviour:
+    def test_empty_input(self):
+        trace = DataflowSimulator().simulate([])
+        assert trace.makespan == 0.0
+        assert trace.intervals == []
+
+    def test_single_bucket(self):
+        simulator = DataflowSimulator(num_cluster_kernels=1)
+        trace = simulator.simulate([500])
+        assert trace.makespan > 0
+        assert len(trace.intervals) == 1
+        # The bucket cannot start clustering before encoding finishes.
+        assert trace.intervals[0].start >= trace.encode_done - 1e-12
+
+    def test_singletons_need_no_clustering(self):
+        trace = DataflowSimulator().simulate([1, 1, 1])
+        assert trace.intervals == []
+        assert trace.makespan == pytest.approx(trace.encode_done)
+
+    def test_negative_bucket_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DataflowSimulator().simulate([-1])
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            DataflowSimulator(num_cluster_kernels=0)
+        with pytest.raises(ConfigurationError):
+            DataflowSimulator(fifo_depth=0)
+
+
+class TestParallelism:
+    def test_more_kernels_not_slower(self):
+        sizes = [400] * 12
+        one = DataflowSimulator(num_cluster_kernels=1).simulate(sizes)
+        five = DataflowSimulator(num_cluster_kernels=5).simulate(sizes)
+        assert five.makespan < one.makespan
+
+    def test_intervals_do_not_overlap_per_kernel(self):
+        trace = DataflowSimulator(num_cluster_kernels=3).simulate(
+            [300, 250, 200, 350, 150, 280, 220]
+        )
+        by_kernel: dict = {}
+        for interval in trace.intervals:
+            by_kernel.setdefault(interval.kernel_id, []).append(interval)
+        for intervals in by_kernel.values():
+            intervals.sort(key=lambda i: i.start)
+            for earlier, later in zip(intervals, intervals[1:]):
+                assert later.start >= earlier.end - 1e-12
+
+    def test_every_bucket_clustered_exactly_once(self):
+        sizes = [300, 250, 200, 350, 150]
+        trace = DataflowSimulator(num_cluster_kernels=2).simulate(sizes)
+        simulated_sizes = sorted(i.bucket_size for i in trace.intervals)
+        assert simulated_sizes == sorted(sizes)
+
+    def test_utilization_bounded(self):
+        trace = DataflowSimulator(num_cluster_kernels=4).simulate(
+            [500] * 20
+        )
+        assert 0.0 < trace.utilization(4) <= 1.0
+
+
+class TestBackPressure:
+    def test_queue_bounded_by_fifo_depth(self):
+        simulator = DataflowSimulator(
+            num_cluster_kernels=1, fifo_depth=2
+        )
+        trace = simulator.simulate([800] * 10)
+        assert trace.max_queue_depth <= 2
+
+    def test_deep_fifo_never_stalls(self):
+        simulator = DataflowSimulator(
+            num_cluster_kernels=5, fifo_depth=1_000
+        )
+        trace = simulator.simulate([500] * 20)
+        assert trace.stall_seconds == 0.0
+
+
+class TestAgainstAnalyticModel:
+    def test_simulation_close_to_closed_form(self):
+        """Uniform buckets: the event simulation and the analytic greedy
+        schedule must agree within the pipeline-fill margin."""
+        sizes = [2_500] * 40
+        simulated = DataflowSimulator(num_cluster_kernels=5).simulate(sizes)
+        analytic = schedule_buckets(sizes, num_cluster_kernels=5)
+        assert simulated.makespan == pytest.approx(
+            analytic.makespan_seconds, rel=0.15
+        )
+
+    def test_simulation_not_faster_than_work_bound(self):
+        sizes = [1_000, 2_000, 1_500, 800, 1_200]
+        simulator = DataflowSimulator(num_cluster_kernels=2)
+        trace = simulator.simulate(sizes)
+        total_work = sum(
+            simulator._cluster_seconds(size) for size in sizes
+        )
+        assert trace.makespan >= total_work / 2 - 1e-9

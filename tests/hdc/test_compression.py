@@ -1,0 +1,75 @@
+"""Tests for hypervector compression accounting (Fig. 6b)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hdc import (
+    compression_from_descriptor,
+    compression_from_spectra,
+    hv_bytes_per_spectrum,
+)
+from repro.spectrum import MassSpectrum
+
+
+class TestBytesPerSpectrum:
+    def test_dim_2048_is_256_bytes(self):
+        assert hv_bytes_per_spectrum(2048) == 256
+
+    def test_non_multiple_rounds_up(self):
+        assert hv_bytes_per_spectrum(10) == 2
+
+    def test_invalid_dim(self):
+        with pytest.raises(ConfigurationError):
+            hv_bytes_per_spectrum(0)
+
+
+class TestFromSpectra:
+    def test_factor_computation(self):
+        spectra = [
+            MassSpectrum(
+                f"s{i}", 500.0, 2,
+                np.linspace(150, 900, 100), np.ones(100),
+            )
+            for i in range(10)
+        ]
+        report = compression_from_spectra(spectra, dim=2048)
+        # Raw: 10 * (64 + 1600) bytes; HV: 10 * 256 bytes.
+        assert report.raw_bytes == 10 * (64 + 1600)
+        assert report.hv_bytes == 10 * 256
+        assert report.factor == pytest.approx((64 + 1600) / 256)
+
+    def test_empty_input(self):
+        report = compression_from_spectra([], dim=2048)
+        assert report.raw_bytes == 0
+        assert report.bytes_per_spectrum_raw == 0.0
+
+
+class TestFromDescriptor:
+    def test_paper_range_for_pride_datasets(self):
+        """At D_hv=2048 the five PRIDE datasets compress 24x-108x (Fig. 6b)."""
+        from repro.datasets import DATASET_ORDER, get_dataset
+
+        factors = []
+        for pride_id in DATASET_ORDER:
+            ds = get_dataset(pride_id)
+            report = compression_from_descriptor(
+                ds.size_bytes, ds.num_spectra, dim=2048
+            )
+            factors.append(report.factor)
+        assert min(factors) >= 15
+        assert max(factors) <= 120
+        # The paper's bounds: smallest ~24x, largest ~108x.
+        assert min(factors) == pytest.approx(20, rel=0.2)
+        assert max(factors) == pytest.approx(89, rel=0.25)
+
+    def test_larger_dim_lower_factor(self):
+        small_dim = compression_from_descriptor(10 ** 9, 10 ** 6, dim=1024)
+        large_dim = compression_from_descriptor(10 ** 9, 10 ** 6, dim=8192)
+        assert small_dim.factor > large_dim.factor
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            compression_from_descriptor(-1, 10)
+        with pytest.raises(ConfigurationError):
+            compression_from_descriptor(10, 0)

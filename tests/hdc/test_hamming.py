@@ -1,0 +1,94 @@
+"""Tests for Hamming-distance kernels and the condensed matrix layout."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EncodingError
+from repro.hdc import (
+    condensed_index,
+    condensed_pairwise_hamming,
+    hamming_to_query,
+    normalized_hamming,
+    pairwise_hamming,
+    random_hypervectors,
+    squareform,
+    unpack_bits,
+)
+
+
+@pytest.fixture()
+def vectors(rng):
+    return random_hypervectors(12, 256, rng)
+
+
+class TestPairwise:
+    def test_symmetric_zero_diagonal(self, vectors):
+        matrix = pairwise_hamming(vectors)
+        assert np.array_equal(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0)
+
+    def test_matches_bitwise_reference(self, vectors):
+        matrix = pairwise_hamming(vectors)
+        bits = unpack_bits(vectors, 256)
+        reference = (bits[:, None, :] != bits[None, :, :]).sum(axis=2)
+        np.testing.assert_array_equal(matrix, reference)
+
+    def test_1d_input_rejected(self, vectors):
+        with pytest.raises(EncodingError):
+            pairwise_hamming(vectors[0])
+
+
+class TestQueryDistance:
+    def test_matches_pairwise_row(self, vectors):
+        matrix = pairwise_hamming(vectors)
+        row = hamming_to_query(vectors, vectors[3])
+        np.testing.assert_array_equal(row, matrix[3])
+
+    def test_shape_mismatch_rejected(self, vectors):
+        with pytest.raises(EncodingError):
+            hamming_to_query(vectors, vectors[0][:2])
+
+
+class TestCondensedLayout:
+    def test_index_formula(self):
+        # n=4: (1,0)->0 (2,0)->1 (2,1)->2 (3,0)->3 (3,1)->4 (3,2)->5
+        expected = {(1, 0): 0, (2, 0): 1, (2, 1): 2, (3, 0): 3, (3, 1): 4, (3, 2): 5}
+        for (i, j), position in expected.items():
+            assert condensed_index(i, j, 4) == position
+            assert condensed_index(j, i, 4) == position  # symmetric
+
+    def test_diagonal_rejected(self):
+        with pytest.raises(EncodingError):
+            condensed_index(2, 2, 4)
+
+    def test_condensed_matches_dense(self, vectors):
+        dense = pairwise_hamming(vectors)
+        condensed = condensed_pairwise_hamming(vectors)
+        n = vectors.shape[0]
+        assert condensed.shape == (n * (n - 1) // 2,)
+        assert condensed.dtype == np.uint16
+        for i in range(n):
+            for j in range(i):
+                assert condensed[condensed_index(i, j, n)] == dense[i, j]
+
+    def test_squareform_roundtrip(self, vectors):
+        dense = pairwise_hamming(vectors).astype(np.float64)
+        condensed = condensed_pairwise_hamming(vectors)
+        recovered = squareform(condensed, vectors.shape[0])
+        np.testing.assert_array_equal(recovered, dense)
+
+    def test_squareform_wrong_length(self):
+        with pytest.raises(EncodingError):
+            squareform(np.zeros(5), 4)
+
+
+class TestNormalization:
+    def test_normalized_range(self, vectors):
+        matrix = pairwise_hamming(vectors)
+        normalised = normalized_hamming(matrix, 256)
+        assert normalised.max() <= 1.0
+        assert normalised.min() >= 0.0
+
+    def test_invalid_dim(self):
+        with pytest.raises(EncodingError):
+            normalized_hamming(np.zeros(3), 0)

@@ -1,0 +1,92 @@
+"""Tests for ID and Level item memories."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EncodingError
+from repro.hdc import ItemMemory, ItemMemoryConfig
+from repro.hdc.bitops import hamming_distance
+
+
+@pytest.fixture(scope="module")
+def memory():
+    return ItemMemory(
+        ItemMemoryConfig(dim=512, mz_bins=200, intensity_levels=16, seed=3)
+    )
+
+
+class TestConfig:
+    def test_dim_must_be_word_multiple(self):
+        with pytest.raises(EncodingError):
+            ItemMemoryConfig(dim=100)
+
+    def test_dim_minimum(self):
+        with pytest.raises(EncodingError):
+            ItemMemoryConfig(dim=32)
+
+    def test_bin_minimums(self):
+        with pytest.raises(EncodingError):
+            ItemMemoryConfig(mz_bins=1)
+        with pytest.raises(EncodingError):
+            ItemMemoryConfig(intensity_levels=1)
+
+
+class TestIDMemory:
+    def test_shape(self, memory):
+        assert memory.id_memory.shape == (200, 512 // 64)
+
+    def test_id_vectors_quasi_orthogonal(self, memory):
+        # Random HVs concentrate near dim/2 Hamming distance.
+        distances = [
+            hamming_distance(memory.id_memory[i], memory.id_memory[i + 1])
+            for i in range(0, 100, 7)
+        ]
+        for distance in distances:
+            assert 512 * 0.35 < distance < 512 * 0.65
+
+    def test_deterministic_for_seed(self):
+        config = ItemMemoryConfig(dim=512, mz_bins=50, intensity_levels=8, seed=42)
+        first = ItemMemory(config)
+        second = ItemMemory(config)
+        np.testing.assert_array_equal(first.id_memory, second.id_memory)
+        np.testing.assert_array_equal(first.level_memory, second.level_memory)
+
+    def test_different_seeds_differ(self):
+        base = ItemMemoryConfig(dim=512, mz_bins=50, intensity_levels=8, seed=1)
+        other = ItemMemoryConfig(dim=512, mz_bins=50, intensity_levels=8, seed=2)
+        assert not np.array_equal(
+            ItemMemory(base).id_memory, ItemMemory(other).id_memory
+        )
+
+
+class TestLevelMemory:
+    def test_distance_proportional_to_level_gap(self, memory):
+        levels = memory.level_memory
+        d_adjacent = hamming_distance(levels[0], levels[1])
+        d_far = hamming_distance(levels[0], levels[8])
+        d_extreme = hamming_distance(levels[0], levels[15])
+        assert d_adjacent < d_far < d_extreme
+
+    def test_extremes_reach_orthogonality(self, memory):
+        levels = memory.level_memory
+        d_extreme = hamming_distance(levels[0], levels[15])
+        assert d_extreme == 512 // 2
+
+    def test_distance_linear_in_gap(self, memory):
+        levels = memory.level_memory
+        total = 512 // 2
+        for level in range(16):
+            expected = round(total * level / 15)
+            actual = hamming_distance(levels[0], levels[level])
+            assert abs(int(actual) - expected) <= 1
+
+
+class TestFootprint:
+    def test_storage_bytes(self, memory):
+        expected = (200 + 16) * (512 // 8)
+        assert memory.storage_bytes() == expected
+
+    def test_unpacked_views(self, memory):
+        assert memory.id_bits(0).shape == (512,)
+        assert memory.level_bits(3).shape == (512,)
+        assert set(np.unique(memory.id_bits(0))) <= {0, 1}

@@ -1,0 +1,84 @@
+"""Calibration regression tests: the paper's headline numbers.
+
+One test per headline claim; these are the tripwires that catch any model
+drift that would silently invalidate EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.datasets import DATASET_ORDER, get_dataset
+from repro.fpga import (
+    MSASModel,
+    max_cluster_kernels,
+    project_dataset,
+)
+from repro.hdc import compression_from_descriptor
+
+
+class TestHeadlines:
+    def test_abstract_five_minutes(self):
+        """'cluster a ... dataset comprising 25 million MS/MS spectra and
+        131 GB of MS data in just 5 minutes'."""
+        dataset = get_dataset("PXD000561")
+        report = project_dataset(dataset.num_spectra, dataset.size_bytes)
+        assert report.total_seconds < 5 * 60
+
+    def test_abstract_speedup_range_6_to_54(self):
+        """Speedups across tools/datasets span roughly 6x-54x."""
+        from repro.baselines import TOOL_MODELS, speedup_over
+
+        ratios = []
+        for pride_id in DATASET_ORDER:
+            dataset = get_dataset(pride_id)
+            report = project_dataset(dataset.num_spectra, dataset.size_bytes)
+            for tool in TOOL_MODELS.values():
+                ratios.append(
+                    speedup_over(tool, dataset, report.total_seconds)
+                )
+        assert min(ratios) < 6
+        assert max(ratios) > 40
+
+    def test_abstract_energy_efficiency_over_31x(self):
+        """'energy efficiency exceeding 31x' holds for the HAC comparator."""
+        from repro.baselines import HYPERSPEC_HAC
+        from repro.fpga import spechd_end_to_end_energy
+        from repro.fpga.energy import energy_efficiency
+
+        dataset = get_dataset("PXD000561")
+        report = project_dataset(dataset.num_spectra, dataset.size_bytes)
+        ratio = energy_efficiency(
+            HYPERSPEC_HAC.end_to_end_joules(dataset),
+            spechd_end_to_end_energy(report),
+        )
+        assert ratio > 25
+
+    def test_table1_total_time_and_energy(self):
+        """Table I totals within 10 %."""
+        model = MSASModel()
+        total_seconds = 0.0
+        total_joules = 0.0
+        paper_seconds = 0.0
+        paper_joules = 0.0
+        for pride_id in DATASET_ORDER:
+            dataset = get_dataset(pride_id)
+            report = model.preprocess(dataset.size_bytes, dataset.num_spectra)
+            total_seconds += report.seconds
+            total_joules += report.energy_joules
+            paper_seconds += dataset.paper_pp_seconds
+            paper_joules += dataset.paper_pp_joules
+        assert total_seconds == pytest.approx(paper_seconds, rel=0.10)
+        assert total_joules == pytest.approx(paper_joules, rel=0.10)
+
+    def test_fig6b_compression_band(self):
+        """Fig. 6b: 24x-108x compression across the five datasets."""
+        factors = [
+            compression_from_descriptor(
+                get_dataset(p).size_bytes, get_dataset(p).num_spectra, 2048
+            ).factor
+            for p in DATASET_ORDER
+        ]
+        assert 3.5 < max(factors) / min(factors) < 5.5  # paper: 108/24 = 4.5
+
+    def test_design_point_five_cluster_kernels(self):
+        """The paper's '5 clustering kernels' is the resource-feasible max."""
+        assert max_cluster_kernels() == 5

@@ -1,0 +1,129 @@
+"""Integration tests: file IO -> pipeline -> search, across module seams."""
+
+import numpy as np
+import pytest
+
+from repro import SpecHDConfig, SpecHDPipeline
+from repro.cluster import consensus_spectrum
+from repro.datasets import SyntheticConfig, generate_dataset
+from repro.hdc import EncoderConfig
+from repro.io import read_mgf, write_mgf
+from repro.search import SearchEngine, filter_by_fdr, unique_peptides
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_dataset(
+        SyntheticConfig(
+            num_peptides=15,
+            replicates_per_peptide=8,
+            unlabeled_fraction=0.1,
+            seed=2024,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return SpecHDPipeline(
+        SpecHDConfig(
+            encoder=EncoderConfig(dim=1024, mz_bins=8_000, intensity_levels=32),
+            cluster_threshold=0.35,
+        )
+    )
+
+
+class TestFileToClusters:
+    def test_mgf_roundtrip_then_cluster(self, tmp_path, workload, pipeline):
+        """Write spectra to MGF, read back, cluster: labels must be as good
+        as clustering the in-memory originals."""
+        path = tmp_path / "workload.mgf"
+        write_mgf(workload.spectra, path)
+        from_disk = list(read_mgf(path))
+        assert len(from_disk) == len(workload.spectra)
+
+        disk_result = pipeline.run(from_disk)
+        memory_result = pipeline.run(workload.spectra)
+        disk_quality = disk_result.quality(workload.labels)
+        memory_quality = memory_result.quality(workload.labels)
+        assert disk_quality.clustered_spectra_ratio == pytest.approx(
+            memory_quality.clustered_spectra_ratio, abs=0.02
+        )
+
+
+class TestClusterThenSearch:
+    def test_consensus_search_identifies_peptides(self, workload, pipeline):
+        """The §IV-E workflow: cluster, build consensus spectra for multi-
+        member clusters, search only representatives, and compare with
+        searching everything."""
+        result = pipeline.run(workload.spectra)
+        database = list(workload.peptides)
+        engine_full = SearchEngine(database)
+        hits_full = engine_full.search_batch(result.spectra)
+        full_peptides = unique_peptides(hits_full)
+
+        # Search representatives only.
+        representatives = result.representatives()
+        engine_reduced = SearchEngine(database)
+        reduced_spectra = [result.spectra[i] for i in representatives]
+        hits_reduced = engine_reduced.search_batch(reduced_spectra)
+        reduced_peptides = unique_peptides(hits_reduced)
+
+        # The reduced search must cost less and find almost everything.
+        assert engine_reduced.stats.candidates_scored < (
+            engine_full.stats.candidates_scored
+        )
+        overlap = len(full_peptides & reduced_peptides)
+        assert overlap >= 0.9 * len(full_peptides)
+
+    def test_search_speedup_factor(self, workload, pipeline):
+        """Representative-only searching yields the paper's 1.5-2x+ search
+        reduction at replicate-heavy workloads."""
+        result = pipeline.run(workload.spectra)
+        reduction = len(result.spectra) / len(result.representatives())
+        assert reduction > 1.3
+
+    def test_consensus_spectra_searchable(self, workload, pipeline):
+        result = pipeline.run(workload.spectra)
+        database = list(workload.peptides)
+        engine = SearchEngine(database)
+        for label, members in list(_clusters(result.labels).items())[:10]:
+            if len(members) < 2:
+                continue
+            consensus = consensus_spectrum(result.spectra, members)
+            hit = engine.search(consensus)
+            if hit is None:
+                continue
+            member_peptides = {
+                result.spectra[m].metadata.get("peptide") for m in members
+            }
+            assert hit.peptide in member_peptides
+
+    def test_fdr_filtered_ids_are_correct(self, workload, pipeline):
+        """Accepted PSMs at 5 % FDR should be overwhelmingly correct on
+        synthetic data."""
+        result = pipeline.run(workload.spectra)
+        engine = SearchEngine(list(workload.peptides))
+        hits = engine.search_batch(result.spectra)
+        accepted = filter_by_fdr(hits, fdr_budget=0.05).accepted
+        assert accepted, "expected some identifications"
+        correct = sum(
+            1
+            for hit in accepted
+            if _truth_for(hit.spectrum_id, result, workload) in (None, hit.peptide)
+        )
+        assert correct / len(accepted) > 0.9
+
+
+def _clusters(labels):
+    members = {}
+    for index, label in enumerate(labels):
+        members.setdefault(int(label), []).append(index)
+    return members
+
+
+def _truth_for(spectrum_id, result, workload):
+    for spectrum in result.spectra:
+        if spectrum.identifier == spectrum_id:
+            return spectrum.metadata.get("peptide")
+    return None

@@ -1,0 +1,99 @@
+"""Tests for the hypervector store persistence format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParseError, SpecHDError
+from repro.hdc import EncoderConfig, IDLevelEncoder
+from repro.io.hvstore import FORMAT_VERSION, HypervectorStore
+from repro.spectrum import MassSpectrum
+
+
+@pytest.fixture(scope="module")
+def encoded(rng):
+    encoder = IDLevelEncoder(
+        EncoderConfig(dim=512, mz_bins=4_000, intensity_levels=16)
+    )
+    spectra = [
+        MassSpectrum(
+            f"spec-{i}", 400.0 + i, 2,
+            np.sort(rng.uniform(150, 1400, 20)),
+            rng.uniform(0.1, 1.0, 20),
+        )
+        for i in range(25)
+    ]
+    return spectra, encoder.encode_batch(spectra)
+
+
+class TestConstruction:
+    def test_from_encoding(self, encoded):
+        spectra, vectors = encoded
+        store = HypervectorStore.from_encoding(spectra, vectors)
+        assert len(store) == 25
+        assert store.dim == 512
+        assert store.labels.min() == -1
+
+    def test_mismatched_counts_rejected(self, encoded):
+        spectra, vectors = encoded
+        with pytest.raises(SpecHDError):
+            HypervectorStore.from_encoding(spectra[:-1], vectors)
+
+    def test_wrong_width_rejected(self, encoded):
+        spectra, vectors = encoded
+        with pytest.raises(SpecHDError, match="does not match"):
+            HypervectorStore.from_encoding(spectra, vectors, dim=1024)
+
+
+class TestRoundTrip:
+    def test_save_load(self, encoded, tmp_path):
+        spectra, vectors = encoded
+        labels = np.arange(25) % 4
+        store = HypervectorStore.from_encoding(
+            spectra, vectors, labels=labels, encoder_seed=77
+        )
+        path = tmp_path / "store.npz"
+        size = store.save(path)
+        assert size > 0
+
+        loaded = HypervectorStore.load(path)
+        assert len(loaded) == 25
+        assert loaded.dim == 512
+        assert loaded.encoder_seed == 77
+        np.testing.assert_array_equal(loaded.vectors, vectors)
+        np.testing.assert_array_equal(loaded.labels, labels)
+        np.testing.assert_allclose(
+            loaded.precursor_mz, store.precursor_mz
+        )
+        assert loaded.identifiers == store.identifiers
+
+    def test_suffix_added_automatically(self, encoded, tmp_path):
+        spectra, vectors = encoded
+        store = HypervectorStore.from_encoding(spectra, vectors)
+        store.save(tmp_path / "bare")
+        loaded = HypervectorStore.load(tmp_path / "bare")
+        assert len(loaded) == 25
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"not a zip at all")
+        with pytest.raises(ParseError):
+            HypervectorStore.load(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ParseError):
+            HypervectorStore.load(tmp_path / "nope.npz")
+
+
+class TestCompression:
+    def test_footprint_is_packed_vectors(self, encoded):
+        spectra, vectors = encoded
+        store = HypervectorStore.from_encoding(spectra, vectors)
+        assert store.nbytes == 25 * (512 // 8)
+
+    def test_compression_factor(self, encoded):
+        spectra, vectors = encoded
+        store = HypervectorStore.from_encoding(spectra, vectors)
+        raw = sum(s.estimated_raw_bytes() for s in spectra)
+        assert store.compression_factor(raw) == pytest.approx(
+            raw / store.nbytes
+        )

@@ -1,0 +1,120 @@
+"""Tests for the MGF reader/writer."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import ParseError
+from repro.io import mgf_to_string, read_mgf, write_mgf
+from repro.spectrum import MassSpectrum
+
+SAMPLE = """\
+# a comment
+COM=global header
+BEGIN IONS
+TITLE=spec one
+PEPMASS=500.25 12345.0
+CHARGE=2+
+RTINSECONDS=120.5
+SCANS=17
+150.1 10.0
+300.2 20.0
+END IONS
+
+BEGIN IONS
+TITLE=spec two
+PEPMASS=623.5
+CHARGE=3+
+450.0\t5.5
+END IONS
+"""
+
+
+class TestRead:
+    def test_reads_two_spectra(self):
+        spectra = list(read_mgf(io.StringIO(SAMPLE)))
+        assert len(spectra) == 2
+        assert spectra[0].identifier == "spec one"
+        assert spectra[0].precursor_mz == pytest.approx(500.25)
+        assert spectra[0].precursor_charge == 2
+        assert spectra[0].retention_time == pytest.approx(120.5)
+        assert spectra[0].peak_count == 2
+        assert spectra[0].metadata["scans"] == "17"
+
+    def test_tab_separated_peaks(self):
+        spectra = list(read_mgf(io.StringIO(SAMPLE)))
+        assert spectra[1].mz[0] == pytest.approx(450.0)
+
+    def test_charge_variants(self):
+        for raw, expected in [("2+", 2), ("+3", 3), ("4", 4), ("2+ and 3+", 2)]:
+            text = (
+                f"BEGIN IONS\nTITLE=t\nPEPMASS=500\nCHARGE={raw}\n"
+                "150 1\n200 1\nEND IONS\n"
+            )
+            spectrum = next(read_mgf(io.StringIO(text)))
+            assert spectrum.precursor_charge == expected
+
+    def test_missing_charge_defaults_to_two(self):
+        text = "BEGIN IONS\nPEPMASS=500\n150 1\nEND IONS\n"
+        spectrum = next(read_mgf(io.StringIO(text)))
+        assert spectrum.precursor_charge == 2
+
+    def test_missing_pepmass_rejected(self):
+        text = "BEGIN IONS\nTITLE=t\n150 1\nEND IONS\n"
+        with pytest.raises(ParseError, match="PEPMASS"):
+            list(read_mgf(io.StringIO(text)))
+
+    def test_unterminated_block_rejected(self):
+        text = "BEGIN IONS\nPEPMASS=500\n150 1\n"
+        with pytest.raises(ParseError, match="unterminated"):
+            list(read_mgf(io.StringIO(text)))
+
+    def test_nested_begin_rejected(self):
+        text = "BEGIN IONS\nPEPMASS=500\nBEGIN IONS\n"
+        with pytest.raises(ParseError, match="nested"):
+            list(read_mgf(io.StringIO(text)))
+
+    def test_bad_peak_line_rejected(self):
+        text = "BEGIN IONS\nPEPMASS=500\nxyz abc\nEND IONS\n"
+        with pytest.raises(ParseError, match="non-numeric"):
+            list(read_mgf(io.StringIO(text)))
+
+    def test_end_without_begin_rejected(self):
+        with pytest.raises(ParseError, match="without BEGIN"):
+            list(read_mgf(io.StringIO("END IONS\n")))
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        original = [
+            MassSpectrum(
+                "alpha", 512.25, 2,
+                np.array([150.5, 300.25]), np.array([1.5, 2.5]),
+                retention_time=60.0, metadata={"scans": "5"},
+            ),
+            MassSpectrum(
+                "beta", 700.1, 3,
+                np.array([210.0]), np.array([9.0]),
+            ),
+        ]
+        path = tmp_path / "out.mgf"
+        assert write_mgf(original, path) == 2
+        recovered = list(read_mgf(path))
+        assert len(recovered) == 2
+        for before, after in zip(original, recovered):
+            assert after.identifier == before.identifier
+            assert after.precursor_mz == pytest.approx(before.precursor_mz)
+            assert after.precursor_charge == before.precursor_charge
+            np.testing.assert_allclose(after.mz, before.mz, rtol=1e-6)
+            np.testing.assert_allclose(
+                after.intensity, before.intensity, rtol=1e-5
+            )
+
+    def test_mgf_to_string_contains_blocks(self):
+        spectrum = MassSpectrum(
+            "x", 500.0, 2, np.array([150.0]), np.array([1.0])
+        )
+        text = mgf_to_string([spectrum])
+        assert text.count("BEGIN IONS") == 1
+        assert "PEPMASS=500.000000" in text

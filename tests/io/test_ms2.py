@@ -1,0 +1,90 @@
+"""Tests for the MS2 reader/writer."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import ParseError
+from repro.io import read_ms2, write_ms2
+from repro.spectrum import MassSpectrum
+
+SAMPLE = """\
+H\tCreationDate\ttoday
+S\t1\t1\t500.25
+I\tRTime\t2.5
+Z\t2\t1000.49
+150.1 10
+300.2 20
+S\t2\t2\t620.0
+Z\t2\t1239.0
+Z\t3\t1858.0
+210.0 5
+"""
+
+
+class TestRead:
+    def test_one_spectrum_per_z_line(self):
+        spectra = list(read_ms2(io.StringIO(SAMPLE)))
+        # Record 1 has one Z; record 2 has two Z lines.
+        assert len(spectra) == 3
+        charges = [s.precursor_charge for s in spectra]
+        assert charges == [2, 2, 3]
+
+    def test_rtime_converted_to_seconds(self):
+        spectra = list(read_ms2(io.StringIO(SAMPLE)))
+        assert spectra[0].retention_time == pytest.approx(150.0)
+
+    def test_peaks_parsed(self):
+        spectra = list(read_ms2(io.StringIO(SAMPLE)))
+        assert spectra[0].peak_count == 2
+        assert spectra[0].mz[1] == pytest.approx(300.2)
+
+    def test_missing_z_defaults_charge_two(self):
+        text = "S\t1\t1\t500.0\n150 1\n"
+        spectra = list(read_ms2(io.StringIO(text)))
+        assert spectra[0].precursor_charge == 2
+
+    def test_peak_before_s_rejected(self):
+        with pytest.raises(ParseError, match="before first S"):
+            list(read_ms2(io.StringIO("150 1\n")))
+
+    def test_malformed_s_line_rejected(self):
+        with pytest.raises(ParseError, match="malformed S"):
+            list(read_ms2(io.StringIO("S\t1\n")))
+
+    def test_non_numeric_peak_rejected(self):
+        with pytest.raises(ParseError, match="non-numeric"):
+            list(read_ms2(io.StringIO("S\t1\t1\t500\nabc def\n")))
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        original = [
+            MassSpectrum(
+                "one", 512.25, 2,
+                np.array([150.5, 300.25]), np.array([1.5, 2.5]),
+                retention_time=90.0,
+            ),
+            MassSpectrum("two", 700.1, 3, np.array([210.0]), np.array([9.0])),
+        ]
+        path = tmp_path / "out.ms2"
+        assert write_ms2(original, path) == 2
+        recovered = list(read_ms2(path))
+        assert len(recovered) == 2
+        for before, after in zip(original, recovered):
+            assert after.precursor_mz == pytest.approx(
+                before.precursor_mz, abs=1e-4
+            )
+            assert after.precursor_charge == before.precursor_charge
+            np.testing.assert_allclose(after.mz, before.mz, atol=1e-3)
+
+    def test_rtime_roundtrip(self, tmp_path):
+        spectrum = MassSpectrum(
+            "rt", 500.0, 2, np.array([150.0]), np.array([1.0]),
+            retention_time=120.0,
+        )
+        path = tmp_path / "rt.ms2"
+        write_ms2([spectrum], path)
+        recovered = next(read_ms2(path))
+        assert recovered.retention_time == pytest.approx(120.0, abs=0.1)

@@ -1,0 +1,94 @@
+"""Tests for the minimal mzML reader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.io import read_mzml, write_mzml
+from repro.spectrum import MassSpectrum
+
+
+def sample_spectra():
+    return [
+        MassSpectrum(
+            "scan=1", 500.25, 2,
+            np.array([150.5, 300.25, 890.125]),
+            np.array([1.5, 2.5, 0.75]),
+            retention_time=61.2,
+        ),
+        MassSpectrum(
+            "scan=2", 700.1, 3, np.array([210.0]), np.array([9.0])
+        ),
+    ]
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        path = tmp_path / "out.mzml"
+        assert write_mzml(sample_spectra(), path) == 2
+        recovered = list(read_mzml(str(path)))
+        assert len(recovered) == 2
+        for before, after in zip(sample_spectra(), recovered):
+            assert after.identifier == before.identifier
+            assert after.precursor_mz == pytest.approx(before.precursor_mz)
+            assert after.precursor_charge == before.precursor_charge
+            np.testing.assert_allclose(after.mz, before.mz)
+            np.testing.assert_allclose(after.intensity, before.intensity)
+
+    def test_zlib_compressed_roundtrip(self, tmp_path):
+        path = tmp_path / "out_z.mzml"
+        write_mzml(sample_spectra(), path, compress=True)
+        recovered = list(read_mzml(str(path)))
+        np.testing.assert_allclose(
+            recovered[0].mz, sample_spectra()[0].mz
+        )
+
+    def test_retention_time_roundtrip(self, tmp_path):
+        path = tmp_path / "rt.mzml"
+        write_mzml(sample_spectra(), path)
+        recovered = list(read_mzml(str(path)))
+        assert recovered[0].retention_time == pytest.approx(61.2, abs=0.01)
+
+    def test_identifier_escaping(self, tmp_path):
+        weird = MassSpectrum(
+            'a<b>&"c', 500.0, 2, np.array([150.0]), np.array([1.0])
+        )
+        path = tmp_path / "esc.mzml"
+        write_mzml([weird], path)
+        recovered = next(read_mzml(str(path)))
+        assert recovered.identifier == 'a<b>&"c'
+
+
+class TestReaderFiltering:
+    def test_ms1_spectra_skipped(self, tmp_path):
+        document = """<?xml version="1.0"?>
+<mzML xmlns="http://psi.hupo.org/ms/mzml">
+ <run id="r"><spectrumList count="1">
+  <spectrum id="ms1" index="0" defaultArrayLength="0">
+   <cvParam accession="MS:1000511" name="ms level" value="1"/>
+  </spectrum>
+ </spectrumList></run>
+</mzML>"""
+        path = tmp_path / "ms1.mzml"
+        path.write_text(document)
+        assert list(read_mzml(str(path))) == []
+
+    def test_spectrum_without_precursor_skipped(self, tmp_path):
+        document = """<?xml version="1.0"?>
+<mzML xmlns="http://psi.hupo.org/ms/mzml">
+ <run id="r"><spectrumList count="1">
+  <spectrum id="x" index="0" defaultArrayLength="0">
+   <cvParam accession="MS:1000511" name="ms level" value="2"/>
+  </spectrum>
+ </spectrumList></run>
+</mzML>"""
+        path = tmp_path / "noprec.mzml"
+        path.write_text(document)
+        assert list(read_mzml(str(path))) == []
+
+    def test_invalid_xml_raises(self, tmp_path):
+        from repro.errors import ParseError
+
+        path = tmp_path / "bad.mzml"
+        path.write_text("<mzML><unclosed>")
+        with pytest.raises(ParseError, match="invalid XML"):
+            list(read_mzml(str(path)))

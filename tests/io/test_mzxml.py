@@ -1,0 +1,101 @@
+"""Tests for the minimal mzXML reader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParseError
+from repro.io.mzxml import read_mzxml, write_mzxml
+from repro.spectrum import MassSpectrum
+
+
+def sample_spectra():
+    return [
+        MassSpectrum(
+            "one", 500.25, 2,
+            np.array([150.5, 300.25, 890.125]),
+            np.array([1.5, 2.5, 0.75]),
+            retention_time=61.2,
+        ),
+        MassSpectrum("two", 700.1, 3, np.array([210.0]), np.array([9.0])),
+    ]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("precision", [32, 64])
+    @pytest.mark.parametrize("compress", [False, True])
+    def test_write_then_read(self, tmp_path, precision, compress):
+        path = tmp_path / "out.mzxml"
+        assert write_mzxml(
+            sample_spectra(), path, precision=precision, compress=compress
+        ) == 2
+        recovered = list(read_mzxml(str(path)))
+        assert len(recovered) == 2
+        tolerance = 1e-3 if precision == 32 else 1e-9
+        for before, after in zip(sample_spectra(), recovered):
+            assert after.precursor_mz == pytest.approx(
+                before.precursor_mz, abs=1e-5
+            )
+            assert after.precursor_charge == before.precursor_charge
+            np.testing.assert_allclose(after.mz, before.mz, rtol=tolerance)
+            np.testing.assert_allclose(
+                after.intensity, before.intensity, rtol=tolerance
+            )
+
+    def test_retention_time_roundtrip(self, tmp_path):
+        path = tmp_path / "rt.mzxml"
+        write_mzxml(sample_spectra(), path)
+        recovered = list(read_mzxml(str(path)))
+        assert recovered[0].retention_time == pytest.approx(61.2, abs=0.01)
+        assert recovered[1].retention_time is None
+
+    def test_scan_numbers_become_identifiers(self, tmp_path):
+        path = tmp_path / "ids.mzxml"
+        write_mzxml(sample_spectra(), path)
+        recovered = list(read_mzxml(str(path)))
+        assert recovered[0].identifier == "scan=1"
+        assert recovered[1].identifier == "scan=2"
+
+
+class TestReaderFiltering:
+    def test_ms1_scans_skipped(self, tmp_path):
+        document = """<?xml version="1.0"?>
+<mzXML><msRun scanCount="1">
+ <scan num="1" msLevel="1" peaksCount="0">
+  <peaks precision="32" byteOrder="network" contentType="m/z-int"></peaks>
+ </scan>
+</msRun></mzXML>"""
+        path = tmp_path / "ms1.mzxml"
+        path.write_text(document)
+        assert list(read_mzxml(str(path))) == []
+
+    def test_scan_without_precursor_skipped(self, tmp_path):
+        document = """<?xml version="1.0"?>
+<mzXML><msRun scanCount="1">
+ <scan num="1" msLevel="2" peaksCount="0">
+  <peaks precision="32" byteOrder="network" contentType="m/z-int"></peaks>
+ </scan>
+</msRun></mzXML>"""
+        path = tmp_path / "noprec.mzxml"
+        path.write_text(document)
+        assert list(read_mzxml(str(path))) == []
+
+    def test_invalid_xml_raises(self, tmp_path):
+        path = tmp_path / "bad.mzxml"
+        path.write_text("<mzXML><broken")
+        with pytest.raises(ParseError, match="invalid XML"):
+            list(read_mzxml(str(path)))
+
+    def test_invalid_precision_rejected(self, tmp_path):
+        with pytest.raises(ParseError):
+            write_mzxml(sample_spectra(), tmp_path / "x.mzxml", precision=16)
+
+
+class TestDetectIntegration:
+    def test_detect_format_recognises_mzxml(self, tmp_path):
+        from repro.io import detect_format
+
+        path = tmp_path / "data.mzxml"
+        write_mzxml(sample_spectra(), path)
+        # Extension maps to the mzml family; content sniffing must not
+        # misclassify it as mgf/ms2.
+        assert detect_format(path) in ("mzml", "mzxml")

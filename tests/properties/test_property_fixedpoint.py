@@ -1,0 +1,133 @@
+"""Property-based tests for fixed point, pair counts, and the simulator."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.paircounts import adjusted_rand_index, pair_counts
+from repro.fpga.fixedpoint import (
+    DISTANCE_FORMAT,
+    FixedPointFormat,
+    dequantize,
+    quantize,
+    roundtrip,
+)
+from repro.fpga.simulator import DataflowSimulator
+
+formats = st.builds(
+    FixedPointFormat,
+    integer_bits=st.integers(4, 20),
+    fraction_bits=st.integers(0, 12),
+)
+
+
+class TestFixedPointProperties:
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=2048.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=50,
+        ),
+        fmt=formats,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_error_bounded(self, values, fmt):
+        array = np.array(values)
+        stored = roundtrip(array, fmt)
+        in_range = array <= fmt.max_value
+        error = np.abs(stored[in_range] - array[in_range])
+        assert np.all(error <= fmt.resolution / 2 + 1e-9)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1e6,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=30,
+        ),
+        fmt=formats,
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_quantize_is_idempotent(self, values, fmt):
+        array = np.array(values)
+        once = roundtrip(array, fmt)
+        twice = roundtrip(once, fmt)
+        np.testing.assert_array_equal(once, twice)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=4000.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=2, max_size=30,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_quantize_is_monotone(self, values):
+        array = np.sort(np.array(values))
+        codes = quantize(array, DISTANCE_FORMAT)
+        assert np.all(np.diff(codes.astype(np.int64)) >= 0)
+
+
+class TestPairCountProperties:
+    data = st.integers(3, 25).flatmap(
+        lambda n: st.tuples(
+            st.lists(st.integers(-1, 4), min_size=n, max_size=n),
+            st.lists(st.sampled_from(["A", "B", "C"]), min_size=n, max_size=n),
+        )
+    )
+
+    @given(data=data)
+    @settings(max_examples=60, deadline=None)
+    def test_counts_partition_all_pairs(self, data):
+        labels, truth = data
+        from math import comb
+
+        counts = pair_counts(np.array(labels), truth)
+        total = (
+            counts.true_positive
+            + counts.false_positive
+            + counts.false_negative
+            + counts.true_negative
+        )
+        assert total == comb(len(labels), 2)
+
+    @given(data=data)
+    @settings(max_examples=40, deadline=None)
+    def test_ari_bounded_above_by_one(self, data):
+        labels, truth = data
+        assert adjusted_rand_index(np.array(labels), truth) <= 1.0 + 1e-12
+
+    @given(data=data)
+    @settings(max_examples=40, deadline=None)
+    def test_metrics_in_unit_interval(self, data):
+        labels, truth = data
+        counts = pair_counts(np.array(labels), truth)
+        for value in (counts.precision, counts.recall, counts.f1,
+                      counts.rand_index):
+            assert 0.0 <= value <= 1.0
+
+
+class TestSimulatorProperties:
+    @given(
+        sizes=st.lists(st.integers(0, 600), min_size=0, max_size=25),
+        kernels=st.integers(1, 6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_conservation_and_bounds(self, sizes, kernels):
+        simulator = DataflowSimulator(num_cluster_kernels=kernels)
+        trace = simulator.simulate(sizes)
+        # Every multi-spectrum bucket clustered exactly once.
+        expected = sorted(size for size in sizes if size >= 2)
+        assert sorted(i.bucket_size for i in trace.intervals) == expected
+        # Makespan is at least the encode time and at least the
+        # work-conservation bound.
+        assert trace.makespan >= trace.encode_done - 1e-12
+        total_work = sum(
+            simulator._cluster_seconds(size) for size in sizes
+        )
+        assert trace.makespan >= total_work / kernels - 1e-9
+
+    @given(sizes=st.lists(st.integers(2, 400), min_size=1, max_size=15))
+    @settings(max_examples=30, deadline=None)
+    def test_more_kernels_never_hurt(self, sizes):
+        few = DataflowSimulator(num_cluster_kernels=1).simulate(sizes)
+        many = DataflowSimulator(num_cluster_kernels=4).simulate(sizes)
+        assert many.makespan <= few.makespan + 1e-9

@@ -1,0 +1,129 @@
+"""Property-based tests: bitonic network, IO round-trips, bucketing."""
+
+import io
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.fpga import bitonic_sort, bitonic_top_k
+from repro.io import read_mgf, write_mgf
+from repro.spectrum import BucketingConfig, MassSpectrum, bucket_index
+
+
+class TestBitonicProperties:
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=-1e6,
+                max_value=1e6,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=0,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sorts_like_numpy(self, values):
+        array = np.array(values, dtype=np.float64)
+        np.testing.assert_allclose(bitonic_sort(array), np.sort(array))
+
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=-1e6, max_value=1e6,
+                allow_nan=False, allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=100,
+        ),
+        k=st.integers(1, 20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_top_k_values(self, values, k):
+        array = np.array(values, dtype=np.float64)
+        _, top = bitonic_top_k(array, k)
+        expected = np.sort(array)[::-1][: min(k, array.size)]
+        np.testing.assert_allclose(top, expected)
+
+
+@st.composite
+def spectra(draw):
+    n_peaks = draw(st.integers(1, 30))
+    mz = draw(
+        st.lists(
+            st.floats(min_value=100.0, max_value=1500.0),
+            min_size=n_peaks,
+            max_size=n_peaks,
+        )
+    )
+    intensity = draw(
+        st.lists(
+            st.floats(min_value=0.001, max_value=1e6),
+            min_size=n_peaks,
+            max_size=n_peaks,
+        )
+    )
+    charge = draw(st.integers(1, 5))
+    precursor = draw(st.floats(min_value=200.0, max_value=2000.0))
+    return MassSpectrum(
+        identifier=draw(
+            st.text(
+                alphabet=st.characters(
+                    whitelist_categories=("Lu", "Ll", "Nd"),
+                ),
+                min_size=1,
+                max_size=12,
+            )
+        ),
+        precursor_mz=precursor,
+        precursor_charge=charge,
+        mz=np.array(mz),
+        intensity=np.array(intensity),
+    )
+
+
+class TestMGFRoundTripProperty:
+    @given(spectrum=spectra())
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_preserves_content(self, spectrum):
+        buffer = io.StringIO()
+        write_mgf([spectrum], buffer)
+        buffer.seek(0)
+        recovered = next(read_mgf(buffer))
+        assert recovered.identifier == spectrum.identifier
+        assert recovered.precursor_charge == spectrum.precursor_charge
+        assert recovered.precursor_mz == float(
+            f"{spectrum.precursor_mz:.6f}"
+        )
+        assert recovered.peak_count == spectrum.peak_count
+        np.testing.assert_allclose(
+            recovered.mz, spectrum.mz, rtol=1e-6, atol=1e-5
+        )
+
+
+class TestBucketingProperties:
+    @given(
+        mz=st.floats(min_value=150.0, max_value=3000.0),
+        charge=st.integers(1, 6),
+        resolution=st.floats(min_value=0.05, max_value=1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_bucket_index_deterministic_and_local(self, mz, charge, resolution):
+        config = BucketingConfig(resolution=resolution)
+        first = bucket_index(mz, charge, config)
+        assert first == bucket_index(mz, charge, config)
+        # A tiny m/z change never moves the bucket by more than one.
+        neighbour = bucket_index(mz + resolution / (10 * charge), charge, config)
+        assert abs(neighbour - first) <= 1
+
+    @given(
+        mz=st.floats(min_value=150.0, max_value=3000.0),
+        charge=st.integers(1, 6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_higher_charge_higher_index(self, mz, charge):
+        config = BucketingConfig(resolution=1.0)
+        assert bucket_index(mz, charge + 1, config) > bucket_index(
+            mz, charge, config
+        )

@@ -1,0 +1,134 @@
+"""Tests for HDC spectral-library search."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SearchError
+from repro.hdc import EncoderConfig, IDLevelEncoder
+from repro.search import peptide_mz, theoretical_mz_array
+from repro.search.library import SpectralLibrary
+from repro.spectrum import MassSpectrum
+from repro.units import PROTON_MASS
+
+PEPTIDES = ["SAMPLEPEPTIDEK", "GREATSCIENCER", "ANTHERPEPK", "MAGNIFICENTK"]
+
+
+def reference_spectrum(peptide, charge=2, name=None):
+    mz = theoretical_mz_array(peptide, charge)
+    intensity = np.linspace(0.4, 1.0, mz.size)
+    return MassSpectrum(
+        name or f"lib-{peptide}", peptide_mz(peptide, charge), charge,
+        mz, intensity,
+    )
+
+
+def noisy_query(peptide, rng, charge=2, mass_shift=0.0, dropout=0.2):
+    """A replicate of the reference with dropout/jitter and an optional
+    precursor mass shift (an unknown modification)."""
+    mz = theoretical_mz_array(peptide, charge)
+    keep = rng.random(mz.size) >= dropout
+    keep[:3] = True
+    mz = mz[keep] * (1.0 + rng.normal(0, 5e-6, keep.sum()))
+    intensity = rng.uniform(0.2, 1.0, mz.size)
+    precursor = peptide_mz(peptide, charge) + mass_shift / charge
+    return MassSpectrum(
+        f"query-{peptide}", precursor, charge, mz, intensity
+    )
+
+
+@pytest.fixture(scope="module")
+def encoder():
+    return IDLevelEncoder(
+        EncoderConfig(dim=1024, mz_bins=8_000, intensity_levels=32)
+    )
+
+
+@pytest.fixture(scope="module")
+def library(encoder):
+    lib = SpectralLibrary(encoder)
+    lib.add_batch(
+        [reference_spectrum(p) for p in PEPTIDES], PEPTIDES
+    )
+    return lib
+
+
+class TestConstruction:
+    def test_add_batch_length_check(self, encoder):
+        lib = SpectralLibrary(encoder)
+        with pytest.raises(SearchError):
+            lib.add_batch([reference_spectrum(PEPTIDES[0])], [])
+
+    def test_incremental_add(self, encoder):
+        lib = SpectralLibrary(encoder)
+        lib.add(reference_spectrum(PEPTIDES[0]), PEPTIDES[0])
+        lib.add(reference_spectrum(PEPTIDES[1]), PEPTIDES[1])
+        assert len(lib) == 2
+
+    def test_storage_is_packed(self, library):
+        assert library.storage_bytes() == len(library) * (1024 // 8)
+
+
+class TestStandardSearch:
+    def test_identifies_noisy_replicates(self, library, rng):
+        for peptide in PEPTIDES:
+            query = noisy_query(peptide, rng)
+            matches = library.search(query)
+            assert matches, peptide
+            assert matches[0].peptide == peptide
+            assert matches[0].normalized_distance < 0.45
+
+    def test_unrelated_query_rejected(self, library, rng):
+        # Same precursor mass as a library entry, random peaks.
+        target = reference_spectrum(PEPTIDES[0])
+        random_peaks = np.sort(rng.uniform(150, 1400, 40))
+        impostor = MassSpectrum(
+            "impostor", target.precursor_mz, 2,
+            random_peaks, rng.uniform(0.1, 1.0, 40),
+        )
+        matches = library.search(impostor, max_normalized_distance=0.40)
+        assert matches == []
+
+    def test_precursor_window_prunes(self, library, rng):
+        query = noisy_query(PEPTIDES[0], rng)
+        # Tiny window: only the true peptide's mass qualifies.
+        matches = library.search(query, precursor_window_da=0.5)
+        assert len(matches) == 1
+
+    def test_empty_library(self, encoder, rng):
+        lib = SpectralLibrary(encoder)
+        assert lib.search(noisy_query(PEPTIDES[0], rng)) == []
+
+    def test_invalid_parameters(self, library, rng):
+        query = noisy_query(PEPTIDES[0], rng)
+        with pytest.raises(SearchError):
+            library.search(query, precursor_window_da=0.0)
+        with pytest.raises(SearchError):
+            library.search(query, top_k=0)
+
+
+class TestOpenModificationSearch:
+    def test_modified_peptide_found(self, library, rng):
+        """A +79.97 Da (phospho-like) shifted precursor still matches its
+        unmodified library entry in open mode but not in standard mode."""
+        query = noisy_query(PEPTIDES[0], rng, mass_shift=79.97, dropout=0.1)
+        assert library.search(query, precursor_window_da=2.0) == []
+        matches = library.search_open(query, modification_window_da=100.0)
+        assert matches
+        assert matches[0].peptide == PEPTIDES[0]
+        assert matches[0].is_modified_match
+        assert matches[0].precursor_delta == pytest.approx(79.97, abs=0.1)
+
+    def test_unmodified_match_not_flagged(self, library, rng):
+        query = noisy_query(PEPTIDES[1], rng)
+        matches = library.search_open(query)
+        assert matches
+        assert not matches[0].is_modified_match
+
+    def test_top_k_ordering(self, library, rng):
+        query = noisy_query(PEPTIDES[0], rng)
+        matches = library.search_open(
+            query, top_k=4, max_normalized_distance=0.55
+        )
+        distances = [m.hamming for m in matches]
+        assert distances == sorted(distances)
+        assert matches[0].peptide == PEPTIDES[0]

@@ -1,0 +1,100 @@
+"""Tests for peptide chemistry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SearchError
+from repro.search import (
+    peptide_mz,
+    peptide_neutral_mass,
+    random_peptide,
+    tryptic_digest,
+    validate_peptide,
+)
+from repro.units import PROTON_MASS, WATER_MASS
+
+
+class TestValidation:
+    def test_valid_sequence_normalised(self):
+        assert validate_peptide(" peptider ".upper().strip()) == "PEPTIDER"
+
+    def test_lowercase_accepted(self):
+        assert validate_peptide("acdk") == "ACDK"
+
+    def test_invalid_residue_rejected(self):
+        with pytest.raises(SearchError, match="invalid residues"):
+            validate_peptide("PEPTIDEZ")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SearchError, match="empty"):
+            validate_peptide("")
+
+
+class TestMasses:
+    def test_glycine_mass(self):
+        # G residue 57.02146 + water.
+        assert peptide_neutral_mass("G") == pytest.approx(
+            57.02146 + WATER_MASS, abs=1e-4
+        )
+
+    def test_known_peptide_mass(self):
+        # PEPTIDE: canonical test case, monoisotopic 799.36 Da.
+        assert peptide_neutral_mass("PEPTIDE") == pytest.approx(799.36, abs=0.01)
+
+    def test_mz_charge_relationship(self):
+        mass = peptide_neutral_mass("SAMPLEK")
+        for charge in (1, 2, 3):
+            expected = (mass + charge * PROTON_MASS) / charge
+            assert peptide_mz("SAMPLEK", charge) == pytest.approx(expected)
+
+    def test_invalid_charge(self):
+        with pytest.raises(SearchError):
+            peptide_mz("SAMPLEK", 0)
+
+    def test_leucine_isoleucine_isobaric(self):
+        assert peptide_neutral_mass("LLLK") == peptide_neutral_mass("IIIK")
+
+
+class TestDigest:
+    PROTEIN = "MKWVTFISLLFLFSSAYSRGVFRRDAHKSEVAHRFKDLGEENFKALVLIAFAQYLQQCPFEDHVK"
+
+    def test_cleaves_after_k_and_r(self):
+        peptides = list(tryptic_digest(self.PROTEIN))
+        for peptide in peptides:
+            assert peptide[-1] in "KR" or self.PROTEIN.endswith(peptide)
+
+    def test_no_cleavage_before_proline(self):
+        peptides = list(tryptic_digest("AAAKPBBBK".replace("B", "G")))
+        # KP is not cleaved: AAAKPGGGK stays whole.
+        assert "AAAK" not in peptides
+
+    def test_missed_cleavages_increase_count(self):
+        none = set(tryptic_digest(self.PROTEIN, missed_cleavages=0))
+        one = set(tryptic_digest(self.PROTEIN, missed_cleavages=1))
+        assert none <= one
+        assert len(one) > len(none)
+
+    def test_length_window_respected(self):
+        peptides = list(
+            tryptic_digest(self.PROTEIN, min_length=8, max_length=12)
+        )
+        assert all(8 <= len(p) <= 12 for p in peptides)
+
+    def test_invalid_window(self):
+        with pytest.raises(SearchError):
+            list(tryptic_digest(self.PROTEIN, min_length=10, max_length=5))
+
+
+class TestRandomPeptide:
+    def test_tryptic_terminus(self, rng):
+        for _ in range(20):
+            assert random_peptide(rng)[-1] in "KR"
+
+    def test_length_window(self, rng):
+        for _ in range(20):
+            peptide = random_peptide(rng, min_length=7, max_length=10)
+            assert 7 <= len(peptide) <= 10
+
+    def test_valid_sequences(self, rng):
+        for _ in range(10):
+            validate_peptide(random_peptide(rng))

@@ -1,0 +1,179 @@
+"""Tests for scoring, the search engine, and FDR control."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SearchError
+from repro.search import (
+    SearchEngine,
+    decoy_sequence,
+    filter_by_fdr,
+    hyperscore,
+    match_peaks,
+    peptide_mz,
+    shared_peak_count,
+    theoretical_mz_array,
+    unique_peptides,
+)
+from repro.search.engine import SearchHit
+from repro.spectrum import MassSpectrum
+
+
+def ideal_spectrum(peptide, charge=2, rng=None):
+    """Noise-free spectrum of a peptide's full fragment series."""
+    mz = theoretical_mz_array(peptide, charge)
+    intensity = np.linspace(0.5, 1.0, mz.size)
+    return MassSpectrum(
+        f"ideal-{peptide}", peptide_mz(peptide, charge), charge, mz, intensity
+    )
+
+
+class TestMatchPeaks:
+    def test_exact_matches(self):
+        observed = np.array([100.0, 200.0, 300.0])
+        theoretical = np.array([100.01, 250.0, 299.99])
+        obs_idx, theo_idx = match_peaks(observed, theoretical, 0.05)
+        assert list(obs_idx) == [0, 2]
+        assert list(theo_idx) == [0, 2]
+
+    def test_no_matches(self):
+        obs_idx, _ = match_peaks(
+            np.array([100.0]), np.array([200.0]), 0.05
+        )
+        assert obs_idx.size == 0
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(SearchError):
+            match_peaks(np.array([1.0]), np.array([1.0]), 0.0)
+
+
+class TestHyperscore:
+    def test_true_peptide_beats_wrong_peptide(self):
+        spectrum = ideal_spectrum("SAMPLEPEPTIDEK")
+        right = hyperscore(spectrum, "SAMPLEPEPTIDEK")
+        wrong = hyperscore(spectrum, "WRNGPEPTIDEK")
+        assert right.hyperscore > wrong.hyperscore
+
+    def test_counts_b_and_y(self):
+        spectrum = ideal_spectrum("SAMPLEK")
+        breakdown = hyperscore(spectrum, "SAMPLEK")
+        assert breakdown.matched_b == 6
+        assert breakdown.matched_y == 6
+        assert breakdown.matched_total == 12
+
+    def test_no_match_scores_zero(self):
+        spectrum = MassSpectrum(
+            "empty-ish", 500.0, 2, np.array([1499.0]), np.array([1.0])
+        )
+        assert hyperscore(spectrum, "GGGGGK").hyperscore == 0.0
+
+    def test_shared_peak_count(self):
+        spectrum = ideal_spectrum("SAMPLEK")
+        theoretical = theoretical_mz_array("SAMPLEK", 2)
+        assert shared_peak_count(spectrum, theoretical) == spectrum.peak_count
+
+
+class TestDecoys:
+    def test_reversed_with_fixed_terminus(self):
+        decoy = decoy_sequence("ACDEFK")
+        assert decoy[-1] == "K"
+        assert decoy == "FEDCAK"
+
+    def test_decoy_preserves_mass(self):
+        from repro.search import peptide_neutral_mass
+
+        assert peptide_neutral_mass("ACDEFK") == pytest.approx(
+            peptide_neutral_mass(decoy_sequence("ACDEFK"))
+        )
+
+
+class TestSearchEngine:
+    DATABASE = ["SAMPLEPEPTIDEK", "ANTHERPEPK", "GREATSCIENCER", "WANDERFVLK"]
+
+    def test_identifies_true_peptide(self):
+        engine = SearchEngine(self.DATABASE)
+        for peptide in self.DATABASE:
+            hit = engine.search(ideal_spectrum(peptide))
+            assert hit is not None
+            assert hit.peptide == peptide
+            assert not hit.is_decoy
+
+    def test_mass_index_prunes_candidates(self):
+        engine = SearchEngine(self.DATABASE)
+        hit = engine.search(ideal_spectrum("SAMPLEPEPTIDEK"))
+        # Only mass-compatible candidates were scored.
+        assert hit.candidates_scored < len(engine)
+
+    def test_no_candidates_returns_none(self):
+        engine = SearchEngine(["GGGGGK"])
+        spectrum = MassSpectrum(
+            "far", 5000.0, 1, np.array([200.0]), np.array([1.0])
+        )
+        assert engine.search(spectrum) is None
+
+    def test_stats_accumulate(self):
+        engine = SearchEngine(self.DATABASE)
+        engine.search_batch(
+            [ideal_spectrum(p) for p in self.DATABASE[:2]]
+        )
+        assert engine.stats.queries == 2
+        assert engine.stats.candidates_per_query >= 1.0
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(SearchError):
+            SearchEngine([])
+
+    def test_unique_peptides_by_charge(self):
+        hits = [
+            SearchHit("a", "PEPK", 5.0, False, 2, 1),
+            SearchHit("b", "PEPK", 5.0, False, 2, 1),
+            SearchHit("c", "TIDEK", 5.0, False, 3, 1),
+            SearchHit("d", "DECOYK", 5.0, True, 2, 1),
+            None,
+        ]
+        assert unique_peptides(hits, charge=2) == {"PEPK"}
+        assert unique_peptides(hits, charge=3) == {"TIDEK"}
+        assert unique_peptides(hits) == {"PEPK", "TIDEK"}
+
+
+class TestFDR:
+    def make_hits(self):
+        hits = []
+        # 10 strong targets, then interleaved weak targets/decoys.
+        for index in range(10):
+            hits.append(SearchHit(f"t{index}", f"PEP{index}K", 100 - index, False, 2, 1))
+        for index in range(10):
+            hits.append(
+                SearchHit(
+                    f"w{index}",
+                    f"WEAK{index}K",
+                    50 - index,
+                    index % 2 == 1,
+                    2,
+                    1,
+                )
+            )
+        return hits
+
+    def test_strict_budget_keeps_strong_targets(self):
+        result = filter_by_fdr(self.make_hits(), fdr_budget=0.05)
+        peptides = {hit.peptide for hit in result.accepted}
+        assert all(f"PEP{i}K" in peptides for i in range(10))
+        assert all(not hit.is_decoy for hit in result.accepted)
+
+    def test_looser_budget_accepts_more(self):
+        strict = filter_by_fdr(self.make_hits(), fdr_budget=0.02)
+        loose = filter_by_fdr(self.make_hits(), fdr_budget=0.5)
+        assert len(loose.accepted) >= len(strict.accepted)
+
+    def test_estimated_fdr_within_budget(self):
+        result = filter_by_fdr(self.make_hits(), fdr_budget=0.2)
+        assert result.estimated_fdr <= 0.2
+
+    def test_empty_hits(self):
+        result = filter_by_fdr([None, None], fdr_budget=0.01)
+        assert result.accepted == []
+
+    def test_invalid_budget(self):
+        with pytest.raises(SearchError):
+            filter_by_fdr([], fdr_budget=0.0)

@@ -1,0 +1,76 @@
+"""Tests for theoretical fragment spectra."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SearchError
+from repro.search import (
+    fragment_intensity_profile,
+    fragment_ions,
+    peptide_neutral_mass,
+    theoretical_mz_array,
+)
+from repro.units import PROTON_MASS, WATER_MASS
+
+
+class TestFragmentIons:
+    def test_count_for_singly_charged(self):
+        # Peptide of length n: (n-1) b ions + (n-1) y ions.
+        ions = fragment_ions("SAMPLEK", max_fragment_charge=1)
+        assert len(ions) == 2 * 6
+
+    def test_b1_is_first_residue(self):
+        ions = {(i.series, i.ordinal): i for i in fragment_ions("GAK")}
+        # b1 = G residue + proton.
+        assert ions[("b", 1)].mz == pytest.approx(
+            57.02146 + PROTON_MASS, abs=1e-4
+        )
+
+    def test_y1_is_last_residue_plus_water(self):
+        ions = {(i.series, i.ordinal): i for i in fragment_ions("GAK")}
+        assert ions[("y", 1)].mz == pytest.approx(
+            128.09496 + WATER_MASS + PROTON_MASS, abs=1e-4
+        )
+
+    def test_b_y_complementarity(self):
+        """b_i + y_(n-i) = precursor neutral mass + 2 protons (charge 1)."""
+        peptide = "SAMPLER"
+        neutral = peptide_neutral_mass(peptide)
+        ions = {(i.series, i.ordinal): i for i in fragment_ions(peptide)}
+        n = len(peptide)
+        for i in range(1, n):
+            total = ions[("b", i)].mz + ions[("y", n - i)].mz
+            assert total == pytest.approx(neutral + 2 * PROTON_MASS, abs=1e-6)
+
+    def test_doubly_charged_fragments(self):
+        ions = fragment_ions("SAMPLEK", max_fragment_charge=2)
+        assert len(ions) == 4 * 6
+        singly = [i for i in ions if i.charge == 1]
+        doubly = [i for i in ions if i.charge == 2]
+        assert len(singly) == len(doubly)
+
+    def test_invalid_charge(self):
+        with pytest.raises(SearchError):
+            fragment_ions("GAK", max_fragment_charge=0)
+
+
+class TestTheoreticalArray:
+    def test_sorted(self):
+        array = theoretical_mz_array("SAMPLEPEPTIDEK", 2)
+        assert np.all(np.diff(array) >= 0)
+
+    def test_charge3_includes_doubly_charged(self):
+        charge2 = theoretical_mz_array("SAMPLEPEPTIDEK", 2)
+        charge3 = theoretical_mz_array("SAMPLEPEPTIDEK", 3)
+        assert charge3.size == 2 * charge2.size
+
+
+class TestIntensityProfile:
+    def test_normalised_to_base_peak(self, rng):
+        profile = fragment_intensity_profile(20, rng)
+        assert profile.max() == pytest.approx(1.0)
+        assert profile.min() > 0.0
+
+    def test_invalid_count(self, rng):
+        with pytest.raises(SearchError):
+            fragment_intensity_profile(0, rng)

@@ -1,0 +1,112 @@
+"""Tests for precursor-m/z bucketing (Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.spectrum import (
+    BucketingConfig,
+    MassSpectrum,
+    bucket_index,
+    bucket_key,
+    bucket_size_histogram,
+    bucket_statistics,
+    partition_spectra,
+    split_oversized_buckets,
+)
+from repro.units import PAPER_CHARGE_MASS
+
+
+def spectrum_at(precursor, charge=2, name="s"):
+    return MassSpectrum(
+        name, precursor, charge, np.array([150.0]), np.array([1.0])
+    )
+
+
+class TestEquationOne:
+    def test_formula_matches_paper(self):
+        # bucket = floor((mz - 1.00794) * C / resolution)
+        config = BucketingConfig(resolution=1.0)
+        mz, charge = 500.5, 2
+        expected = int(np.floor((mz - PAPER_CHARGE_MASS) * charge / 1.0))
+        assert bucket_index(mz, charge, config) == expected
+
+    def test_resolution_bounds_enforced(self):
+        with pytest.raises(ConfigurationError):
+            BucketingConfig(resolution=0.01)
+        with pytest.raises(ConfigurationError):
+            BucketingConfig(resolution=2.0)
+
+    def test_finer_resolution_more_buckets(self):
+        coarse = BucketingConfig(resolution=1.0)
+        fine = BucketingConfig(resolution=0.05)
+        mz_values = np.linspace(400.0, 401.0, 20)
+        coarse_buckets = {bucket_index(mz, 2, coarse) for mz in mz_values}
+        fine_buckets = {bucket_index(mz, 2, fine) for mz in mz_values}
+        assert len(fine_buckets) > len(coarse_buckets)
+
+    def test_invalid_charge(self):
+        with pytest.raises(ConfigurationError):
+            bucket_index(500.0, 0)
+
+
+class TestPartition:
+    def test_same_mass_same_bucket(self):
+        spectra = [spectrum_at(500.2), spectrum_at(500.3)]
+        buckets = partition_spectra(spectra)
+        assert len(buckets) == 1
+
+    def test_charge_splits_buckets(self):
+        spectra = [spectrum_at(500.2, 2), spectrum_at(500.2, 3)]
+        buckets = partition_spectra(spectra, BucketingConfig(split_by_charge=True))
+        assert len(buckets) == 2
+
+    def test_positions_cover_all_inputs(self):
+        spectra = [spectrum_at(400.0 + i * 10) for i in range(10)]
+        buckets = partition_spectra(spectra)
+        positions = sorted(p for members in buckets.values() for p in members)
+        assert positions == list(range(10))
+
+    def test_key_uses_zero_without_charge_split(self):
+        config = BucketingConfig(split_by_charge=False)
+        key = bucket_key(spectrum_at(500.0, 3), config)
+        assert key[0] == 0
+
+
+class TestStatistics:
+    def test_histogram(self):
+        buckets = {(2, 1): [0, 1, 2], (2, 2): [3], (2, 3): [4]}
+        histogram = bucket_size_histogram(buckets)
+        assert histogram == {3: 1, 1: 2}
+
+    def test_statistics_values(self):
+        buckets = {(2, 1): [0, 1, 2], (2, 2): [3]}
+        stats = bucket_statistics(buckets)
+        assert stats["num_buckets"] == 2
+        assert stats["num_spectra"] == 4
+        assert stats["max_size"] == 3
+        assert stats["singleton_fraction"] == pytest.approx(0.5)
+        assert stats["pairwise_work"] == 3  # 3*2/2 + 0
+
+    def test_statistics_empty(self):
+        stats = bucket_statistics({})
+        assert stats["num_buckets"] == 0
+        assert stats["pairwise_work"] == 0
+
+
+class TestSplitOversized:
+    def test_split_preserves_members(self):
+        buckets = {(2, 1): list(range(10))}
+        split = split_oversized_buckets(buckets, max_bucket_size=4)
+        assert len(split) == 3
+        recovered = sorted(m for members in split.values() for m in members)
+        assert recovered == list(range(10))
+
+    def test_small_buckets_untouched(self):
+        buckets = {(2, 1): [0, 1]}
+        split = split_oversized_buckets(buckets, max_bucket_size=10)
+        assert list(split.values()) == [[0, 1]]
+
+    def test_invalid_max_size(self):
+        with pytest.raises(ConfigurationError):
+            split_oversized_buckets({}, 0)

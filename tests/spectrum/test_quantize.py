@@ -1,0 +1,86 @@
+"""Tests for peak quantization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.spectrum import (
+    MassSpectrum,
+    QuantizerConfig,
+    dequantize_mz,
+    quantize_intensity,
+    quantize_mz,
+    quantize_spectrum,
+)
+
+
+class TestConfig:
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            QuantizerConfig(min_mz=1000.0, max_mz=100.0)
+
+    def test_too_few_bins(self):
+        with pytest.raises(ConfigurationError):
+            QuantizerConfig(mz_bins=1)
+
+    def test_too_few_levels(self):
+        with pytest.raises(ConfigurationError):
+            QuantizerConfig(intensity_levels=1)
+
+    def test_bin_width(self):
+        config = QuantizerConfig(min_mz=100.0, max_mz=1100.0, mz_bins=1000)
+        assert config.mz_bin_width == pytest.approx(1.0)
+
+
+class TestQuantizeMz:
+    def test_boundaries_clamped(self):
+        config = QuantizerConfig(min_mz=100.0, max_mz=1100.0, mz_bins=1000)
+        bins = quantize_mz(np.array([50.0, 100.0, 1099.9, 2000.0]), config)
+        assert bins[0] == 0
+        assert bins[1] == 0
+        assert bins[2] == 999
+        assert bins[3] == 999
+
+    def test_monotone(self):
+        config = QuantizerConfig()
+        mz = np.linspace(config.min_mz, config.max_mz - 1e-6, 100)
+        bins = quantize_mz(mz, config)
+        assert np.all(np.diff(bins) >= 0)
+
+    def test_distinct_bins_for_separated_peaks(self):
+        config = QuantizerConfig(min_mz=100.0, max_mz=1100.0, mz_bins=1000)
+        bins = quantize_mz(np.array([100.0, 105.0]), config)
+        assert bins[0] != bins[1]
+
+
+class TestQuantizeIntensity:
+    def test_range_mapping(self):
+        config = QuantizerConfig(intensity_levels=64)
+        levels = quantize_intensity(np.array([0.0, 0.5, 0.999, 1.0, 2.0]), config)
+        assert levels[0] == 0
+        assert levels[1] == 32
+        assert levels[2] == 63
+        assert levels[3] == 63  # clamp at top level
+        assert levels[4] == 63
+
+    def test_monotone(self):
+        config = QuantizerConfig()
+        levels = quantize_intensity(np.linspace(0, 1, 50), config)
+        assert np.all(np.diff(levels) >= 0)
+
+
+class TestSpectrumQuantization:
+    def test_shapes_match_peak_count(self):
+        spectrum = MassSpectrum(
+            "s", 500.0, 2,
+            np.linspace(150, 900, 20), np.linspace(0, 1, 20),
+        )
+        ids, levels = quantize_spectrum(spectrum)
+        assert ids.shape == (20,)
+        assert levels.shape == (20,)
+
+    def test_dequantize_roundtrip_within_bin(self):
+        config = QuantizerConfig(min_mz=100.0, max_mz=1100.0, mz_bins=10_000)
+        mz = np.array([250.3, 700.7, 1000.01])
+        recovered = dequantize_mz(quantize_mz(mz, config), config)
+        assert np.all(np.abs(recovered - mz) <= config.mz_bin_width)

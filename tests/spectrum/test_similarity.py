@@ -1,0 +1,89 @@
+"""Tests for peak-level similarity measures."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpectrumError
+from repro.spectrum import (
+    MassSpectrum,
+    binned_vector,
+    cosine_distance_matrix,
+    cosine_similarity,
+    pairwise_cosine_matrix,
+)
+
+
+def spectrum_of(mz, intensity):
+    return MassSpectrum("s", 500.0, 2, np.array(mz), np.array(intensity))
+
+
+class TestBinnedVector:
+    def test_l2_normalised(self):
+        vector = binned_vector(spectrum_of([150.0, 300.0], [1.0, 2.0]))
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_empty_spectrum_zero_vector(self):
+        vector = binned_vector(spectrum_of([], []))
+        assert np.linalg.norm(vector) == 0.0
+
+    def test_same_bin_accumulates(self):
+        one = binned_vector(spectrum_of([200.5, 200.9], [1.0, 1.0]))
+        # Both peaks land in the same ~1 Da bin -> single nonzero bin.
+        assert (one > 0).sum() == 1
+
+    def test_invalid_bin_width(self):
+        with pytest.raises(SpectrumError):
+            binned_vector(spectrum_of([150.0], [1.0]), bin_width=0.0)
+
+
+class TestCosine:
+    def test_identical_spectra_score_one(self):
+        spectrum = spectrum_of([150.0, 300.0, 450.0], [1.0, 2.0, 3.0])
+        assert cosine_similarity(spectrum, spectrum) == pytest.approx(1.0)
+
+    def test_disjoint_spectra_score_zero(self):
+        first = spectrum_of([150.0, 300.0], [1.0, 1.0])
+        second = spectrum_of([500.0, 700.0], [1.0, 1.0])
+        assert cosine_similarity(first, second) == 0.0
+
+    def test_tolerance_controls_matching(self):
+        first = spectrum_of([150.00], [1.0])
+        second = spectrum_of([150.04], [1.0])
+        assert cosine_similarity(first, second, 0.05) == pytest.approx(1.0)
+        assert cosine_similarity(first, second, 0.01) == 0.0
+
+    def test_symmetry(self):
+        first = spectrum_of([150.0, 300.0, 452.0], [1.0, 5.0, 2.0])
+        second = spectrum_of([150.01, 300.02, 600.0], [2.0, 4.0, 1.0])
+        assert cosine_similarity(first, second) == pytest.approx(
+            cosine_similarity(second, first)
+        )
+
+    def test_empty_spectrum_scores_zero(self):
+        assert cosine_similarity(
+            spectrum_of([], []), spectrum_of([150.0], [1.0])
+        ) == 0.0
+
+
+class TestMatrices:
+    def test_pairwise_diagonal_is_one(self):
+        spectra = [
+            spectrum_of([150.0, 300.0], [1.0, 2.0]),
+            spectrum_of([150.0, 450.0], [2.0, 1.0]),
+        ]
+        matrix = pairwise_cosine_matrix(spectra)
+        assert np.allclose(np.diag(matrix), 1.0)
+        assert matrix.shape == (2, 2)
+        assert matrix[0, 1] == pytest.approx(matrix[1, 0])
+
+    def test_distance_is_one_minus_similarity(self):
+        spectra = [
+            spectrum_of([150.0, 300.0], [1.0, 2.0]),
+            spectrum_of([150.0, 450.0], [2.0, 1.0]),
+        ]
+        similarity = pairwise_cosine_matrix(spectra)
+        distance = cosine_distance_matrix(spectra)
+        assert np.allclose(distance, 1.0 - similarity)
+
+    def test_empty_input(self):
+        assert pairwise_cosine_matrix([]).shape == (0, 0)

@@ -1,0 +1,103 @@
+"""Tests for spectrum QC validation."""
+
+import numpy as np
+import pytest
+
+from repro.spectrum import MassSpectrum
+from repro.spectrum.validation import (
+    validate_dataset,
+    validate_spectrum,
+)
+
+
+def spectrum_of(mz, intensity, precursor=500.0):
+    return MassSpectrum("s", precursor, 2, np.array(mz), np.array(intensity))
+
+
+class TestSingleSpectrum:
+    def test_clean_spectrum_valid(self):
+        report = validate_spectrum(
+            spectrum_of(np.linspace(150, 900, 30), np.ones(30))
+        )
+        assert report.is_valid
+        assert report.issues == []
+
+    def test_empty_is_error(self):
+        report = validate_spectrum(spectrum_of([], []))
+        assert not report.is_valid
+        assert report.issues[0].code == "empty"
+
+    def test_few_peaks_is_warning(self):
+        report = validate_spectrum(spectrum_of([150.0, 200.0], [1.0, 1.0]))
+        assert report.is_valid
+        assert any(i.code == "too-few-peaks" for i in report.warnings)
+
+    def test_nan_is_error(self):
+        report = validate_spectrum(
+            spectrum_of([150.0, np.nan], [1.0, 1.0])
+        )
+        assert not report.is_valid
+        assert any(issue.code == "non-finite" for issue in report.issues)
+
+    def test_negative_intensity_is_error(self):
+        report = validate_spectrum(spectrum_of([150.0], [-1.0]))
+        assert not report.is_valid
+
+    def test_all_zero_intensity_is_error(self):
+        report = validate_spectrum(
+            spectrum_of([150.0, 200.0], [0.0, 0.0])
+        )
+        assert not report.is_valid
+
+    def test_some_zero_intensity_is_warning(self):
+        report = validate_spectrum(
+            spectrum_of(np.linspace(150, 600, 10),
+                        [0.0] + [1.0] * 9)
+        )
+        assert report.is_valid
+        assert any(i.code == "zero-intensity" for i in report.warnings)
+
+    def test_out_of_range_mz_is_warning(self):
+        report = validate_spectrum(
+            spectrum_of([10.0, 150.0, 200.0, 250.0, 300.0], [1.0] * 5)
+        )
+        assert report.is_valid
+        assert any(i.code == "mz-out-of-range" for i in report.warnings)
+
+    def test_huge_precursor_is_warning(self):
+        report = validate_spectrum(
+            spectrum_of(
+                np.linspace(150, 900, 10), np.ones(10), precursor=3500.0
+            )
+        )
+        assert any(
+            i.code == "precursor-out-of-range" for i in report.warnings
+        )
+
+    def test_duplicate_mz_is_warning(self):
+        report = validate_spectrum(
+            spectrum_of([150.0, 150.0, 200.0, 250.0, 300.0], [1.0] * 5)
+        )
+        assert any(i.code == "duplicate-mz" for i in report.warnings)
+
+
+class TestDatasetQC:
+    def test_aggregate_counts(self):
+        spectra = [
+            spectrum_of(np.linspace(150, 900, 30), np.ones(30)),
+            spectrum_of([], []),
+            spectrum_of([150.0], [-1.0]),
+        ]
+        report = validate_dataset(spectra)
+        assert report.total == 3
+        assert report.valid == 1
+        assert report.valid_fraction == pytest.approx(1 / 3)
+        assert report.issue_counts["empty"] == 1
+
+    def test_empty_dataset(self):
+        report = validate_dataset([])
+        assert report.valid_fraction == 1.0
+
+    def test_synthetic_dataset_is_clean(self, labelled_dataset):
+        report = validate_dataset(labelled_dataset.spectra)
+        assert report.valid_fraction == 1.0

@@ -1,0 +1,65 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    CapacityError,
+    ClusteringError,
+    ConfigurationError,
+    EncodingError,
+    ParseError,
+    SearchError,
+    SpecHDError,
+    SpectrumError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            SpectrumError,
+            ParseError,
+            EncodingError,
+            ClusteringError,
+            ConfigurationError,
+            CapacityError,
+            SearchError,
+        ],
+    )
+    def test_all_derive_from_base(self, exception_type):
+        assert issubclass(exception_type, SpecHDError)
+
+    def test_base_catches_everything(self):
+        with pytest.raises(SpecHDError):
+            raise EncodingError("x")
+
+    def test_parse_error_location_formatting(self):
+        error = ParseError("bad token", path="file.mgf", line=42)
+        assert "file.mgf:42" in str(error)
+        assert error.path == "file.mgf"
+        assert error.line == 42
+
+    def test_parse_error_without_location(self):
+        error = ParseError("bad token")
+        assert str(error) == "bad token"
+
+    def test_library_raises_only_spechd_errors_at_api_boundary(self):
+        """A representative API misuse sweep: every raised error is
+        catchable via the base class."""
+        import numpy as np
+
+        from repro.cluster import nn_chain_linkage
+        from repro.hdc import words_for_dim
+        from repro.search import peptide_neutral_mass
+        from repro.spectrum import MassSpectrum
+
+        cases = [
+            lambda: MassSpectrum("x", 0.0, 2, np.array([1.0]), np.array([1.0])),
+            lambda: nn_chain_linkage(np.zeros((2, 3))),
+            lambda: words_for_dim(0),
+            lambda: peptide_neutral_mass("XYZ123"),
+        ]
+        for case in cases:
+            with pytest.raises(SpecHDError):
+                case()

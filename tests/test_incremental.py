@@ -1,0 +1,131 @@
+"""Tests for the incremental cluster store."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import quality_report
+from repro.datasets import SyntheticConfig, generate_dataset
+from repro.errors import ConfigurationError
+from repro.hdc import EncoderConfig
+from repro.incremental import IncrementalClusterStore
+
+
+@pytest.fixture(scope="module")
+def population():
+    return generate_dataset(
+        SyntheticConfig(
+            num_peptides=10,
+            replicates_per_peptide=12,
+            peptides_per_mass_group=1,
+            seed=31,
+        )
+    )
+
+
+def make_store(threshold=0.36):
+    return IncrementalClusterStore(
+        encoder_config=EncoderConfig(
+            dim=1024, mz_bins=8_000, intensity_levels=32
+        ),
+        cluster_threshold=threshold,
+    )
+
+
+class TestConstruction:
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            IncrementalClusterStore(cluster_threshold=2.0)
+
+    def test_empty_store(self):
+        store = make_store()
+        assert len(store) == 0
+        assert store.num_clusters == 0
+        assert store.labels().size == 0
+
+
+class TestSingleBatch:
+    def test_matches_batch_clustering_quality(self, population):
+        store = make_store()
+        report = store.add_batch(population.spectra)
+        assert report.num_added == len(store)
+        assert report.num_absorbed == 0  # nothing to absorb into
+        quality = quality_report(store.labels(), population.labels[: len(store)])
+        assert quality.incorrect_clustering_ratio < 0.05
+        assert quality.clustered_spectra_ratio > 0.5
+
+    def test_labels_are_contiguous_non_negative(self, population):
+        store = make_store()
+        store.add_batch(population.spectra)
+        labels = store.labels()
+        assert labels.min() >= 0
+        assert set(store.cluster_sizes()) == set(np.unique(labels))
+
+
+class TestIncrementalUpdates:
+    def test_second_run_absorbs(self, population):
+        half = len(population) // 2
+        store = make_store()
+        store.add_batch(population.spectra[:half])
+        clusters_before = store.num_clusters
+        report = store.add_batch(population.spectra[half:])
+        # Replicates of already-seen peptides join existing clusters.
+        assert report.num_absorbed > report.num_added * 0.5
+        assert store.num_clusters < clusters_before + report.num_added
+
+    def test_absorbed_labels_consistent_with_truth(self, population):
+        half = len(population) // 2
+        store = make_store()
+        store.add_batch(population.spectra[:half])
+        store.add_batch(population.spectra[half:])
+        quality = quality_report(
+            store.labels(), population.labels[: len(store)]
+        )
+        assert quality.incorrect_clustering_ratio < 0.05
+
+    def test_unrelated_batch_creates_new_clusters(self, population):
+        other = generate_dataset(
+            SyntheticConfig(
+                num_peptides=5,
+                replicates_per_peptide=4,
+                peptides_per_mass_group=1,
+                seed=999,
+            )
+        )
+        store = make_store()
+        store.add_batch(population.spectra)
+        report = store.add_batch(other.spectra)
+        # Different peptides (different masses): nothing should absorb.
+        assert report.num_absorbed <= report.num_added * 0.2
+        assert report.num_new_clusters >= 1
+
+    def test_empty_batch(self, population):
+        store = make_store()
+        report = store.add_batch([])
+        assert report.num_added == 0
+        assert report.absorption_rate == 0.0
+
+    def test_qc_failures_counted_as_dropped(self):
+        from repro.spectrum import MassSpectrum
+
+        bad = MassSpectrum(
+            "bad", 500.0, 2, np.array([150.0]), np.array([1.0])
+        )
+        store = make_store()
+        report = store.add_batch([bad])
+        assert report.num_dropped == 1
+        assert len(store) == 0
+
+
+class TestStorage:
+    def test_stored_bytes_grow_linearly(self, population):
+        store = make_store()
+        store.add_batch(population.spectra[:30])
+        first = store.stored_bytes()
+        store.add_batch(population.spectra[30:60])
+        second = store.stored_bytes()
+        assert second == pytest.approx(2 * first, rel=0.1)
+
+    def test_footprint_is_dim_over_8_per_spectrum(self, population):
+        store = make_store()
+        store.add_batch(population.spectra[:20])
+        assert store.stored_bytes() == len(store) * (1024 // 8)

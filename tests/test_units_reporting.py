@@ -1,0 +1,82 @@
+"""Tests for units helpers and report formatting."""
+
+import pytest
+
+from repro.reporting import (
+    banner,
+    format_percent,
+    format_ratio,
+    format_series,
+    format_table,
+)
+from repro.units import (
+    format_bytes,
+    format_seconds,
+    joules,
+    mass_to_mz,
+    mz_to_mass,
+)
+
+
+class TestMassConversions:
+    def test_roundtrip(self):
+        mass = 1234.5678
+        for charge in (1, 2, 3, 4):
+            assert mz_to_mass(mass_to_mz(mass, charge), charge) == pytest.approx(
+                mass
+            )
+
+    def test_invalid_charge(self):
+        with pytest.raises(ValueError):
+            mass_to_mz(100.0, 0)
+        with pytest.raises(ValueError):
+            mz_to_mass(100.0, -1)
+
+
+class TestEnergyHelpers:
+    def test_joules(self):
+        assert joules(10.0, 5.0) == 50.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            joules(-1.0, 1.0)
+
+
+class TestFormatting:
+    def test_format_bytes(self):
+        assert format_bytes(131 * 10 ** 9) == "131.0 GB"
+        assert format_bytes(500) == "500 B"
+        assert format_bytes(2_500_000) == "2.5 MB"
+
+    def test_format_seconds(self):
+        assert format_seconds(43.38) == "43.38 s"
+        assert format_seconds(300) == "5.0 min"
+        assert format_seconds(7200) == "2.0 h"
+        with pytest.raises(ValueError):
+            format_seconds(-1)
+
+    def test_format_ratio_and_percent(self):
+        assert format_ratio(12.34) == "12.3x"
+        assert format_percent(0.44) == "44.0%"
+
+
+class TestTableFormatter:
+    def test_aligned_columns(self):
+        table = format_table(
+            ["name", "value"], [["a", 1], ["longer-name", 22]]
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        # All rows equal width.
+        assert len(set(len(line) for line in lines)) == 1
+        assert "longer-name" in lines[3]
+
+    def test_series(self):
+        series = format_series(
+            "title", [(1, 2.0), (3, 4.0)], ["x", "y"]
+        )
+        assert series.startswith("title")
+        assert "x=1" in series
+
+    def test_banner(self):
+        assert "TITLE" in banner("TITLE")
