@@ -22,6 +22,7 @@ Subpackages
 The top-level exports are the end-to-end pipeline API.
 """
 
+from .execution import EXECUTION_BACKENDS, execution_map
 from .pipeline import (
     SpecHDConfig,
     SpecHDPipeline,
@@ -42,6 +43,8 @@ from .errors import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "EXECUTION_BACKENDS",
+    "execution_map",
     "SpecHDConfig",
     "SpecHDPipeline",
     "SpecHDResult",

@@ -68,6 +68,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="precursor bucket resolution in Da (default 1.0)",
     )
     cluster.add_argument(
+        "--backend", default="serial",
+        choices=("serial", "threads", "processes"),
+        help="execution backend for per-bucket clustering (default serial)",
+    )
+    cluster.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for threads/processes backends "
+             "(default: CPU count)",
+    )
+    cluster.add_argument(
         "--consensus", action="store_true",
         help="export binned-average consensus spectra instead of medoids",
     )
@@ -123,6 +133,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             bucketing=BucketingConfig(resolution=args.resolution),
             linkage=args.linkage,
             cluster_threshold=args.threshold,
+            execution_backend=args.backend,
+            num_workers=args.workers,
         )
     )
     result = pipeline.run(spectra)

@@ -1,0 +1,86 @@
+"""Execution backends: how independent pipeline work units are scheduled.
+
+SpecHD's FPGA runs five clustering kernels side by side because precursor
+buckets are embarrassingly parallel (§III-C).  This module is the software
+counterpart: a small abstraction that maps a function over independent work
+items either serially, on a thread pool, or on a process pool, always
+returning results in input order so downstream label assignment stays
+deterministic regardless of backend.
+
+Backends
+--------
+``serial``
+    Plain in-order loop; zero overhead, the default.
+``threads``
+    ``concurrent.futures.ThreadPoolExecutor``.  The hot kernels (XOR,
+    popcount, linkage) are numpy calls that release the GIL, so threads
+    overlap well on multi-core hosts without any pickling cost.
+``processes``
+    ``concurrent.futures.ProcessPoolExecutor``.  True parallelism for
+    CPU-bound Python sections at the price of pickling work items; the
+    mapped function and its arguments must be picklable (top-level
+    functions and numpy arrays are).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from .errors import ConfigurationError
+
+#: Names accepted by :func:`execution_map` and pipeline configurations.
+EXECUTION_BACKENDS = ("serial", "threads", "processes")
+
+_ItemT = TypeVar("_ItemT")
+_ResultT = TypeVar("_ResultT")
+
+
+def validate_backend(backend: str) -> str:
+    """Return ``backend`` if known, raise :class:`ConfigurationError` else."""
+    if backend not in EXECUTION_BACKENDS:
+        raise ConfigurationError(
+            f"unknown execution backend {backend!r}; "
+            f"choose one of {', '.join(EXECUTION_BACKENDS)}"
+        )
+    return backend
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Effective worker count: explicit value or the host CPU count."""
+    if workers is None:
+        return os.cpu_count() or 1
+    if workers < 1:
+        raise ConfigurationError(f"num_workers must be >= 1, got {workers}")
+    return workers
+
+
+def execution_map(
+    function: Callable[[_ItemT], _ResultT],
+    items: Sequence[_ItemT],
+    backend: str = "serial",
+    workers: Optional[int] = None,
+) -> List[_ResultT]:
+    """Map ``function`` over ``items`` on the chosen backend.
+
+    Results are returned in input order for every backend, so callers can
+    zip them back to their work items and produce output that is invariant
+    under the backend choice.  Empty input returns an empty list without
+    spinning up any pool.
+    """
+    validate_backend(backend)
+    count = resolve_workers(workers)
+    if not items:
+        return []
+    if backend == "serial" or count == 1 or len(items) == 1:
+        return [function(item) for item in items]
+    if backend == "threads":
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=count) as pool:
+            return list(pool.map(function, items))
+    from concurrent.futures import ProcessPoolExecutor
+
+    chunksize = max(1, len(items) // (4 * count))
+    with ProcessPoolExecutor(max_workers=count) as pool:
+        return list(pool.map(function, items, chunksize=chunksize))

@@ -5,7 +5,10 @@ from .bitops import (
     words_for_dim,
     pack_bits,
     unpack_bits,
+    expand_bits,
+    accumulate_bit_counts,
     popcount,
+    popcount_swar,
     hamming_distance,
     random_hypervectors,
     flip_bits,
@@ -15,10 +18,13 @@ from .itemmemory import ItemMemory, ItemMemoryConfig
 from .encoder import IDLevelEncoder, EncoderConfig
 from .hamming import (
     DISTANCE_DTYPE,
+    MAX_CONDENSED_DIM,
     pairwise_hamming,
+    pairwise_hamming_blocked,
     hamming_to_query,
     condensed_index,
     condensed_pairwise_hamming,
+    condensed_pairwise_hamming_blocked,
     squareform,
     normalized_hamming,
 )
@@ -34,7 +40,10 @@ __all__ = [
     "words_for_dim",
     "pack_bits",
     "unpack_bits",
+    "expand_bits",
+    "accumulate_bit_counts",
     "popcount",
+    "popcount_swar",
     "hamming_distance",
     "random_hypervectors",
     "flip_bits",
@@ -44,10 +53,13 @@ __all__ = [
     "IDLevelEncoder",
     "EncoderConfig",
     "DISTANCE_DTYPE",
+    "MAX_CONDENSED_DIM",
     "pairwise_hamming",
+    "pairwise_hamming_blocked",
     "hamming_to_query",
     "condensed_index",
     "condensed_pairwise_hamming",
+    "condensed_pairwise_hamming_blocked",
     "squareform",
     "normalized_hamming",
     "CompressionReport",

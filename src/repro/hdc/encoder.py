@@ -24,8 +24,21 @@ import numpy as np
 
 from ..errors import EncodingError
 from ..spectrum import MassSpectrum, QuantizerConfig, quantize_spectrum
-from .bitops import majority_bundle, pack_bits, unpack_bits
+from ..spectrum.quantize import quantize_intensity, quantize_mz
+from .bitops import (
+    csa_accumulate,
+    majority_bundle,
+    pack_bits,
+    planes_greater_than,
+    unpack_bits,
+)
 from .itemmemory import ItemMemory, ItemMemoryConfig
+
+#: Upper bound on padded bound-vector rows processed per fast-path chunk;
+#: bounds scratch memory to roughly ``PEAK_CHUNK_BUDGET * dim / 8`` bytes
+#: (16 MiB at the paper's D_hv = 2048) while keeping chunks large enough
+#: to amortise per-call numpy overhead.
+PEAK_CHUNK_BUDGET = 65_536
 
 
 @dataclass(frozen=True)
@@ -88,6 +101,9 @@ class IDLevelEncoder:
                 f"configuration ({config.dim})"
             )
         self._quantizer = config.quantizer_config()
+        self._id_augmented: np.ndarray | None = None
+        self._level_augmented: np.ndarray | None = None
+        self._scratch_buffers: dict = {}
 
     @property
     def dim(self) -> int:
@@ -122,15 +138,132 @@ class IDLevelEncoder:
         majority = majority_bundle(accumulator, spectrum.peak_count)
         return pack_bits(majority)
 
-    def encode_batch(
+    def encode_batch_reference(
         self, spectra: Sequence[MassSpectrum]
     ) -> np.ndarray:
-        """Encode a batch; returns packed matrix ``(n, dim // 64)``."""
+        """Reference batch encoder: one :meth:`encode` call per spectrum.
+
+        Kept as the bit-exact golden path that :meth:`encode_batch` is
+        tested against (``tests/hdc/test_fastpath_equivalence.py``); use
+        :meth:`encode_batch` everywhere else.
+        """
         if len(spectra) == 0:
             return np.zeros((0, self.words), dtype=np.uint64)
         encoded = np.empty((len(spectra), self.words), dtype=np.uint64)
         for row, spectrum in enumerate(spectra):
             encoded[row] = self.encode(spectrum)
+        return encoded
+
+    def _augmented_memories(self) -> tuple[np.ndarray, np.ndarray]:
+        """ID/Level tables with one all-zero sentinel row appended.
+
+        The fast batch path pads ragged peak lists by pointing padding
+        slots at the sentinel, whose bound vector is ``0 ^ 0 = 0`` and
+        therefore contributes nothing to the majority counters.
+        """
+        if self._id_augmented is None:
+            zero = np.zeros((1, self.words), dtype=np.uint64)
+            self._id_augmented = np.vstack(
+                [self.item_memory.id_memory, zero]
+            )
+            self._level_augmented = np.vstack(
+                [self.item_memory.level_memory, zero]
+            )
+        return self._id_augmented, self._level_augmented
+
+    def _scratch(self, key: str, shape: tuple, dtype) -> np.ndarray:
+        """Reusable scratch array (grown geometrically, viewed to size)."""
+        needed = int(np.prod(shape))
+        buffer = self._scratch_buffers.get(key)
+        if buffer is None or buffer.size < needed or buffer.dtype != dtype:
+            buffer = np.empty(max(needed, 1), dtype=dtype)
+            self._scratch_buffers[key] = buffer
+        return buffer[:needed].reshape(shape)
+
+    def encode_batch(self, spectra: Sequence[MassSpectrum]) -> np.ndarray:
+        """Encode a batch; returns packed matrix ``(n, dim // 64)``.
+
+        Vectorised fast path, bit-identical to
+        :meth:`encode_batch_reference` but roughly an order of magnitude
+        faster on realistic batches:
+
+        1. every peak of every spectrum is quantized in one shot;
+        2. spectra are sorted by peak count and cut into chunks; each
+           chunk's peak indices are laid out peak-major ``(c, m)`` with
+           ragged tails pointing at an all-zero sentinel row, so a single
+           ``np.take`` per item memory binds the whole chunk with one XOR;
+        3. per-dimension majority counts are accumulated in the *packed*
+           domain with carry-save adders
+           (:func:`repro.hdc.bitops.csa_accumulate`) — no per-spectrum
+           ``unpack_bits``/sum, no expanded bit matrices at all;
+        4. the majority rule ``count > peaks // 2`` is evaluated directly
+           on the bit-planes (:func:`repro.hdc.bitops.planes_greater_than`),
+           yielding the packed hypervectors without a final ``pack_bits``.
+        """
+        if len(spectra) == 0:
+            return np.zeros((0, self.words), dtype=np.uint64)
+        peak_counts = np.array(
+            [spectrum.peak_count for spectrum in spectra], dtype=np.int64
+        )
+        empty = np.flatnonzero(peak_counts == 0)
+        if empty.size:
+            raise EncodingError(
+                "cannot encode empty spectrum "
+                f"{spectra[int(empty[0])].identifier!r}"
+            )
+        id_indices = quantize_mz(
+            np.concatenate([spectrum.mz for spectrum in spectra]),
+            self._quantizer,
+        )
+        level_indices = quantize_intensity(
+            np.concatenate([spectrum.intensity for spectrum in spectra]),
+            self._quantizer,
+        )
+        id_table, level_table = self._augmented_memories()
+        id_sentinel = id_table.shape[0] - 1
+        level_sentinel = level_table.shape[0] - 1
+
+        words = self.words
+        total = int(peak_counts.sum())
+        starts = np.concatenate(([0], np.cumsum(peak_counts)))
+        # Descending peak count: each chunk's max count is its first entry
+        # and sorting keeps padding waste small.
+        order = np.argsort(-peak_counts, kind="stable")
+        encoded = np.empty((len(spectra), words), dtype=np.uint64)
+        thresholds = peak_counts // 2
+        position = 0
+        while position < len(spectra):
+            count_max = int(peak_counts[order[position]])
+            chunk = max(1, PEAK_CHUNK_BUDGET // count_max)
+            selected = order[position : position + chunk]
+            m = selected.shape[0]
+            # Peak-major (c, m) index layout: row j holds peak j of every
+            # chunk spectrum, padding slots aimed at the sentinel rows.
+            offsets = np.arange(count_max)[:, None]
+            peak_rows = starts[selected][None, :] + offsets
+            valid = offsets < peak_counts[selected][None, :]
+            np.minimum(peak_rows, total - 1, out=peak_rows)
+            id_padded = np.where(valid, id_indices[peak_rows], id_sentinel)
+            level_padded = np.where(
+                valid, level_indices[peak_rows], level_sentinel
+            )
+            bound = self._scratch("bound", (count_max * m, words), np.uint64)
+            np.take(id_table, id_padded.reshape(-1), axis=0, out=bound)
+            level_bound = self._scratch(
+                "level", (count_max * m, words), np.uint64
+            )
+            np.take(
+                level_table, level_padded.reshape(-1), axis=0,
+                out=level_bound,
+            )
+            np.bitwise_xor(bound, level_bound, out=bound)
+            planes = csa_accumulate(
+                bound.reshape(count_max, m, words), count_max
+            )
+            encoded[selected] = planes_greater_than(
+                planes, thresholds[selected]
+            )
+            position += chunk
         return encoded
 
     def encode_stream(

@@ -11,11 +11,35 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import EncodingError
-from .bitops import popcount
+from .bitops import popcount, popcount_swar
 
 #: The FPGA stores distances as 16-bit fixed point; with D_hv <= 65535 the
 #: raw Hamming count always fits losslessly.
 DISTANCE_DTYPE = np.uint16
+
+#: Largest dimensionality whose raw Hamming counts fit in DISTANCE_DTYPE.
+MAX_CONDENSED_DIM = np.iinfo(DISTANCE_DTYPE).max
+
+#: Target byte footprint of one XOR block in the blocked kernels; keeps the
+#: intermediate (block_rows, n, words) tensor inside the cache working set.
+_BLOCK_BYTES = 1 << 22
+
+
+def _block_rows(n: int, words: int) -> int:
+    """Rows per block so one XOR intermediate stays near ``_BLOCK_BYTES``."""
+    if n == 0 or words == 0:
+        return 1
+    return max(1, _BLOCK_BYTES // (n * words * 8))
+
+
+def _guard_condensed_dim(words: int) -> None:
+    """Reject packed widths whose distances could overflow DISTANCE_DTYPE."""
+    dim = words * 64
+    if dim > MAX_CONDENSED_DIM:
+        raise EncodingError(
+            f"condensed distances use {DISTANCE_DTYPE.__name__}; "
+            f"dim {dim} (from {words} words) can exceed {MAX_CONDENSED_DIM}"
+        )
 
 
 def pairwise_hamming(vectors: np.ndarray) -> np.ndarray:
@@ -37,6 +61,85 @@ def pairwise_hamming(vectors: np.ndarray) -> np.ndarray:
             distances[row, row + 1 :] = row_distances
             distances[row + 1 :, row] = row_distances
     return distances
+
+
+def _xor_popcount_block(rows: np.ndarray, others: np.ndarray) -> np.ndarray:
+    """Hamming distances between every row pair of two packed matrices.
+
+    Broadcasts one XOR over ``(len(rows), len(others))`` pairs and reduces
+    with the in-place SWAR popcount — the intermediate is consumed where it
+    is produced, with no table gathers.
+    """
+    from .bitops import _popcount_swar_inplace
+
+    xor = np.bitwise_xor(rows[:, None, :], others[None, :, :])
+    return _popcount_swar_inplace(xor).sum(axis=-1, dtype=np.int64)
+
+
+def pairwise_hamming_blocked(
+    vectors: np.ndarray, block_rows: int | None = None
+) -> np.ndarray:
+    """Blocked dense pairwise Hamming distances, bit-identical to
+    :func:`pairwise_hamming`.
+
+    Processes whole row blocks of the lower triangle per broadcast
+    XOR + SWAR-popcount pass (the software shape of the FPGA's unrolled
+    distance array) instead of one Python-level pass per anchor row, and
+    mirrors each block into the upper triangle.  ``block_rows`` defaults
+    to a size that keeps each XOR intermediate cache-friendly.
+    """
+    vectors = np.asarray(vectors, dtype=np.uint64)
+    if vectors.ndim != 2:
+        raise EncodingError(
+            "pairwise_hamming_blocked expects a 2-D packed matrix"
+        )
+    n, words = vectors.shape
+    if block_rows is None:
+        block_rows = _block_rows(n, words)
+    if block_rows < 1:
+        raise EncodingError("block_rows must be >= 1")
+    distances = np.zeros((n, n), dtype=np.int64)
+    for lo in range(0, n, block_rows):
+        hi = min(lo + block_rows, n)
+        # Rows lo:hi against all columns < hi covers this block's share of
+        # the lower triangle (plus the in-block upper corner, which holds
+        # correct distances too); mirror it for the upper triangle.
+        block = _xor_popcount_block(vectors[lo:hi], vectors[:hi])
+        distances[lo:hi, :hi] = block
+        distances[:hi, lo:hi] = block.T
+    np.fill_diagonal(distances, 0)
+    return distances
+
+
+def condensed_pairwise_hamming_blocked(
+    vectors: np.ndarray, block_rows: int | None = None
+) -> np.ndarray:
+    """Blocked condensed pairwise Hamming distances (uint16).
+
+    Bit-identical to :func:`condensed_pairwise_hamming` but computes whole
+    row blocks of the lower triangle per XOR + SWAR-popcount pass.
+    """
+    vectors = np.asarray(vectors, dtype=np.uint64)
+    if vectors.ndim != 2:
+        raise EncodingError(
+            "condensed_pairwise_hamming_blocked expects a 2-D packed matrix"
+        )
+    n, words = vectors.shape
+    _guard_condensed_dim(words)
+    if block_rows is None:
+        block_rows = _block_rows(n, words)
+    if block_rows < 1:
+        raise EncodingError("block_rows must be >= 1")
+    out = np.zeros(n * (n - 1) // 2, dtype=DISTANCE_DTYPE)
+    for lo in range(1, n, block_rows):
+        hi = min(lo + block_rows, n)
+        # Rows lo:hi of the triangle all compare against vectors[:hi-1];
+        # one broadcast XOR covers the block, sliced to j < i below.
+        block = _xor_popcount_block(vectors[lo:hi], vectors[: hi - 1])
+        for offset, i in enumerate(range(lo, hi)):
+            start = i * (i - 1) // 2
+            out[start : start + i] = block[offset, :i].astype(DISTANCE_DTYPE)
+    return out
 
 
 def hamming_to_query(vectors: np.ndarray, query: np.ndarray) -> np.ndarray:
@@ -72,6 +175,11 @@ def condensed_pairwise_hamming(vectors: np.ndarray) -> np.ndarray:
     :func:`condensed_index`, stored with the hardware's 16-bit width.
     """
     vectors = np.asarray(vectors, dtype=np.uint64)
+    if vectors.ndim != 2:
+        raise EncodingError(
+            "condensed_pairwise_hamming expects a 2-D packed matrix"
+        )
+    _guard_condensed_dim(vectors.shape[1])
     n = vectors.shape[0]
     out = np.zeros(n * (n - 1) // 2, dtype=DISTANCE_DTYPE)
     for i in range(1, n):

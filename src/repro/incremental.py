@@ -20,14 +20,15 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from .cluster import cut_at_height, nn_chain_linkage
 from .errors import ConfigurationError
+from .execution import execution_map, validate_backend
 from .hdc import (
     EncoderConfig,
     IDLevelEncoder,
     hamming_to_query,
-    pairwise_hamming,
+    pairwise_hamming_blocked,
 )
+from .pipeline import cluster_bucket_labels
 from .spectrum import (
     BucketingConfig,
     MassSpectrum,
@@ -78,6 +79,9 @@ class IncrementalClusterStore:
         spectra into existing clusters and for clustering leftovers.
     linkage:
         Linkage criterion for the leftover NN-chain pass.
+    execution_backend, num_workers:
+        How leftover buckets are clustered (see :mod:`repro.execution`);
+        all backends produce identical labels.
     """
 
     def __init__(
@@ -87,16 +91,23 @@ class IncrementalClusterStore:
         bucketing: BucketingConfig = BucketingConfig(),
         cluster_threshold: float = 0.3,
         linkage: str = "complete",
+        execution_backend: str = "serial",
+        num_workers: int | None = None,
     ) -> None:
         if not 0.0 <= cluster_threshold <= 1.0:
             raise ConfigurationError(
                 "cluster_threshold must be a normalised distance in [0, 1]"
             )
+        validate_backend(execution_backend)
+        if num_workers is not None and num_workers < 1:
+            raise ConfigurationError("num_workers must be >= 1")
         self.encoder = IDLevelEncoder(encoder_config)
         self.preprocessing = preprocessing
         self.bucketing = bucketing
         self.cluster_threshold = cluster_threshold
         self.linkage = linkage
+        self.execution_backend = execution_backend
+        self.num_workers = num_workers
 
         self._vectors = np.zeros(
             (0, encoder_config.dim // 64), dtype=np.uint64
@@ -174,9 +185,33 @@ class IncrementalClusterStore:
                 leftovers_by_bucket.setdefault(bucket, []).append(row)
 
         new_clusters = 0
+        # Leftover buckets are independent: compute their local labellings
+        # on the execution backend, then apply serially in insertion order
+        # so cluster numbering is identical across backends.
+        pending = [
+            (bucket, rows)
+            for bucket, rows in leftovers_by_bucket.items()
+            if len(rows) > 1
+        ]
+        outcomes = execution_map(
+            cluster_bucket_labels,
+            [
+                (self._vectors[rows], self.linkage, threshold_bits)
+                for _, rows in pending
+            ],
+            backend=self.execution_backend,
+            workers=self.num_workers,
+        )
+        labels_by_bucket = {
+            bucket: local_labels
+            for (bucket, _), local_labels in zip(pending, outcomes)
+        }
         for bucket, rows in leftovers_by_bucket.items():
-            new_clusters += self._cluster_leftovers(
-                bucket, rows, threshold_bits
+            local_labels = labels_by_bucket.get(
+                bucket, np.zeros(1, dtype=np.int64)
+            )
+            new_clusters += self._apply_leftover_labels(
+                bucket, rows, local_labels
             )
         return UpdateReport(
             num_added=len(accepted),
@@ -206,16 +241,13 @@ class IncrementalClusterStore:
         self._refresh_medoid(label)
         return label
 
-    def _cluster_leftovers(
-        self, bucket: Tuple[int, int], rows: List[int], threshold_bits: float
+    def _apply_leftover_labels(
+        self,
+        bucket: Tuple[int, int],
+        rows: List[int],
+        local_labels: np.ndarray,
     ) -> int:
-        """NN-chain the leftovers of one bucket into fresh clusters."""
-        if len(rows) == 1:
-            local_labels = np.zeros(1, dtype=np.int64)
-        else:
-            distances = pairwise_hamming(self._vectors[rows]).astype(float)
-            result = nn_chain_linkage(distances, self.linkage)
-            local_labels = cut_at_height(result, threshold_bits)
+        """Materialise fresh clusters from one bucket's local labelling."""
         created = 0
         for local in np.unique(local_labels):
             member_rows = [
@@ -241,6 +273,6 @@ class IncrementalClusterStore:
         if rows.size == 1:
             cluster.medoid_row = int(rows[0])
             return
-        sub = pairwise_hamming(self._vectors[rows])
+        sub = pairwise_hamming_blocked(self._vectors[rows])
         mean_distance = sub.sum(axis=1) / (rows.size - 1)
         cluster.medoid_row = int(rows[int(np.argmin(mean_distance))])

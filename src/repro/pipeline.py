@@ -33,13 +33,14 @@ from .cluster import (
 )
 from .cluster.metrics import QualityReport
 from .errors import ConfigurationError
+from .execution import execution_map, validate_backend
 from .fpga import constants as hw
 from .fpga.kernels import (
     distance_matrix_cycles,
     encoder_cycles,
     nnchain_cycles_from_stats,
 )
-from .hdc import EncoderConfig, IDLevelEncoder, pairwise_hamming
+from .hdc import EncoderConfig, IDLevelEncoder, pairwise_hamming_blocked
 from .spectrum import (
     BucketingConfig,
     MassSpectrum,
@@ -56,6 +57,12 @@ class SpecHDConfig:
     ``cluster_threshold`` is the merge cut expressed as a *normalised*
     Hamming distance in [0, 1] (fraction of differing hypervector bits);
     0.5 is the orthogonality distance of unrelated spectra.
+
+    ``execution_backend`` selects how independent precursor buckets are
+    clustered (``serial`` / ``threads`` / ``processes``, see
+    :mod:`repro.execution`); ``num_workers`` bounds the pool size (default:
+    host CPU count).  ``encode_batch_size`` is the streaming granularity of
+    the encoder stage.  All backends produce identical labels.
     """
 
     preprocessing: PreprocessingConfig = field(
@@ -67,6 +74,9 @@ class SpecHDConfig:
     cluster_threshold: float = 0.3
     num_cluster_kernels: int = hw.DEFAULT_CLUSTER_KERNELS
     clock_hz: float = hw.U280_CLOCK_HZ
+    execution_backend: str = "serial"
+    num_workers: Optional[int] = None
+    encode_batch_size: int = 4096
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.cluster_threshold <= 1.0:
@@ -75,6 +85,11 @@ class SpecHDConfig:
             )
         if self.num_cluster_kernels < 1:
             raise ConfigurationError("need at least one clustering kernel")
+        validate_backend(self.execution_backend)
+        if self.num_workers is not None and self.num_workers < 1:
+            raise ConfigurationError("num_workers must be >= 1")
+        if self.encode_batch_size < 1:
+            raise ConfigurationError("encode_batch_size must be >= 1")
 
 
 @dataclass
@@ -156,6 +171,45 @@ def _members_by_label(labels: np.ndarray) -> Dict[int, List[int]]:
     for index, label in enumerate(labels):
         members.setdefault(int(label), []).append(index)
     return members
+
+
+def cluster_bucket_vectors(task) -> tuple:
+    """Cluster one precursor bucket of packed hypervectors.
+
+    ``task`` is ``(vectors, linkage, threshold_bits)``.  Returns
+    ``(labels, stats, distances)`` where ``stats`` is the tuple
+    ``(distance_scans, distance_updates, chain_extensions, merges)``.
+
+    Top-level by design: the ``processes`` execution backend pickles this
+    function together with its task, one independent bucket per work item —
+    the software analogue of SpecHD's replicated clustering kernels.
+    """
+    vectors, linkage, threshold_bits = task
+    distances = pairwise_hamming_blocked(vectors).astype(np.float64)
+    result = nn_chain_linkage(distances, linkage)
+    labels = cut_at_height(result, threshold_bits)
+    stats = result.stats
+    return (
+        labels,
+        (
+            stats.distance_scans,
+            stats.distance_updates,
+            stats.chain_extensions,
+            stats.merges,
+        ),
+        distances,
+    )
+
+
+def cluster_bucket_labels(task) -> np.ndarray:
+    """Labels-only variant of :func:`cluster_bucket_vectors`.
+
+    For callers that do not need the bucket's distance matrix (incremental
+    leftover clustering): dropping it inside the worker avoids pickling an
+    O(n^2) float64 array back from every ``processes``-backend task.
+    """
+    labels, _stats, _distances = cluster_bucket_vectors(task)
+    return labels
 
 
 class SpecHDPipeline:
@@ -240,7 +294,16 @@ class SpecHDPipeline:
             )
 
         buckets = partition_spectra(kept, config.bucketing)
-        hypervectors = self.encoder.encode_batch(kept)
+        # Stream encode batches (fast vectorised path) rather than one
+        # monolithic call, mirroring the FPGA's burst dataflow and bounding
+        # encoder scratch memory for very large runs.
+        hypervectors = np.vstack(
+            list(
+                self.encoder.encode_stream(
+                    kept, batch_size=config.encode_batch_size
+                )
+            )
+        )
         average_peaks = float(np.mean([s.peak_count for s in kept]))
         hardware.encoder_cycles = encoder_cycles(
             len(kept), average_peaks, config.encoder.dim
@@ -250,32 +313,45 @@ class SpecHDPipeline:
         distances_by_bucket: Dict[Tuple[int, int], np.ndarray] = {}
         total_stats = ClusteringStats()
         threshold_bits = config.cluster_threshold * config.encoder.dim
+        # Multi-member buckets are independent work items: fan them out on
+        # the configured execution backend, then stitch labels back together
+        # serially in sorted-key order so every backend yields identical
+        # labelling.
+        sorted_keys = sorted(buckets)
+        multi_keys = [key for key in sorted_keys if len(buckets[key]) >= 2]
+        outcomes = execution_map(
+            cluster_bucket_vectors,
+            [
+                (hypervectors[buckets[key]], config.linkage, threshold_bits)
+                for key in multi_keys
+            ],
+            backend=config.execution_backend,
+            workers=config.num_workers,
+        )
+        results_by_key = dict(zip(multi_keys, outcomes))
         next_label = 0
-        for key in sorted(buckets):
+        for key in sorted_keys:
             members = buckets[key]
             if len(members) == 1:
                 labels[members[0]] = next_label
                 next_label += 1
                 continue
-            member_vectors = hypervectors[members]
-            distances = pairwise_hamming(member_vectors).astype(np.float64)
+            bucket_labels, stats, distances = results_by_key[key]
             distances_by_bucket[key] = distances
-            result = nn_chain_linkage(distances, config.linkage)
-            bucket_labels = cut_at_height(result, threshold_bits)
             for local_index, member in enumerate(members):
                 labels[member] = next_label + int(bucket_labels[local_index])
             next_label += int(bucket_labels.max()) + 1
 
-            stats = result.stats
-            total_stats.distance_scans += stats.distance_scans
-            total_stats.distance_updates += stats.distance_updates
-            total_stats.chain_extensions += stats.chain_extensions
-            total_stats.merges += stats.merges
+            scans, updates, extensions, merges = stats
+            total_stats.distance_scans += scans
+            total_stats.distance_updates += updates
+            total_stats.chain_extensions += extensions
+            total_stats.merges += merges
             hardware.distance_cycles += distance_matrix_cycles(
                 len(members), config.encoder.dim
             )
             hardware.nnchain_cycles += nnchain_cycles_from_stats(
-                stats.distance_scans, stats.distance_updates, len(members)
+                scans, updates, len(members)
             )
 
         # Medoids per multi-member cluster, using original bucket distances.

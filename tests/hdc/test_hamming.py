@@ -92,3 +92,28 @@ class TestNormalization:
     def test_invalid_dim(self):
         with pytest.raises(EncodingError):
             normalized_hamming(np.zeros(3), 0)
+
+
+class TestDistanceDtypeOverflowGuard:
+    """Regression: dim > 65535 would silently wrap the uint16 distances."""
+
+    def test_condensed_rejects_oversized_dim(self):
+        from repro.hdc import (
+            MAX_CONDENSED_DIM,
+            condensed_pairwise_hamming_blocked,
+        )
+
+        # 1024 words = 65536 bits: one past the uint16-losslessness limit.
+        vectors = np.zeros((2, 1024), dtype=np.uint64)
+        with pytest.raises(EncodingError):
+            condensed_pairwise_hamming(vectors)
+        with pytest.raises(EncodingError):
+            condensed_pairwise_hamming_blocked(vectors)
+        assert MAX_CONDENSED_DIM == 65535
+
+    def test_condensed_accepts_boundary_dim(self):
+        # 1023 words = 65472 bits <= 65535: still lossless in uint16.
+        vectors = np.zeros((2, 1023), dtype=np.uint64)
+        vectors[0, :] = np.uint64(0xFFFF_FFFF_FFFF_FFFF)
+        condensed = condensed_pairwise_hamming(vectors)
+        assert condensed.tolist() == [1023 * 64]
