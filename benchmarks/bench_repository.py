@@ -1,0 +1,103 @@
+"""Repository benchmark: ingest throughput and query latency per shard count.
+
+Measures the sharded cluster repository end to end on a synthetic
+replicate workload: durable ``add_batch`` ingest (WAL append + preprocess
++ encode + absorb/NN-chain), checkpoint cost, and top-k medoid query
+latency, across shard counts.  Sharding bounds per-shard cluster counts,
+so query scans per shard shrink as shards grow while ingest pays a fixed
+WAL/journaling overhead — this report quantifies both sides.
+"""
+
+import time
+
+from repro.datasets import SyntheticConfig, generate_dataset
+from repro.hdc import EncoderConfig
+from repro.reporting import banner, format_table
+from repro.store import ClusterRepository, QueryService, RepositoryConfig
+
+ENCODER = EncoderConfig(dim=1024, mz_bins=8_000, intensity_levels=32)
+SHARD_COUNTS = (1, 2, 4, 8)
+TOP_K = 5
+QUERY_BATCH = 64
+
+
+def _workload():
+    data = generate_dataset(
+        SyntheticConfig(
+            num_peptides=60,
+            replicates_per_peptide=10,
+            peptides_per_mass_group=1,
+            extra_singleton_peptides=40,
+            seed=2024,
+        )
+    )
+    half = len(data) // 2
+    return data.spectra[:half], data.spectra[half:], data.spectra[:QUERY_BATCH]
+
+
+def bench_repository(emit_report, tmp_path_factory):
+    first_batch, second_batch, queries = _workload()
+    total = len(first_batch) + len(second_batch)
+    rows = []
+    for num_shards in SHARD_COUNTS:
+        directory = tmp_path_factory.mktemp(f"repo-{num_shards}") / "repo"
+        repository = ClusterRepository.create(
+            directory,
+            RepositoryConfig(
+                num_shards=num_shards,
+                shard_width=16,
+                encoder=ENCODER,
+                cluster_threshold=0.36,
+            ),
+        )
+        start = time.perf_counter()
+        repository.add_batch(first_batch)
+        repository.add_batch(second_batch)
+        ingest_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        repository.checkpoint()
+        checkpoint_seconds = time.perf_counter() - start
+
+        with QueryService(repository) as service:
+            service.query(queries[:4], k=TOP_K)  # warm the medoid index
+            start = time.perf_counter()
+            results = service.query(queries, k=TOP_K)
+            query_seconds = time.perf_counter() - start
+        assert all(matches for matches in results)
+
+        rows.append(
+            [
+                num_shards,
+                repository.num_clusters,
+                f"{total / ingest_seconds:,.0f}",
+                f"{checkpoint_seconds * 1e3:.1f}",
+                f"{query_seconds / len(queries) * 1e3:.2f}",
+                f"{len(queries) / query_seconds:,.0f}",
+            ]
+        )
+    text = "\n".join(
+        [
+            banner(
+                f"Cluster repository: durable ingest + top-{TOP_K} medoid "
+                f"queries ({total} spectra, D_hv = {ENCODER.dim})"
+            ),
+            format_table(
+                [
+                    "shards",
+                    "clusters",
+                    "ingest spectra/s",
+                    "checkpoint ms",
+                    "query ms each",
+                    "queries/s",
+                ],
+                rows,
+            ),
+            "",
+            "Ingest is WAL-journaled (fsync per batch) and absorbs the",
+            "second half into the first half's clusters; queries scan the",
+            "per-shard medoid matrices with the packed Hamming kernel and",
+            "merge shard-local top-k lists deterministically.",
+        ]
+    )
+    emit_report("repository", text)

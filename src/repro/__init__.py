@@ -18,11 +18,14 @@ Subpackages
     Peptide database search (theoretical spectra, hyperscore, FDR).
 ``repro.datasets``
     PRIDE dataset descriptors and synthetic labelled data.
+``repro.store``
+    Sharded persistent cluster repository: WAL-backed ingest, segment
+    checkpoints, top-k medoid query service.
 
 The top-level exports are the end-to-end pipeline API.
 """
 
-from .execution import EXECUTION_BACKENDS, execution_map
+from .execution import EXECUTION_BACKENDS, ExecutionPool, execution_map
 from .pipeline import (
     SpecHDConfig,
     SpecHDPipeline,
@@ -44,6 +47,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "EXECUTION_BACKENDS",
+    "ExecutionPool",
     "execution_map",
     "SpecHDConfig",
     "SpecHDPipeline",

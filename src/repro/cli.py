@@ -14,6 +14,15 @@ Subcommands
     descriptor (or explicit ``--spectra``/``--gigabytes``).
 ``datasets``
     List the built-in PRIDE dataset descriptors.
+``ingest``
+    Durably ingest spectrum files (or pre-encoded ``.npz`` hypervector
+    stores) into a sharded cluster repository directory, creating it on
+    first use.
+``query``
+    Top-k nearest clusters for each spectrum of a query file, served from
+    a repository's shard medoids.
+``repo-info``
+    Summarise a repository directory (manifest, shard stats, WAL state).
 """
 
 from __future__ import annotations
@@ -113,6 +122,93 @@ def build_parser() -> argparse.ArgumentParser:
                          help="clustering kernel count (default 5)")
 
     subparsers.add_parser("datasets", help="list PRIDE dataset descriptors")
+
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="ingest spectrum files into a sharded cluster repository",
+    )
+    ingest.add_argument(
+        "repository", type=Path, help="repository directory"
+    )
+    ingest.add_argument(
+        "inputs", type=Path, nargs="+",
+        help="MGF/MS2/mzML files or .npz hypervector stores",
+    )
+    ingest.add_argument(
+        "--batch-size", type=int, default=1024,
+        help="spectra journaled per WAL record (default 1024)",
+    )
+    ingest.add_argument(
+        "--no-checkpoint", action="store_true",
+        help="leave batches in the WAL instead of checkpointing at the end",
+    )
+    ingest.add_argument(
+        "--shards", type=int, default=None,
+        help="shard count when creating a new repository (default 4)",
+    )
+    ingest.add_argument(
+        "--shard-width", type=int, default=None,
+        help="contiguous bucket indices per shard run (default 64)",
+    )
+    ingest.add_argument(
+        "--threshold", type=float, default=None,
+        help="normalised Hamming merge threshold for a new repository "
+             "(default 0.3)",
+    )
+    ingest.add_argument(
+        "--linkage", default=None,
+        choices=("single", "complete", "average", "ward"),
+        help="linkage criterion for a new repository (default complete)",
+    )
+    ingest.add_argument(
+        "--dim", type=int, default=None,
+        help="hypervector dimensionality for a new repository (default 2048)",
+    )
+    ingest.add_argument(
+        "--resolution", type=float, default=None,
+        help="precursor bucket resolution for a new repository (default 1.0)",
+    )
+    ingest.add_argument(
+        "--backend", default="serial",
+        choices=("serial", "threads", "processes"),
+        help="execution backend for leftover clustering (default serial)",
+    )
+    ingest.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for threads/processes backends",
+    )
+
+    query = subparsers.add_parser(
+        "query", help="top-k nearest clusters from a repository"
+    )
+    query.add_argument(
+        "repository", type=Path, help="repository directory"
+    )
+    query.add_argument("input", type=Path, help="MGF/MS2/mzML query file")
+    query.add_argument(
+        "-k", "--top-k", type=int, default=5,
+        help="matches reported per query spectrum (default 5)",
+    )
+    query.add_argument(
+        "-o", "--output", type=Path, default=None,
+        help="write matches as TSV instead of printing",
+    )
+    query.add_argument(
+        "--backend", default="serial",
+        choices=("serial", "threads", "processes"),
+        help="execution backend for the shard fan-out (default serial)",
+    )
+    query.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for threads/processes backends",
+    )
+
+    repo_info = subparsers.add_parser(
+        "repo-info", help="summarise a cluster repository directory"
+    )
+    repo_info.add_argument(
+        "repository", type=Path, help="repository directory"
+    )
     return parser
 
 
@@ -263,6 +359,185 @@ def _cmd_project(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_or_create_repository(args: argparse.Namespace):
+    from .hdc import EncoderConfig
+    from .spectrum import BucketingConfig
+    from .store import ClusterRepository, RepositoryConfig
+    from .store.manifest import MANIFEST_NAME
+
+    if (args.repository / MANIFEST_NAME).exists():
+        print(f"opening repository {args.repository}")
+        repository = ClusterRepository.open(
+            args.repository,
+            execution_backend=args.backend,
+            num_workers=args.workers,
+        )
+        manifest = repository.manifest
+        # Creation-time parameters are fixed by the manifest; warn when a
+        # flag the user passed disagrees, so a clustering never silently
+        # runs under different parameters than the command line implies.
+        fixed = (
+            ("--shards", args.shards, manifest.num_shards),
+            ("--shard-width", args.shard_width, manifest.shard_width),
+            ("--dim", args.dim, manifest.encoder.dim),
+            ("--resolution", args.resolution,
+             manifest.bucketing.resolution),
+            ("--threshold", args.threshold, manifest.cluster_threshold),
+            ("--linkage", args.linkage, manifest.linkage),
+        )
+        for flag, requested, actual in fixed:
+            if requested is not None and requested != actual:
+                print(
+                    f"warning: {flag} {requested} ignored — the "
+                    f"repository was created with {actual}",
+                    file=sys.stderr,
+                )
+        return repository
+    # Only explicitly-passed flags override the dataclass defaults, so a
+    # future default change in RepositoryConfig propagates here untouched.
+    overrides = {}
+    if args.shards is not None:
+        overrides["num_shards"] = args.shards
+    if args.shard_width is not None:
+        overrides["shard_width"] = args.shard_width
+    if args.dim is not None:
+        overrides["encoder"] = EncoderConfig(dim=args.dim)
+    if args.resolution is not None:
+        overrides["bucketing"] = BucketingConfig(resolution=args.resolution)
+    if args.threshold is not None:
+        overrides["cluster_threshold"] = args.threshold
+    if args.linkage is not None:
+        overrides["linkage"] = args.linkage
+    config = RepositoryConfig(**overrides)
+    print(
+        f"creating repository {args.repository} "
+        f"({config.num_shards} shards, dim {config.encoder.dim})"
+    )
+    return ClusterRepository.create(
+        args.repository,
+        config,
+        execution_backend=args.backend,
+        num_workers=args.workers,
+    )
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from .io import read_spectra
+    from .io.hvstore import HypervectorStore
+
+    if args.batch_size < 1:
+        print("error: --batch-size must be >= 1", file=sys.stderr)
+        return 2
+    repository = _open_or_create_repository(args)
+
+    def ingest_reports():
+        for path in args.inputs:
+            if path.suffix == ".npz":
+                yield repository.add_store(
+                    HypervectorStore.load(path), batch_rows=args.batch_size
+                )
+                continue
+            batch = []
+            for spectrum in read_spectra(path):
+                batch.append(spectrum)
+                if len(batch) >= args.batch_size:
+                    yield repository.add_batch(batch)
+                    batch = []
+            if batch:
+                yield repository.add_batch(batch)
+
+    added = absorbed = new_clusters = dropped = 0
+    for report in ingest_reports():
+        added += report.num_added
+        absorbed += report.num_absorbed
+        new_clusters += report.num_new_clusters
+        dropped += report.num_dropped
+    if not args.no_checkpoint:
+        generation = repository.checkpoint()
+        print(f"checkpointed generation {generation}")
+    print(
+        f"ingested {added} spectra ({dropped} failed QC): "
+        f"{absorbed} absorbed, {new_clusters} new clusters; "
+        f"repository now {len(repository)} spectra in "
+        f"{repository.num_clusters} clusters across "
+        f"{repository.num_shards} shards"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .io import read_spectra
+    from .store import ClusterRepository, QueryService
+
+    if args.top_k < 1:
+        print("error: --top-k must be >= 1", file=sys.stderr)
+        return 2
+    spectra = list(read_spectra(args.input))
+    if not spectra:
+        print("no spectra found in query input", file=sys.stderr)
+        return 1
+    repository = ClusterRepository.open(args.repository)
+    with QueryService(
+        repository,
+        execution_backend=args.backend,
+        num_workers=args.workers,
+    ) as service:
+        results = service.query(spectra, k=args.top_k)
+
+    header = (
+        "query\trank\tcluster\tshard\tdistance\tnormalized\t"
+        "cluster_size\tmedoid\tmedoid_mz\tmedoid_charge"
+    )
+    lines = [header]
+    for spectrum, matches in zip(spectra, results):
+        for rank, match in enumerate(matches, start=1):
+            lines.append(
+                f"{spectrum.identifier}\t{rank}\t{match.global_label}\t"
+                f"{match.shard_id}\t{match.distance}\t"
+                f"{match.normalized_distance:.4f}\t{match.cluster_size}\t"
+                f"{match.medoid_identifier}\t"
+                f"{match.medoid_precursor_mz:.4f}\t{match.medoid_charge}"
+            )
+    if args.output is not None:
+        args.output.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        print(
+            f"wrote {len(lines) - 1} matches for {len(spectra)} queries "
+            f"to {args.output}"
+        )
+    else:
+        print("\n".join(lines))
+    return 0
+
+
+def _cmd_repo_info(args: argparse.Namespace) -> int:
+    from .store import ClusterRepository
+    from .units import format_bytes
+
+    repository = ClusterRepository.open(args.repository)
+    manifest = repository.manifest
+    print(f"repository : {args.repository}")
+    print(f"format     : v{manifest.format_version}, "
+          f"generation {manifest.generation}, "
+          f"applied seq {manifest.applied_seq}")
+    print(f"encoder    : dim {manifest.encoder.dim}, "
+          f"seed {manifest.encoder.seed:#x}")
+    print(f"bucketing  : resolution {manifest.bucketing.resolution} Da, "
+          f"shard width {manifest.shard_width}")
+    print(f"clustering : threshold {manifest.cluster_threshold}, "
+          f"{manifest.linkage} linkage")
+    print(f"spectra    : {len(repository)}")
+    print(f"clusters   : {repository.num_clusters}")
+    print(f"stored     : {format_bytes(repository.stored_bytes())} "
+          f"packed hypervectors")
+    print(f"WAL        : {format_bytes(repository.wal_bytes())}")
+    print("shards     :")
+    for stats in repository.shard_stats():
+        print(f"  shard {stats['shard']}: {stats['spectra']} spectra, "
+              f"{stats['clusters']} clusters, "
+              f"{format_bytes(stats['bytes'])}")
+    return 0
+
+
 def _cmd_datasets(_args: argparse.Namespace) -> int:
     from .datasets import DATASET_ORDER, get_dataset
     from .units import format_bytes
@@ -285,6 +560,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "validate": _cmd_validate,
         "project": _cmd_project,
         "datasets": _cmd_datasets,
+        "ingest": _cmd_ingest,
+        "query": _cmd_query,
+        "repo-info": _cmd_repo_info,
     }
     try:
         return handlers[args.command](args)

@@ -84,3 +84,70 @@ def execution_map(
     chunksize = max(1, len(items) // (4 * count))
     with ProcessPoolExecutor(max_workers=count) as pool:
         return list(pool.map(function, items, chunksize=chunksize))
+
+
+class ExecutionPool:
+    """A reusable executor with :func:`execution_map` semantics.
+
+    :func:`execution_map` spins a pool up and tears it down per call, which
+    is the right trade-off for one-shot bucket fan-outs but wasteful for a
+    long-lived serving path that issues many small fan-outs (the repository
+    query service fans every query batch out across shards).  This class
+    keeps one pool alive across calls; ``map`` returns results in input
+    order exactly like :func:`execution_map`, so the two are
+    interchangeable for deterministic callers.
+
+    Usable as a context manager; ``close`` is idempotent, and a ``serial``
+    pool never allocates an executor at all.
+    """
+
+    def __init__(
+        self, backend: str = "serial", workers: Optional[int] = None
+    ) -> None:
+        self.backend = validate_backend(backend)
+        self.workers = resolve_workers(workers)
+        self._executor = None
+        self._closed = False
+
+    def _ensure_executor(self):
+        if self._executor is None:
+            if self.backend == "threads":
+                from concurrent.futures import ThreadPoolExecutor
+
+                self._executor = ThreadPoolExecutor(max_workers=self.workers)
+            else:
+                from concurrent.futures import ProcessPoolExecutor
+
+                self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def map(
+        self,
+        function: Callable[[_ItemT], _ResultT],
+        items: Sequence[_ItemT],
+    ) -> List[_ResultT]:
+        """Map ``function`` over ``items``, preserving input order."""
+        if self._closed:
+            raise ConfigurationError("execution pool is closed")
+        if not items:
+            return []
+        if (
+            self.backend == "serial"
+            or self.workers == 1
+            or len(items) == 1
+        ):
+            return [function(item) for item in items]
+        return list(self._ensure_executor().map(function, items))
+
+    def close(self) -> None:
+        """Shut the underlying executor down (idempotent)."""
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ExecutionPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -11,16 +11,26 @@ smaller than the raw data, so keeping them is cheap); each new batch of
 spectra is encoded, compared against the stored cluster medoids of its
 precursor bucket, and either absorbed into an existing cluster or clustered
 among the batch's own leftovers with NN-chain.
+
+The store is snapshotable: :meth:`IncrementalClusterStore.save` persists
+the packed hypervectors (as a :class:`repro.io.HypervectorStore`) plus the
+cluster bookkeeping as JSON, and :meth:`IncrementalClusterStore.load`
+restores a store whose future ``add_batch`` labelling is identical to one
+that was never persisted.  Only the encoded representation survives a
+round-trip — raw peak arrays are deliberately not written, which is the
+paper's compression argument made literal.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
-from .errors import ConfigurationError
+from .errors import ConfigurationError, ParseError
 from .execution import execution_map, validate_backend
 from .hdc import (
     EncoderConfig,
@@ -28,6 +38,7 @@ from .hdc import (
     hamming_to_query,
     pairwise_hamming_blocked,
 )
+from .io.hvstore import HypervectorStore
 from .pipeline import cluster_bucket_labels
 from .spectrum import (
     BucketingConfig,
@@ -37,15 +48,26 @@ from .spectrum import (
     preprocess_spectrum,
 )
 
+#: Format version of the ``state.json`` snapshot companion file.
+STATE_FORMAT_VERSION = 1
+
 
 @dataclass
 class _Cluster:
-    """Book-keeping for one stored cluster."""
+    """Book-keeping for one stored cluster.
+
+    ``dist_sums[i]`` is the exact total Hamming distance from member ``i``
+    (in ``member_rows`` order) to every other member.  Maintaining these
+    sums incrementally makes absorbing one spectrum O(k · words) instead of
+    the O(k² · words) full pairwise recompute, while selecting the exact
+    same medoid (argmin of the sums equals argmin of the mean distances).
+    """
 
     label: int
     bucket: Tuple[int, int]
     member_rows: List[int] = field(default_factory=list)
     medoid_row: int = -1
+    dist_sums: List[int] = field(default_factory=list)
 
 
 @dataclass(frozen=True)
@@ -65,6 +87,24 @@ class UpdateReport:
         return self.num_absorbed / self.num_added
 
 
+def _placeholder_spectrum(
+    identifier: str, precursor_mz: float, charge: int
+) -> MassSpectrum:
+    """A peak-less spectrum carrying only the precursor metadata.
+
+    Used when restoring from a snapshot or ingesting pre-encoded vectors:
+    the store only ever needs a row's hypervector and precursor fields
+    after ingestion, so raw peaks are not kept.
+    """
+    return MassSpectrum(
+        identifier=identifier,
+        precursor_mz=float(precursor_mz),
+        precursor_charge=int(charge),
+        mz=np.zeros(0, dtype=np.float64),
+        intensity=np.zeros(0, dtype=np.float64),
+    )
+
+
 class IncrementalClusterStore:
     """A persistent hypervector store with incremental cluster updates.
 
@@ -82,6 +122,10 @@ class IncrementalClusterStore:
     execution_backend, num_workers:
         How leftover buckets are clustered (see :mod:`repro.execution`);
         all backends produce identical labels.
+    encoder:
+        Optional pre-built encoder sharing ``encoder_config``'s item
+        memory.  A sharded repository passes one encoder to all of its
+        shard stores so the (large) item memory exists once per process.
     """
 
     def __init__(
@@ -93,6 +137,7 @@ class IncrementalClusterStore:
         linkage: str = "complete",
         execution_backend: str = "serial",
         num_workers: int | None = None,
+        encoder: IDLevelEncoder | None = None,
     ) -> None:
         if not 0.0 <= cluster_threshold <= 1.0:
             raise ConfigurationError(
@@ -101,7 +146,11 @@ class IncrementalClusterStore:
         validate_backend(execution_backend)
         if num_workers is not None and num_workers < 1:
             raise ConfigurationError("num_workers must be >= 1")
-        self.encoder = IDLevelEncoder(encoder_config)
+        if encoder is not None and encoder.config != encoder_config:
+            raise ConfigurationError(
+                "shared encoder configuration does not match encoder_config"
+            )
+        self.encoder = encoder or IDLevelEncoder(encoder_config)
         self.preprocessing = preprocessing
         self.bucketing = bucketing
         self.cluster_threshold = cluster_threshold
@@ -145,24 +194,112 @@ class IncrementalClusterStore:
             for label, cluster in self._clusters.items()
         }
 
+    def medoid_rows(self) -> Dict[int, int]:
+        """``{label: medoid row}`` for all stored clusters."""
+        return {
+            label: cluster.medoid_row
+            for label, cluster in self._clusters.items()
+        }
+
+    def row_label(self, row: int) -> int:
+        """Cluster label of one stored row."""
+        return self._row_labels[row]
+
+    def spectrum_at(self, row: int) -> MassSpectrum:
+        """The stored spectrum record for one row.
+
+        After a snapshot round-trip only the identifier and precursor
+        metadata survive (peak arrays come back empty).
+        """
+        return self._spectra[row]
+
+    def vectors_at(self, rows: Sequence[int]) -> np.ndarray:
+        """Packed hypervectors for the given rows (one matrix)."""
+        return self._vectors[np.asarray(rows, dtype=np.int64)]
+
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
 
-    def add_batch(self, spectra: Sequence[MassSpectrum]) -> UpdateReport:
-        """Add a batch: absorb near-medoid spectra, NN-chain the rest."""
-        threshold_bits = self.cluster_threshold * self.encoder.dim
+    def add_batch(
+        self,
+        spectra: Sequence[MassSpectrum],
+        preprocessed: bool = False,
+    ) -> UpdateReport:
+        """Add a batch: absorb near-medoid spectra, NN-chain the rest.
 
-        accepted: List[MassSpectrum] = []
-        for spectrum in spectra:
-            processed = preprocess_spectrum(spectrum, self.preprocessing)
-            if processed is not None:
-                accepted.append(processed)
+        With ``preprocessed=True`` the spectra are taken as-is (no QC, no
+        peak filtering) — used by callers that run the preprocessing stage
+        themselves, e.g. the sharded repository, which must route spectra
+        to shards *after* QC so that every routed spectrum lands a row.
+        """
+        if preprocessed:
+            accepted = list(spectra)
+        else:
+            accepted = []
+            for spectrum in spectra:
+                processed = preprocess_spectrum(spectrum, self.preprocessing)
+                if processed is not None:
+                    accepted.append(processed)
         dropped = len(spectra) - len(accepted)
         if not accepted:
             return UpdateReport(0, 0, 0, dropped)
+        vectors = self.encoder.encode_batch(accepted)
+        absorbed, new_clusters = self._ingest(accepted, vectors)
+        return UpdateReport(
+            num_added=len(accepted),
+            num_absorbed=absorbed,
+            num_new_clusters=new_clusters,
+            num_dropped=dropped,
+        )
 
-        new_vectors = self.encoder.encode_batch(accepted)
+    def add_encoded(
+        self,
+        vectors: np.ndarray,
+        precursor_mz: Sequence[float],
+        charge: Sequence[int],
+        identifiers: Sequence[str],
+    ) -> UpdateReport:
+        """Add pre-encoded hypervectors (e.g. from ``encode_only``).
+
+        The vectors must come from an encoder with this store's exact
+        configuration; there is no way to verify bit compatibility after
+        the fact, so callers are expected to check ``dim``/``seed``
+        (:class:`repro.store.ClusterRepository` does).
+        """
+        vectors = np.asarray(vectors, dtype=np.uint64)
+        if vectors.ndim != 2 or vectors.shape[1] != self.encoder.words:
+            raise ConfigurationError(
+                f"encoded vectors must be (n, {self.encoder.words}) uint64"
+            )
+        if not (
+            vectors.shape[0]
+            == len(precursor_mz)
+            == len(charge)
+            == len(identifiers)
+        ):
+            raise ConfigurationError(
+                "encoded batch arrays have unequal lengths"
+            )
+        spectra = [
+            _placeholder_spectrum(ident, mz, ch)
+            for ident, mz, ch in zip(identifiers, precursor_mz, charge)
+        ]
+        if not spectra:
+            return UpdateReport(0, 0, 0, 0)
+        absorbed, new_clusters = self._ingest(spectra, vectors)
+        return UpdateReport(
+            num_added=len(spectra),
+            num_absorbed=absorbed,
+            num_new_clusters=new_clusters,
+            num_dropped=0,
+        )
+
+    def _ingest(
+        self, accepted: List[MassSpectrum], new_vectors: np.ndarray
+    ) -> Tuple[int, int]:
+        """Shared core: append rows, absorb, NN-chain the leftovers."""
+        threshold_bits = self.cluster_threshold * self.encoder.dim
         base_row = len(self._spectra)
         self._vectors = (
             new_vectors
@@ -213,12 +350,7 @@ class IncrementalClusterStore:
             new_clusters += self._apply_leftover_labels(
                 bucket, rows, local_labels
             )
-        return UpdateReport(
-            num_added=len(accepted),
-            num_absorbed=absorbed,
-            num_new_clusters=new_clusters,
-            num_dropped=dropped,
-        )
+        return absorbed, new_clusters
 
     def _try_absorb(
         self, row: int, bucket: Tuple[int, int], threshold_bits: float
@@ -237,9 +369,28 @@ class IncrementalClusterStore:
         if distances[best] > threshold_bits:
             return None
         label = candidate_labels[best]
-        self._clusters[label].member_rows.append(row)
-        self._refresh_medoid(label)
+        self._absorb_into(label, row)
         return label
+
+    def _absorb_into(self, label: int, row: int) -> None:
+        """Add ``row`` to a cluster, updating distance sums incrementally.
+
+        One Hamming sweep over the cluster's members updates every
+        member's total distance and yields the newcomer's total; the new
+        medoid is the member with the minimum total, which is exactly the
+        argmin of the mean pairwise distance a full recompute would take.
+        """
+        cluster = self._clusters[label]
+        member_distances = hamming_to_query(
+            self._vectors[np.array(cluster.member_rows)], self._vectors[row]
+        )
+        for index, delta in enumerate(member_distances):
+            cluster.dist_sums[index] += int(delta)
+        cluster.member_rows.append(row)
+        cluster.dist_sums.append(int(member_distances.sum()))
+        cluster.medoid_row = cluster.member_rows[
+            int(np.argmin(cluster.dist_sums))
+        ]
 
     def _apply_leftover_labels(
         self,
@@ -262,17 +413,148 @@ class IncrementalClusterStore:
             self._clusters_by_bucket.setdefault(bucket, []).append(label)
             for member_row in member_rows:
                 self._row_labels[member_row] = label
-            self._refresh_medoid(label)
+            self._init_cluster_distances(cluster)
             created += 1
         return created
 
-    def _refresh_medoid(self, label: int) -> None:
-        """Recompute a cluster's medoid from its stored hypervectors."""
-        cluster = self._clusters[label]
+    def _init_cluster_distances(self, cluster: _Cluster) -> None:
+        """Full pairwise pass for a fresh cluster: sums + exact medoid."""
         rows = np.array(cluster.member_rows)
         if rows.size == 1:
+            cluster.dist_sums = [0]
             cluster.medoid_row = int(rows[0])
             return
-        sub = pairwise_hamming_blocked(self._vectors[rows])
-        mean_distance = sub.sum(axis=1) / (rows.size - 1)
-        cluster.medoid_row = int(rows[int(np.argmin(mean_distance))])
+        pairwise = pairwise_hamming_blocked(self._vectors[rows])
+        sums = pairwise.sum(axis=1)
+        cluster.dist_sums = [int(total) for total in sums]
+        cluster.medoid_row = int(rows[int(np.argmin(sums))])
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of the cluster bookkeeping.
+
+        Together with the packed hypervector matrix (persisted separately
+        as a :class:`~repro.io.HypervectorStore`) this captures everything
+        ``add_batch`` consults, so a restored store labels future batches
+        identically to one that was never persisted.
+        """
+        return {
+            "state_version": STATE_FORMAT_VERSION,
+            "encoder": asdict(self.encoder.config),
+            "preprocessing": asdict(self.preprocessing),
+            "bucketing": asdict(self.bucketing),
+            "cluster_threshold": self.cluster_threshold,
+            "linkage": self.linkage,
+            "next_label": self._next_label,
+            "clusters": [
+                {
+                    "label": cluster.label,
+                    "bucket": list(cluster.bucket),
+                    "members": cluster.member_rows,
+                    "medoid": cluster.medoid_row,
+                    "dist_sums": cluster.dist_sums,
+                }
+                for cluster in self._clusters.values()
+            ],
+        }
+
+    def snapshot_store(self) -> HypervectorStore:
+        """The persisted artefact: packed vectors + precursor metadata."""
+        return HypervectorStore.from_encoding(
+            self._spectra,
+            self._vectors,
+            labels=self.labels(),
+            dim=self.encoder.dim,
+            encoder_seed=self.encoder.config.seed,
+        )
+
+    def save(self, directory: Union[str, Path], stem: str = "store") -> None:
+        """Persist to ``<directory>/<stem>.npz`` + ``<directory>/<stem>.state.json``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        self.snapshot_store().save(directory / f"{stem}.npz")
+        (directory / f"{stem}.state.json").write_text(
+            json.dumps(self.state_dict()), encoding="utf-8"
+        )
+
+    @classmethod
+    def load(
+        cls,
+        directory: Union[str, Path],
+        stem: str = "store",
+        execution_backend: str = "serial",
+        num_workers: int | None = None,
+        encoder: IDLevelEncoder | None = None,
+    ) -> "IncrementalClusterStore":
+        """Restore a store persisted by :meth:`save`.
+
+        The execution backend is a runtime choice (it never affects
+        labels), so it is passed here rather than recorded in the state.
+        """
+        directory = Path(directory)
+        store = HypervectorStore.load(directory / f"{stem}.npz")
+        state_path = directory / f"{stem}.state.json"
+        try:
+            state = json.loads(state_path.read_text(encoding="utf-8"))
+        except FileNotFoundError as exc:
+            raise ParseError("missing cluster state file", str(state_path)) from exc
+        except json.JSONDecodeError as exc:
+            raise ParseError(
+                f"corrupt cluster state: {exc}", str(state_path)
+            ) from exc
+        return cls.from_snapshot(
+            store,
+            state,
+            execution_backend=execution_backend,
+            num_workers=num_workers,
+            encoder=encoder,
+        )
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        store: HypervectorStore,
+        state: dict,
+        execution_backend: str = "serial",
+        num_workers: int | None = None,
+        encoder: IDLevelEncoder | None = None,
+    ) -> "IncrementalClusterStore":
+        """Rebuild a store from its two snapshot halves."""
+        version = state.get("state_version")
+        if version != STATE_FORMAT_VERSION:
+            raise ParseError(f"unsupported cluster state version {version}")
+        instance = cls(
+            encoder_config=EncoderConfig(**state["encoder"]),
+            preprocessing=PreprocessingConfig(**state["preprocessing"]),
+            bucketing=BucketingConfig(**state["bucketing"]),
+            cluster_threshold=state["cluster_threshold"],
+            linkage=state["linkage"],
+            execution_backend=execution_backend,
+            num_workers=num_workers,
+            encoder=encoder,
+        )
+        instance._vectors = np.asarray(store.vectors, dtype=np.uint64)
+        instance._spectra = [
+            _placeholder_spectrum(ident, mz, ch)
+            for ident, mz, ch in zip(
+                store.identifiers, store.precursor_mz, store.charge
+            )
+        ]
+        instance._row_labels = [int(label) for label in store.labels]
+        instance._next_label = int(state["next_label"])
+        for record in state["clusters"]:
+            cluster = _Cluster(
+                label=int(record["label"]),
+                bucket=(int(record["bucket"][0]), int(record["bucket"][1])),
+                member_rows=[int(row) for row in record["members"]],
+                medoid_row=int(record["medoid"]),
+                dist_sums=[int(total) for total in record["dist_sums"]],
+            )
+            instance._clusters[cluster.label] = cluster
+            instance._clusters_by_bucket.setdefault(
+                cluster.bucket, []
+            ).append(cluster.label)
+        return instance

@@ -14,12 +14,23 @@ Format: a single ``.npz`` (zip of npy arrays) holding::
     precursor_mz   (n,) float64
     charge         (n,) int16
     labels         (n,) int64          — cluster labels, -1 = unassigned
-    identifiers    (n,) unicode
+    identifiers    (n,) unicode        — fixed-width ``<U`` array
     meta           () unicode          — JSON: dim, seed, version
 
 Identifiers and metadata ride along so a store can be re-joined with its
 source run; the hypervector matrix dominates the footprint (dim/8 bytes
 per spectrum — the compression factor of Fig. 6b).
+
+Version history
+---------------
+2
+    Identifiers are stored as a fixed-width unicode array, so loading
+    never unpickles anything (``allow_pickle=False`` throughout).
+1
+    Identifiers were stored as a ``dtype=object`` array.  Such stores can
+    still be read, but only by explicitly opting in with
+    ``load(path, allow_v1=True)``, which re-opens the archive with
+    pickling enabled — never do that for files from untrusted sources.
 """
 
 from __future__ import annotations
@@ -35,7 +46,18 @@ from ..errors import ParseError, SpecHDError
 from ..spectrum import MassSpectrum
 
 #: Format version written into the metadata record.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Versions :meth:`HypervectorStore.load` knows how to read.
+SUPPORTED_VERSIONS = (1, 2)
+
+
+def _resolve_store_path(path: Union[str, Path]) -> Path:
+    """Resolve a store path, honouring numpy's implicit ``.npz`` suffix."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    return path
 
 
 @dataclass
@@ -120,13 +142,20 @@ class HypervectorStore:
                 "count": len(self),
             }
         )
+        # Fixed-width unicode, never dtype=object: the result loads with
+        # allow_pickle=False, so reading a store can never unpickle.
+        identifiers = (
+            np.array(self.identifiers, dtype=np.str_)
+            if self.identifiers
+            else np.zeros(0, dtype="<U1")
+        )
         np.savez_compressed(
             path,
             vectors=self.vectors,
             precursor_mz=self.precursor_mz,
             charge=self.charge,
             labels=self.labels,
-            identifiers=np.array(self.identifiers, dtype=object),
+            identifiers=identifiers,
             meta=np.array(meta),
         )
         # np.savez appends .npz when missing.
@@ -136,26 +165,45 @@ class HypervectorStore:
         return actual.stat().st_size
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "HypervectorStore":
-        """Read a store back; validates the format metadata."""
-        path = Path(path)
-        if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
-            path = path.with_suffix(path.suffix + ".npz")
+    def load(
+        cls, path: Union[str, Path], allow_v1: bool = False
+    ) -> "HypervectorStore":
+        """Read a store back; validates the format metadata.
+
+        Version-2 stores (the current format) are read with
+        ``allow_pickle=False`` — loading never unpickles, so untrusted
+        files are safe.  Version-1 stores kept identifiers as an object
+        array, which can only be read by unpickling; that compatibility
+        path must be opted into with ``allow_v1=True`` and is only safe
+        for files you wrote yourself (a hostile file could claim to be
+        version 1 precisely to reach the unpickler).
+        """
+        path = _resolve_store_path(path)
         try:
-            with np.load(path, allow_pickle=True) as archive:
+            with np.load(path, allow_pickle=False) as archive:
                 meta = json.loads(str(archive["meta"]))
-                if meta.get("format_version") != FORMAT_VERSION:
+                version = meta.get("format_version")
+                if version not in SUPPORTED_VERSIONS:
                     raise ParseError(
-                        f"unsupported store version "
-                        f"{meta.get('format_version')}",
-                        str(path),
+                        f"unsupported store version {version}", str(path)
                     )
+                if version == 1:
+                    if not allow_v1:
+                        raise ParseError(
+                            "version-1 store: identifiers are pickled; "
+                            "re-save with the current format, or pass "
+                            "allow_v1=True for a file you trust",
+                            str(path),
+                        )
+                    identifiers = _load_v1_identifiers(path)
+                else:
+                    identifiers = [str(i) for i in archive["identifiers"]]
                 return cls(
                     vectors=archive["vectors"].astype(np.uint64),
                     precursor_mz=archive["precursor_mz"],
                     charge=archive["charge"],
                     labels=archive["labels"],
-                    identifiers=[str(i) for i in archive["identifiers"]],
+                    identifiers=identifiers,
                     dim=int(meta["dim"]),
                     encoder_seed=int(meta.get("encoder_seed", 0)),
                 )
@@ -171,3 +219,13 @@ class HypervectorStore:
         if self.nbytes == 0:
             return float("inf")
         return raw_bytes / self.nbytes
+
+
+def _load_v1_identifiers(path: Path) -> List[str]:
+    """Compatibility path: read a version-1 store's object-array identifiers.
+
+    Only reached after the (pickle-free) metadata record has confirmed the
+    archive declares format version 1.
+    """
+    with np.load(path, allow_pickle=True) as archive:
+        return [str(i) for i in archive["identifiers"]]

@@ -222,25 +222,35 @@ class SpecHDPipeline:
     def run_files(self, paths) -> "SpecHDResult":
         """Run the pipeline over one or more spectrum files (MGF/MS2/mzML).
 
-        Files are read lazily; raw spectra are preprocessed as they stream
-        in, so peak memory is bounded by the *preprocessed* dataset (top-k
-        peaks per spectrum), mirroring the near-storage flow where raw data
-        never reaches the host.
+        Files are read lazily and each raw spectrum is preprocessed the
+        moment it streams in, so peak memory is bounded by the
+        *preprocessed* dataset (top-k peaks per spectrum), mirroring the
+        near-storage flow where raw data never reaches the host.
         """
         from .io import read_spectra
 
-        def stream():
-            for path in paths:
-                yield from read_spectra(path)
-
-        return self.run(list(stream()))
+        kept: List[MassSpectrum] = []
+        kept_indices: List[int] = []
+        index = 0
+        for path in paths:
+            for spectrum in read_spectra(path):
+                processed = preprocess_spectrum(
+                    spectrum, self.config.preprocessing
+                )
+                if processed is not None:
+                    kept.append(processed)
+                    kept_indices.append(index)
+                index += 1
+        return self._run_preprocessed(kept, kept_indices)
 
     def encode_only(self, spectra: Sequence[MassSpectrum]):
         """Preprocess + encode without clustering; returns a store.
 
         This is the "one-time preprocessing" artefact (§IV-B): a
         :class:`repro.io.HypervectorStore` that persists the compressed
-        dataset for later (incremental) clustering or library search.
+        dataset for later (incremental) clustering, repository ingest
+        (``repro ingest``/:class:`repro.store.ClusterRepository`), or
+        library search.
         """
         from .io.hvstore import HypervectorStore
 
@@ -249,7 +259,18 @@ class SpecHDPipeline:
             processed = preprocess_spectrum(spectrum, self.config.preprocessing)
             if processed is not None:
                 kept.append(processed)
-        vectors = self.encoder.encode_batch(kept)
+        if kept:
+            vectors = np.vstack(
+                list(
+                    self.encoder.encode_stream(
+                        kept, batch_size=self.config.encode_batch_size
+                    )
+                )
+            )
+        else:
+            vectors = np.zeros(
+                (0, self.config.encoder.dim // 64), dtype=np.uint64
+            )
         return HypervectorStore.from_encoding(
             kept,
             vectors,
@@ -265,15 +286,20 @@ class SpecHDPipeline:
         distance matrices, per-bucket NN-chain HAC with the configured
         linkage cut at ``cluster_threshold``, and medoid selection.
         """
-        config = self.config
         kept: List[MassSpectrum] = []
         kept_indices: List[int] = []
         for index, spectrum in enumerate(spectra):
-            processed = preprocess_spectrum(spectrum, config.preprocessing)
+            processed = preprocess_spectrum(spectrum, self.config.preprocessing)
             if processed is not None:
                 kept.append(processed)
                 kept_indices.append(index)
+        return self._run_preprocessed(kept, kept_indices)
 
+    def _run_preprocessed(
+        self, kept: List[MassSpectrum], kept_indices: List[int]
+    ) -> SpecHDResult:
+        """Bucket, encode and cluster already-preprocessed spectra."""
+        config = self.config
         hardware = HardwareReport(
             clock_hz=config.clock_hz,
             num_cluster_kernels=config.num_cluster_kernels,

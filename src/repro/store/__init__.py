@@ -1,0 +1,45 @@
+"""Sharded persistent clustering repository (the serving layer).
+
+The paper's §IV-B argument — encode once, persist the compressed
+hypervectors, serve every later analysis with incremental updates — needs
+a durable substrate.  This package provides it:
+
+``repro.store.wal``
+    Append-only write-ahead log; every ingested batch is journaled (with a
+    CRC per record) before it touches cluster state, so a crash mid-ingest
+    replays to the exact same labels.
+``repro.store.manifest``
+    The repository's JSON manifest: format version, encoder/preprocessing
+    configuration, shard map, checkpoint generation, applied WAL sequence.
+``repro.store.repository``
+    :class:`ClusterRepository` — cluster state sharded by precursor-bucket
+    range, one :class:`repro.incremental.IncrementalClusterStore` per
+    shard, persisted as :class:`repro.io.HypervectorStore` segments.
+``repro.store.query``
+    :class:`QueryService` — top-k nearest clusters by packed Hamming
+    distance against shard medoids, batch queries fanned out across shards
+    on the :mod:`repro.execution` backends.
+"""
+
+from .manifest import MANIFEST_VERSION, RepositoryManifest
+from .repository import (
+    ClusterRepository,
+    RepositoryConfig,
+    RepositoryUpdateReport,
+    shard_for_bucket,
+)
+from .query import ClusterMatch, QueryService
+from .wal import WalRecord, WriteAheadLog
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "RepositoryManifest",
+    "ClusterRepository",
+    "RepositoryConfig",
+    "RepositoryUpdateReport",
+    "shard_for_bucket",
+    "ClusterMatch",
+    "QueryService",
+    "WalRecord",
+    "WriteAheadLog",
+]

@@ -1,0 +1,239 @@
+"""Top-k nearest-cluster queries against a repository's shard medoids.
+
+Serving mirrors ingest's independence argument: every shard owns a
+disjoint set of clusters, so a query batch is encoded once and fanned out
+across shards — each fan-out task scans one shard's medoid matrix with
+the packed XOR+popcount kernel and returns its local top-k, and the
+service merges the per-shard candidate lists into a global top-k with a
+deterministic tie order (distance, then shard, then local label).
+
+The fan-out reuses the :mod:`repro.execution` backends via a persistent
+:class:`~repro.execution.ExecutionPool` (a serving path issues many small
+fan-outs, so per-call pool spin-up would dominate).  The task function is
+top-level so the ``processes`` backend can pickle it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..execution import ExecutionPool
+from ..hdc import hamming_to_query
+from ..spectrum import MassSpectrum, preprocess_spectrum
+from .repository import ClusterRepository
+
+
+@dataclass(frozen=True)
+class ClusterMatch:
+    """One query hit: a cluster, addressed globally and per shard."""
+
+    global_label: int
+    shard_id: int
+    local_label: int
+    distance: int
+    normalized_distance: float
+    cluster_size: int
+    medoid_identifier: str
+    medoid_precursor_mz: float
+    medoid_charge: int
+
+
+@dataclass
+class _ShardIndex:
+    """A snapshot of one shard's medoids, ready for scanning."""
+
+    shard_id: int
+    local_labels: List[int]
+    medoid_vectors: np.ndarray
+    sizes: List[int]
+    identifiers: List[str]
+    precursor_mz: List[float]
+    charges: List[int]
+
+
+def _shard_topk_task(task: tuple) -> tuple:
+    """Scan one shard's medoid matrix for a query batch.
+
+    ``task`` is ``(medoid_vectors, query_vectors, k)``; returns
+    ``(indices, distances)`` where row ``j`` holds the shard-local medoid
+    ordinals and Hamming distances of query ``j``'s k nearest medoids,
+    ascending.  Top-level by design: the ``processes`` backend pickles it.
+    """
+    medoid_vectors, query_vectors, k = task
+    count = medoid_vectors.shape[0]
+    keep = min(k, count)
+    indices = np.zeros((query_vectors.shape[0], keep), dtype=np.int64)
+    distances = np.zeros((query_vectors.shape[0], keep), dtype=np.int64)
+    for j in range(query_vectors.shape[0]):
+        row = hamming_to_query(medoid_vectors, query_vectors[j])
+        # Stable partial sort: ties broken by medoid ordinal (= sorted
+        # local label order), keeping merges deterministic.
+        order = np.lexsort((np.arange(count), row))[:keep]
+        indices[j] = order
+        distances[j] = row[order]
+    return indices, distances
+
+
+class QueryService:
+    """Batch top-k nearest-cluster queries over a :class:`ClusterRepository`.
+
+    Parameters
+    ----------
+    repository:
+        The repository to serve; its encoder is reused for queries.
+    execution_backend, num_workers:
+        How shard scans are fanned out (see :mod:`repro.execution`).  All
+        backends return identical results.
+    """
+
+    def __init__(
+        self,
+        repository: ClusterRepository,
+        execution_backend: str = "serial",
+        num_workers: Optional[int] = None,
+    ) -> None:
+        self.repository = repository
+        self._pool = ExecutionPool(execution_backend, num_workers)
+        self._indexed_version: Optional[int] = None
+        self._indexes: List[_ShardIndex] = []
+
+    # ------------------------------------------------------------------
+    # Index maintenance
+    # ------------------------------------------------------------------
+
+    def _refresh_indexes(self) -> None:
+        """Rebuild the medoid snapshots if the repository changed."""
+        if self._indexed_version == self.repository.version:
+            return
+        indexes: List[_ShardIndex] = []
+        for shard_id in range(self.repository.num_shards):
+            shard = self.repository.shard(shard_id)
+            rows_by_label = shard.medoid_rows()
+            labels = sorted(rows_by_label)
+            medoid_rows = [rows_by_label[label] for label in labels]
+            sizes = shard.cluster_sizes()
+            if labels:
+                vectors = shard.vectors_at(medoid_rows)
+            else:
+                vectors = np.zeros(
+                    (0, self.repository.encoder.words), dtype=np.uint64
+                )
+            medoids = [shard.spectrum_at(row) for row in medoid_rows]
+            indexes.append(
+                _ShardIndex(
+                    shard_id=shard_id,
+                    local_labels=labels,
+                    medoid_vectors=vectors,
+                    sizes=[sizes[label] for label in labels],
+                    identifiers=[s.identifier for s in medoids],
+                    precursor_mz=[s.precursor_mz for s in medoids],
+                    charges=[s.precursor_charge for s in medoids],
+                )
+            )
+        self._indexes = indexes
+        self._indexed_version = self.repository.version
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(
+        self, spectra: Sequence[MassSpectrum], k: int = 5
+    ) -> List[List[ClusterMatch]]:
+        """Top-k nearest clusters for each query spectrum.
+
+        Queries are preprocessed with the repository's configuration and
+        encoded with its encoder; a spectrum that fails QC gets an empty
+        result list (positions stay aligned with the input).
+        """
+        kept: List[MassSpectrum] = []
+        kept_positions: List[int] = []
+        for position, spectrum in enumerate(spectra):
+            processed = preprocess_spectrum(
+                spectrum, self.repository.manifest.preprocessing
+            )
+            if processed is not None:
+                kept.append(processed)
+                kept_positions.append(position)
+        results: List[List[ClusterMatch]] = [[] for _ in spectra]
+        if kept:
+            vectors = self.repository.encoder.encode_batch(kept)
+            for position, matches in zip(
+                kept_positions, self.query_vectors(vectors, k)
+            ):
+                results[position] = matches
+        return results
+
+    def query_vectors(
+        self, query_vectors: np.ndarray, k: int = 5
+    ) -> List[List[ClusterMatch]]:
+        """Top-k nearest clusters for pre-encoded packed query vectors."""
+        query_vectors = np.asarray(query_vectors, dtype=np.uint64)
+        if query_vectors.ndim != 2:
+            raise ValueError("query_vectors must be a (n, words) matrix")
+        num_queries = query_vectors.shape[0]
+        if num_queries == 0:
+            return []
+        self._refresh_indexes()
+        populated = [
+            index for index in self._indexes if index.local_labels
+        ]
+        if not populated:
+            return [[] for _ in range(num_queries)]
+        outcomes = self._pool.map(
+            _shard_topk_task,
+            [
+                (index.medoid_vectors, query_vectors, k)
+                for index in populated
+            ],
+        )
+        dim = float(self.repository.encoder.dim)
+        results: List[List[ClusterMatch]] = []
+        for j in range(num_queries):
+            candidates: List[Tuple[int, int, int, int]] = []
+            for index, (ordinals, distances) in zip(populated, outcomes):
+                for ordinal, distance in zip(
+                    ordinals[j], distances[j]
+                ):
+                    candidates.append(
+                        (
+                            int(distance),
+                            index.shard_id,
+                            index.local_labels[int(ordinal)],
+                            int(ordinal),
+                        )
+                    )
+            candidates.sort(key=lambda item: (item[0], item[1], item[2]))
+            matches: List[ClusterMatch] = []
+            for distance, shard_id, local_label, ordinal in candidates[:k]:
+                index = self._indexes[shard_id]
+                matches.append(
+                    ClusterMatch(
+                        global_label=self.repository.global_label(
+                            shard_id, local_label
+                        ),
+                        shard_id=shard_id,
+                        local_label=local_label,
+                        distance=distance,
+                        normalized_distance=distance / dim,
+                        cluster_size=index.sizes[ordinal],
+                        medoid_identifier=index.identifiers[ordinal],
+                        medoid_precursor_mz=index.precursor_mz[ordinal],
+                        medoid_charge=index.charges[ordinal],
+                    )
+                )
+            results.append(matches)
+        return results
+
+    def close(self) -> None:
+        """Release the fan-out pool."""
+        self._pool.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

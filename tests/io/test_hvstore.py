@@ -84,6 +84,107 @@ class TestRoundTrip:
             HypervectorStore.load(tmp_path / "nope.npz")
 
 
+class TestEdgeCases:
+    def test_empty_store_round_trip(self, tmp_path):
+        store = HypervectorStore.from_encoding(
+            [], np.zeros((0, 8), dtype=np.uint64), dim=512
+        )
+        path = tmp_path / "empty.npz"
+        assert store.save(path) > 0
+        loaded = HypervectorStore.load(path)
+        assert len(loaded) == 0
+        assert loaded.dim == 512
+        assert loaded.identifiers == []
+
+    def test_save_without_suffix_load_with_suffix(self, encoded, tmp_path):
+        spectra, vectors = encoded
+        store = HypervectorStore.from_encoding(spectra, vectors)
+        store.save(tmp_path / "plain")
+        assert (tmp_path / "plain.npz").exists()
+        loaded = HypervectorStore.load(tmp_path / "plain.npz")
+        assert len(loaded) == 25
+
+    def test_save_with_suffix_load_without(self, encoded, tmp_path):
+        spectra, vectors = encoded
+        store = HypervectorStore.from_encoding(spectra, vectors)
+        store.save(tmp_path / "suffixed.npz")
+        loaded = HypervectorStore.load(tmp_path / "suffixed")
+        assert len(loaded) == 25
+
+    def test_corrupt_metadata_rejected(self, encoded, tmp_path):
+        spectra, vectors = encoded
+        path = tmp_path / "badmeta.npz"
+        np.savez_compressed(
+            path,
+            vectors=vectors,
+            precursor_mz=np.zeros(25),
+            charge=np.zeros(25, dtype=np.int16),
+            labels=np.zeros(25, dtype=np.int64),
+            identifiers=np.array([f"s{i}" for i in range(25)]),
+            meta=np.array("{ not json"),
+        )
+        with pytest.raises(ParseError):
+            HypervectorStore.load(path)
+
+    def test_forward_version_rejected(self, encoded, tmp_path):
+        import json
+
+        spectra, vectors = encoded
+        path = tmp_path / "future.npz"
+        meta = json.dumps({"format_version": FORMAT_VERSION + 1, "dim": 512})
+        np.savez_compressed(
+            path,
+            vectors=vectors,
+            precursor_mz=np.zeros(25),
+            charge=np.zeros(25, dtype=np.int16),
+            labels=np.zeros(25, dtype=np.int64),
+            identifiers=np.array([f"s{i}" for i in range(25)]),
+            meta=np.array(meta),
+        )
+        with pytest.raises(ParseError, match="unsupported store version"):
+            HypervectorStore.load(path)
+
+
+class TestFormatSecurity:
+    def test_v2_identifiers_are_fixed_width_unicode(self, encoded, tmp_path):
+        spectra, vectors = encoded
+        store = HypervectorStore.from_encoding(spectra, vectors)
+        path = tmp_path / "v2.npz"
+        store.save(path)
+        # Loading the archive must never require unpickling.
+        with np.load(path, allow_pickle=False) as archive:
+            assert archive["identifiers"].dtype.kind == "U"
+
+    def test_v1_object_identifiers_compat_path(self, encoded, tmp_path):
+        import json
+
+        spectra, vectors = encoded
+        path = tmp_path / "v1.npz"
+        meta = json.dumps(
+            {"format_version": 1, "dim": 512, "encoder_seed": 7, "count": 25}
+        )
+        np.savez_compressed(
+            path,
+            vectors=vectors,
+            precursor_mz=np.array([s.precursor_mz for s in spectra]),
+            charge=np.array(
+                [s.precursor_charge for s in spectra], dtype=np.int16
+            ),
+            labels=np.full(25, -1, dtype=np.int64),
+            identifiers=np.array(
+                [s.identifier for s in spectra], dtype=object
+            ),
+            meta=np.array(meta),
+        )
+        # Reaching the unpickler requires explicit opt-in ...
+        with pytest.raises(ParseError, match="allow_v1"):
+            HypervectorStore.load(path)
+        # ... after which trusted v1 files still read fully.
+        loaded = HypervectorStore.load(path, allow_v1=True)
+        assert loaded.encoder_seed == 7
+        assert loaded.identifiers == [s.identifier for s in spectra]
+
+
 class TestCompression:
     def test_footprint_is_packed_vectors(self, encoded):
         spectra, vectors = encoded

@@ -1,0 +1,43 @@
+"""Shared fixtures for the repository subsystem tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import SyntheticConfig, generate_dataset
+from repro.hdc import EncoderConfig
+from repro.store import RepositoryConfig
+
+@pytest.fixture(scope="session")
+def repo_encoder():
+    """Small-but-real encoder settings shared by every repository test."""
+    return EncoderConfig(dim=1024, mz_bins=8_000, intensity_levels=32)
+
+
+@pytest.fixture(scope="session")
+def repo_threshold():
+    return 0.36
+
+
+@pytest.fixture(scope="session")
+def repo_config(repo_encoder, repo_threshold):
+    """A three-shard repository configuration with a narrow shard width."""
+    return RepositoryConfig(
+        num_shards=3,
+        shard_width=16,
+        encoder=repo_encoder,
+        cluster_threshold=repo_threshold,
+    )
+
+
+@pytest.fixture(scope="session")
+def repo_dataset():
+    """Replicate-structured spectra whose buckets span several shards."""
+    return generate_dataset(
+        SyntheticConfig(
+            num_peptides=12,
+            replicates_per_peptide=8,
+            peptides_per_mass_group=1,
+            seed=31,
+        )
+    )

@@ -1,0 +1,173 @@
+"""End-to-end CLI round trip: repro ingest → repo-info → query."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import SyntheticConfig, generate_dataset
+from repro.io import write_mgf
+
+
+@pytest.fixture(scope="module")
+def mgf_fixture(tmp_path_factory):
+    data = generate_dataset(
+        SyntheticConfig(
+            num_peptides=8,
+            replicates_per_peptide=5,
+            peptides_per_mass_group=1,
+            seed=5,
+        )
+    )
+    directory = tmp_path_factory.mktemp("repo-cli")
+    input_path = directory / "input.mgf"
+    query_path = directory / "queries.mgf"
+    write_mgf(data.spectra, input_path)
+    write_mgf(data.spectra[:6], query_path)
+    return directory, input_path, query_path
+
+
+def ingest_args(repo, input_path, *extra):
+    return [
+        "ingest", str(repo), str(input_path),
+        "--dim", "1024", "--threshold", "0.35", "--shards", "3",
+        *extra,
+    ]
+
+
+class TestIngestCommand:
+    def test_creates_and_populates(self, mgf_fixture, capsys):
+        directory, input_path, _ = mgf_fixture
+        repo = directory / "repo-a"
+        assert main(ingest_args(repo, input_path)) == 0
+        out = capsys.readouterr().out
+        assert "creating repository" in out
+        assert "checkpointed generation 1" in out
+        assert "ingested 40 spectra" in out
+        assert (repo / "manifest.json").exists()
+        assert (repo / "wal.log").exists()
+        assert (repo / "segments" / "gen-000001").is_dir()
+
+    def test_second_ingest_reopens(self, mgf_fixture, capsys):
+        directory, input_path, _ = mgf_fixture
+        repo = directory / "repo-b"
+        assert main(ingest_args(repo, input_path)) == 0
+        assert main(ingest_args(repo, input_path)) == 0
+        captured = capsys.readouterr()
+        assert "opening repository" in captured.out
+        assert "repository now 80 spectra" in captured.out
+        # Matching creation flags on reopen stay silent.
+        assert "warning" not in captured.err
+
+    def test_conflicting_creation_flags_warn(self, mgf_fixture, capsys):
+        directory, input_path, _ = mgf_fixture
+        repo = directory / "repo-warn"
+        assert main(ingest_args(repo, input_path)) == 0
+        capsys.readouterr()
+        assert main(
+            ["ingest", str(repo), str(input_path),
+             "--dim", "2048", "--threshold", "0.2"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "--dim 2048 ignored" in err
+        assert "--threshold 0.2 ignored" in err
+
+    def test_omitted_creation_flags_do_not_warn(self, mgf_fixture, capsys):
+        directory, input_path, _ = mgf_fixture
+        repo = directory / "repo-nowarn"
+        assert main(ingest_args(repo, input_path)) == 0
+        capsys.readouterr()
+        assert main(["ingest", str(repo), str(input_path)]) == 0
+        assert "warning" not in capsys.readouterr().err
+
+    def test_no_checkpoint_leaves_wal(self, mgf_fixture, capsys):
+        directory, input_path, _ = mgf_fixture
+        repo = directory / "repo-c"
+        assert main(
+            ingest_args(repo, input_path, "--no-checkpoint")
+        ) == 0
+        out = capsys.readouterr().out
+        assert "checkpointed" not in out
+        assert (repo / "wal.log").stat().st_size > 0
+        # The journaled batches are recovered on the next open.
+        assert main(["repo-info", str(repo)]) == 0
+        info = capsys.readouterr().out
+        assert "spectra    : 40" in info
+
+    def test_npz_store_input(self, mgf_fixture, capsys):
+        from repro.hdc import EncoderConfig
+        from repro.io import read_spectra
+        from repro.pipeline import SpecHDConfig, SpecHDPipeline
+
+        directory, input_path, _ = mgf_fixture
+        store_path = directory / "encoded.npz"
+        pipeline = SpecHDPipeline(
+            SpecHDConfig(encoder=EncoderConfig(dim=1024))
+        )
+        pipeline.encode_only(list(read_spectra(input_path))).save(store_path)
+        repo = directory / "repo-npz"
+        assert main(ingest_args(repo, store_path)) == 0
+        out = capsys.readouterr().out
+        assert "ingested 40 spectra" in out
+
+    def test_bad_batch_size(self, mgf_fixture, capsys):
+        directory, input_path, _ = mgf_fixture
+        repo = directory / "repo-bad"
+        assert main(
+            ingest_args(repo, input_path, "--batch-size", "0")
+        ) == 2
+
+
+class TestRepoInfoCommand:
+    def test_summary(self, mgf_fixture, capsys):
+        directory, input_path, _ = mgf_fixture
+        repo = directory / "repo-info"
+        assert main(ingest_args(repo, input_path)) == 0
+        capsys.readouterr()
+        assert main(["repo-info", str(repo)]) == 0
+        out = capsys.readouterr().out
+        assert "generation 1" in out
+        assert "spectra    : 40" in out
+        assert "shard 0" in out
+
+    def test_missing_repository(self, tmp_path, capsys):
+        assert main(["repo-info", str(tmp_path / "nope")]) == 1
+        assert "no manifest" in capsys.readouterr().err
+
+
+class TestQueryCommand:
+    def test_round_trip(self, mgf_fixture, capsys):
+        directory, input_path, query_path = mgf_fixture
+        repo = directory / "repo-query"
+        assert main(ingest_args(repo, input_path)) == 0
+        capsys.readouterr()
+        assert main(["query", str(repo), str(query_path), "-k", "2"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out[0].startswith("query\trank\tcluster")
+        assert len(out) == 1 + 6 * 2  # header + 6 queries x k=2
+
+    def test_tsv_output(self, mgf_fixture, tmp_path, capsys):
+        directory, input_path, query_path = mgf_fixture
+        repo = directory / "repo-query-tsv"
+        assert main(ingest_args(repo, input_path)) == 0
+        tsv = tmp_path / "matches.tsv"
+        assert main(
+            ["query", str(repo), str(query_path), "-k", "3",
+             "-o", str(tsv)]
+        ) == 0
+        lines = tsv.read_text().strip().splitlines()
+        assert len(lines) == 1 + 6 * 3
+
+    def test_empty_query_file(self, mgf_fixture, tmp_path, capsys):
+        directory, input_path, _ = mgf_fixture
+        repo = directory / "repo-query-empty"
+        assert main(ingest_args(repo, input_path)) == 0
+        empty = tmp_path / "empty.mgf"
+        empty.write_text("")
+        assert main(["query", str(repo), str(empty)]) == 1
+
+    def test_bad_top_k(self, mgf_fixture, tmp_path):
+        directory, input_path, query_path = mgf_fixture
+        repo = directory / "repo-query-badk"
+        assert main(ingest_args(repo, input_path)) == 0
+        assert main(
+            ["query", str(repo), str(query_path), "-k", "0"]
+        ) == 2

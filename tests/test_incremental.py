@@ -116,6 +116,108 @@ class TestIncrementalUpdates:
         assert len(store) == 0
 
 
+class TestMedoidMaintenance:
+    def test_incremental_medoids_equal_exact_recompute(self, population):
+        """The amortised distance sums must pin the exact medoid.
+
+        After a mix of cluster creations and absorptions, every cluster's
+        medoid must equal the argmin of a from-scratch pairwise mean, with
+        the same first-minimum tie-breaking.
+        """
+        from repro.hdc import pairwise_hamming_blocked
+
+        store = make_store()
+        third = len(population) // 3
+        store.add_batch(population.spectra[:third])
+        store.add_batch(population.spectra[third : 2 * third])
+        store.add_batch(population.spectra[2 * third :])
+
+        checked = 0
+        for label, cluster in store._clusters.items():
+            rows = np.array(cluster.member_rows)
+            if rows.size == 1:
+                assert cluster.medoid_row == int(rows[0])
+                continue
+            pairwise = pairwise_hamming_blocked(store._vectors[rows])
+            mean_distance = pairwise.sum(axis=1) / (rows.size - 1)
+            expected = int(rows[int(np.argmin(mean_distance))])
+            assert cluster.medoid_row == expected
+            np.testing.assert_array_equal(
+                np.array(cluster.dist_sums), pairwise.sum(axis=1)
+            )
+            checked += 1
+        assert checked > 0  # the dataset must actually form multi-member clusters
+
+    def test_absorption_updates_sums_incrementally(self, population):
+        store = make_store()
+        half = len(population) // 2
+        store.add_batch(population.spectra[:half])
+        report = store.add_batch(population.spectra[half:])
+        assert report.num_absorbed > 0  # the update path was exercised
+
+
+class TestSharedEncoder:
+    def test_encoder_can_be_shared(self, population):
+        from repro.errors import ConfigurationError
+        from repro.hdc import EncoderConfig, IDLevelEncoder
+
+        config = EncoderConfig(dim=1024, mz_bins=8_000, intensity_levels=32)
+        shared = IDLevelEncoder(config)
+        first = IncrementalClusterStore(
+            encoder_config=config, cluster_threshold=0.36, encoder=shared
+        )
+        second = IncrementalClusterStore(
+            encoder_config=config, cluster_threshold=0.36, encoder=shared
+        )
+        assert first.encoder is shared and second.encoder is shared
+        with pytest.raises(ConfigurationError, match="shared encoder"):
+            IncrementalClusterStore(
+                encoder_config=EncoderConfig(dim=512), encoder=shared
+            )
+
+
+class TestEncodedBatches:
+    def test_add_encoded_matches_add_batch(self, population):
+        """Feeding pre-encoded vectors labels exactly like raw spectra."""
+        from repro.spectrum import preprocess_spectrum
+
+        reference = make_store()
+        reference.add_batch(population.spectra)
+
+        encoded = make_store()
+        processed = [
+            preprocess_spectrum(s, encoded.preprocessing)
+            for s in population.spectra
+        ]
+        processed = [s for s in processed if s is not None]
+        vectors = encoded.encoder.encode_batch(processed)
+        report = encoded.add_encoded(
+            vectors,
+            [s.precursor_mz for s in processed],
+            [s.precursor_charge for s in processed],
+            [s.identifier for s in processed],
+        )
+        assert report.num_added == len(processed)
+        np.testing.assert_array_equal(
+            encoded.labels(), reference.labels()
+        )
+
+    def test_add_encoded_validates_shape(self):
+        from repro.errors import ConfigurationError
+
+        store = make_store()
+        with pytest.raises(ConfigurationError, match="uint64"):
+            store.add_encoded(
+                np.zeros((2, 3), dtype=np.uint64), [500.0, 501.0], [2, 2],
+                ["a", "b"],
+            )
+        with pytest.raises(ConfigurationError, match="unequal"):
+            store.add_encoded(
+                np.zeros((2, 1024 // 64), dtype=np.uint64), [500.0], [2, 2],
+                ["a", "b"],
+            )
+
+
 class TestStorage:
     def test_stored_bytes_grow_linearly(self, population):
         store = make_store()
