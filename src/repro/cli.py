@@ -202,6 +202,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="worker count for threads/processes backends",
     )
+    query.add_argument(
+        "--index", default="auto", choices=("auto", "on", "off"),
+        help="bit-slice medoid index: auto prunes shards with enough "
+             "medoids, on forces it everywhere, off scans densely "
+             "(results are identical either way; default auto)",
+    )
+    query.add_argument(
+        "--probe-bits", type=int, default=None,
+        help="sampled bit planes per shard index "
+             "(default: the repository manifest's setting)",
+    )
 
     repo_info = subparsers.add_parser(
         "repo-info", help="summarise a cluster repository directory"
@@ -476,11 +487,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if not spectra:
         print("no spectra found in query input", file=sys.stderr)
         return 1
+    if args.probe_bits is not None and args.probe_bits < 1:
+        print("error: --probe-bits must be >= 1", file=sys.stderr)
+        return 2
     repository = ClusterRepository.open(args.repository)
     with QueryService(
         repository,
         execution_backend=args.backend,
         num_workers=args.workers,
+        use_index={"auto": None, "on": True, "off": False}[args.index],
+        probe_bits=args.probe_bits,
     ) as service:
         results = service.query(spectra, k=args.top_k)
 

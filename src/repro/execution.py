@@ -121,6 +121,16 @@ class ExecutionPool:
                 self._executor = ProcessPoolExecutor(max_workers=self.workers)
         return self._executor
 
+    @property
+    def is_inline(self) -> bool:
+        """True when :meth:`map` always runs items in the calling thread.
+
+        Lets callers skip work that only pays off under real fan-out —
+        e.g. the query service neither writes worker snapshots nor
+        dispatches tasks when the pool would just loop inline anyway.
+        """
+        return self.backend == "serial" or self.workers == 1
+
     def map(
         self,
         function: Callable[[_ItemT], _ResultT],

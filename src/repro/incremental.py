@@ -471,11 +471,21 @@ class IncrementalClusterStore:
             encoder_seed=self.encoder.config.seed,
         )
 
-    def save(self, directory: Union[str, Path], stem: str = "store") -> None:
-        """Persist to ``<directory>/<stem>.npz`` + ``<directory>/<stem>.state.json``."""
+    def save(
+        self,
+        directory: Union[str, Path],
+        stem: str = "store",
+        compress: bool = True,
+    ) -> None:
+        """Persist to ``<directory>/<stem>.npz`` + ``<directory>/<stem>.state.json``.
+
+        ``compress=False`` writes the hypervector store raw so a later
+        :meth:`load` with ``mmap=True`` can memory-map it (the repository
+        checkpoints segments this way).
+        """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
-        self.snapshot_store().save(directory / f"{stem}.npz")
+        self.snapshot_store().save(directory / f"{stem}.npz", compress=compress)
         (directory / f"{stem}.state.json").write_text(
             json.dumps(self.state_dict()), encoding="utf-8"
         )
@@ -488,14 +498,19 @@ class IncrementalClusterStore:
         execution_backend: str = "serial",
         num_workers: int | None = None,
         encoder: IDLevelEncoder | None = None,
+        mmap: bool = False,
     ) -> "IncrementalClusterStore":
         """Restore a store persisted by :meth:`save`.
 
         The execution backend is a runtime choice (it never affects
         labels), so it is passed here rather than recorded in the state.
+        ``mmap=True`` memory-maps the hypervector payload when the
+        snapshot was saved uncompressed (falling back to a copy when
+        not); the first ``add_batch`` after restoring converts the
+        matrix to an in-memory copy as it appends.
         """
         directory = Path(directory)
-        store = HypervectorStore.load(directory / f"{stem}.npz")
+        store = HypervectorStore.load(directory / f"{stem}.npz", mmap=mmap)
         state_path = directory / f"{stem}.state.json"
         try:
             state = json.loads(state_path.read_text(encoding="utf-8"))
@@ -536,7 +551,13 @@ class IncrementalClusterStore:
             num_workers=num_workers,
             encoder=encoder,
         )
-        instance._vectors = np.asarray(store.vectors, dtype=np.uint64)
+        # Keep the store's matrix as-is when possible: a memory-mapped
+        # segment payload stays mapped (zero-copy restore) until the
+        # first append replaces it with an in-memory copy.
+        vectors = store.vectors
+        if not isinstance(vectors, np.ndarray) or vectors.dtype != np.uint64:
+            vectors = np.asarray(vectors, dtype=np.uint64)
+        instance._vectors = vectors
         instance._spectra = [
             _placeholder_spectrum(ident, mz, ch)
             for ident, mz, ch in zip(

@@ -131,8 +131,15 @@ class HypervectorStore:
             encoder_seed=encoder_seed,
         )
 
-    def save(self, path: Union[str, Path]) -> int:
-        """Write the store; returns the file size in bytes."""
+    def save(self, path: Union[str, Path], compress: bool = True) -> int:
+        """Write the store; returns the file size in bytes.
+
+        ``compress=False`` stores the arrays raw (``np.savez``): packed
+        hypervectors are high-entropy so deflate buys little, and a raw
+        archive's vector payload can be memory-mapped straight out of
+        the file with ``load(..., mmap=True)`` — repository checkpoint
+        segments are written this way.
+        """
         path = Path(path)
         meta = json.dumps(
             {
@@ -149,7 +156,8 @@ class HypervectorStore:
             if self.identifiers
             else np.zeros(0, dtype="<U1")
         )
-        np.savez_compressed(
+        writer = np.savez_compressed if compress else np.savez
+        writer(
             path,
             vectors=self.vectors,
             precursor_mz=self.precursor_mz,
@@ -166,7 +174,10 @@ class HypervectorStore:
 
     @classmethod
     def load(
-        cls, path: Union[str, Path], allow_v1: bool = False
+        cls,
+        path: Union[str, Path],
+        allow_v1: bool = False,
+        mmap: bool = False,
     ) -> "HypervectorStore":
         """Read a store back; validates the format metadata.
 
@@ -177,6 +188,12 @@ class HypervectorStore:
         path must be opted into with ``allow_v1=True`` and is only safe
         for files you wrote yourself (a hostile file could claim to be
         version 1 precisely to reach the unpickler).
+
+        ``mmap=True`` memory-maps the vector payload instead of copying
+        it through RAM — zero-copy segment loading for archives written
+        with ``save(..., compress=False)``.  Compressed archives (or any
+        layout that cannot be mapped) silently fall back to an in-memory
+        read, so the flag never changes what is loaded, only how.
         """
         path = _resolve_store_path(path)
         try:
@@ -198,8 +215,13 @@ class HypervectorStore:
                     identifiers = _load_v1_identifiers(path)
                 else:
                     identifiers = [str(i) for i in archive["identifiers"]]
+                vectors = None
+                if mmap and version >= 2:
+                    vectors = _mmap_member_array(path, "vectors.npy")
+                if vectors is None:
+                    vectors = archive["vectors"].astype(np.uint64)
                 return cls(
-                    vectors=archive["vectors"].astype(np.uint64),
+                    vectors=vectors,
                     precursor_mz=archive["precursor_mz"],
                     charge=archive["charge"],
                     labels=archive["labels"],
@@ -219,6 +241,48 @@ class HypervectorStore:
         if self.nbytes == 0:
             return float("inf")
         return raw_bytes / self.nbytes
+
+
+def _mmap_member_array(path: Path, member: str) -> np.ndarray | None:
+    """Memory-map one uncompressed ``.npy`` member of an ``.npz`` archive.
+
+    An ``.npz`` is a zip; when a member is stored (not deflated) its
+    ``.npy`` bytes sit contiguously in the file, so the array data can be
+    mapped read-only at ``member offset + npy header size`` without ever
+    copying the payload.  Returns ``None`` whenever the member cannot be
+    mapped (deflated member, unexpected npy version, Fortran order, or a
+    dtype other than the packed uint64 layout) — the caller then falls
+    back to a normal in-memory read.
+    """
+    import zipfile
+
+    with zipfile.ZipFile(path) as archive:
+        try:
+            info = archive.getinfo(member)
+        except KeyError:
+            return None
+        if info.compress_type != zipfile.ZIP_STORED:
+            return None
+    with open(path, "rb") as handle:
+        handle.seek(info.header_offset)
+        local_header = handle.read(30)
+        if len(local_header) != 30 or local_header[:4] != b"PK\x03\x04":
+            return None
+        name_length = int.from_bytes(local_header[26:28], "little")
+        extra_length = int.from_bytes(local_header[28:30], "little")
+        handle.seek(info.header_offset + 30 + name_length + extra_length)
+        version = np.lib.format.read_magic(handle)
+        if version == (1, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+        elif version == (2, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+        else:
+            return None
+        offset = handle.tell()
+    if fortran or dtype != np.uint64 or len(shape) != 2:
+        return None
+    return np.memmap(path, dtype=np.uint64, mode="r", shape=shape,
+                     offset=offset)
 
 
 def _load_v1_identifiers(path: Path) -> List[str]:

@@ -16,11 +16,17 @@ a durable substrate.  This package provides it:
     range, one :class:`repro.incremental.IncrementalClusterStore` per
     shard, persisted as :class:`repro.io.HypervectorStore` segments.
 ``repro.store.query``
-    :class:`QueryService` — top-k nearest clusters by packed Hamming
-    distance against shard medoids, batch queries fanned out across shards
-    on the :mod:`repro.execution` backends.
+    :class:`QueryService` — batched top-k nearest clusters by packed
+    Hamming distance against shard medoids (one cross-Hamming pass per
+    shard per batch), fanned out across shards on the
+    :mod:`repro.execution` backends with a vectorised global merge.
+``repro.store.index``
+    :class:`BitSliceMedoidIndex` — per-shard transposed bit-plane index
+    that prunes shard scans to a candidate set provably containing the
+    exact top-k.
 """
 
+from .index import BitSliceMedoidIndex, batched_topk
 from .manifest import MANIFEST_VERSION, RepositoryManifest
 from .repository import (
     ClusterRepository,
@@ -32,6 +38,8 @@ from .query import ClusterMatch, QueryService
 from .wal import WalRecord, WriteAheadLog
 
 __all__ = [
+    "BitSliceMedoidIndex",
+    "batched_topk",
     "MANIFEST_VERSION",
     "RepositoryManifest",
     "ClusterRepository",

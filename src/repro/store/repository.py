@@ -49,6 +49,11 @@ from ..spectrum import (
     bucket_key,
     preprocess_spectrum,
 )
+from .index import (
+    DEFAULT_MIN_MEDOIDS,
+    DEFAULT_PROBE_BITS,
+    BitSliceMedoidIndex,
+)
 from .manifest import MANIFEST_NAME, RepositoryManifest
 from .wal import WriteAheadLog
 
@@ -84,6 +89,8 @@ class RepositoryConfig:
     bucketing: BucketingConfig = field(default_factory=BucketingConfig)
     cluster_threshold: float = 0.3
     linkage: str = "complete"
+    index_probe_bits: int = DEFAULT_PROBE_BITS
+    index_min_medoids: int = DEFAULT_MIN_MEDOIDS
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -94,6 +101,10 @@ class RepositoryConfig:
             raise ConfigurationError(
                 "cluster_threshold must be a normalised distance in [0, 1]"
             )
+        if self.index_probe_bits < 1:
+            raise ConfigurationError("index_probe_bits must be >= 1")
+        if self.index_min_medoids < 1:
+            raise ConfigurationError("index_min_medoids must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -153,6 +164,10 @@ class ClusterRepository:
         self._poisoned = False
         #: Bumped on every state change; lets query services cache medoids.
         self.version = 0
+        #: Per-shard bit-slice query indexes persisted by the checkpoint,
+        #: valid only while ``version`` equals ``_query_index_version``.
+        self._query_indexes: Dict[int, BitSliceMedoidIndex] = {}
+        self._query_index_version = -1
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -182,6 +197,10 @@ class ClusterRepository:
             bucketing=config.bucketing,
             cluster_threshold=config.cluster_threshold,
             linkage=config.linkage,
+            query_index={
+                "probe_bits": config.index_probe_bits,
+                "min_medoids": config.index_min_medoids,
+            },
         )
         manifest.save(directory)
         (directory / WAL_NAME).touch()
@@ -207,6 +226,10 @@ class ClusterRepository:
         generation_dir = cls._generation_dir(directory, manifest.generation)
         for shard_id in range(manifest.num_shards):
             if manifest.generation > 0:
+                # Segment payloads are memory-mapped: reopening a large
+                # repository does not copy every shard's vectors through
+                # RAM (the first post-open ingest into a shard converts
+                # its matrix to an in-memory copy as it appends).
                 shards.append(
                     IncrementalClusterStore.load(
                         generation_dir,
@@ -214,6 +237,7 @@ class ClusterRepository:
                         execution_backend=execution_backend,
                         num_workers=num_workers,
                         encoder=encoder,
+                        mmap=True,
                     )
                 )
             else:
@@ -237,9 +261,29 @@ class ClusterRepository:
             execution_backend=execution_backend,
             num_workers=num_workers,
         )
+        loaded_indexes: Dict[int, BitSliceMedoidIndex] = {}
         if manifest.generation > 0:
             repository._load_catalog(generation_dir)
+            for shard_id in range(manifest.num_shards):
+                index_path = (
+                    generation_dir / f"shard-{shard_id:04d}.index.npz"
+                )
+                if not index_path.exists():
+                    continue
+                try:
+                    loaded_indexes[shard_id] = BitSliceMedoidIndex.load(
+                        index_path
+                    )
+                except Exception:
+                    # Derived cache only: an unreadable index file is
+                    # rebuilt on demand by the query service.
+                    continue
         repository._replay_wal()
+        if loaded_indexes and repository.version == 0:
+            # WAL replay applied nothing, so the checkpointed medoids —
+            # and therefore the checkpointed indexes — are still current.
+            repository._query_indexes = loaded_indexes
+            repository._query_index_version = repository.version
         return repository
 
     @staticmethod
@@ -319,6 +363,19 @@ class ClusterRepository:
     def global_label(self, shard_id: int, local_label: int) -> int:
         """The global label assigned to a shard-local cluster."""
         return self._label_map[(shard_id, local_label)]
+
+    def cached_query_index(
+        self, shard_id: int
+    ) -> Optional[BitSliceMedoidIndex]:
+        """The shard's checkpointed bit-slice index, if still current.
+
+        Returns ``None`` once any ingest has changed cluster state since
+        the checkpoint that persisted the index — medoids may have moved,
+        so the query service must rebuild.
+        """
+        if self._query_index_version != self.version:
+            return None
+        return self._query_indexes.get(shard_id)
 
     # ------------------------------------------------------------------
     # Ingest
@@ -562,8 +619,15 @@ class ClusterRepository:
             shutil.rmtree(generation_dir)  # leftover from a crashed attempt
         generation_dir.mkdir(parents=True)
         for shard_id, shard in enumerate(self._shards):
-            shard.save(generation_dir, stem=f"shard-{shard_id:04d}")
+            # Uncompressed segments: packed hypervectors are high-entropy
+            # (deflate gains almost nothing) and the stored .npy payload
+            # can then be memory-mapped straight out of the archive when
+            # the repository is reopened.
+            shard.save(
+                generation_dir, stem=f"shard-{shard_id:04d}", compress=False
+            )
         self._save_catalog(generation_dir)
+        query_indexes = self._save_query_indexes(generation_dir)
         # The WAL is truncated right after the manifest swap, so the new
         # generation must be on disk before the manifest names it: fsync
         # every segment file and the directory entries.
@@ -590,6 +654,8 @@ class ClusterRepository:
         }
         self.manifest.save(self.directory)
         self._wal.reset()
+        self._query_indexes = query_indexes
+        self._query_index_version = self.version
         # Sweep every generation below the one the manifest now names —
         # not just the immediate predecessor, so generations orphaned by
         # a crash between manifest swap and cleanup get collected too.
@@ -602,6 +668,36 @@ class ClusterRepository:
             if stale_generation < generation:
                 shutil.rmtree(stale)
         return generation
+
+    def _save_query_indexes(
+        self, generation_dir: Path
+    ) -> Dict[int, BitSliceMedoidIndex]:
+        """Build and persist bit-slice query indexes for eligible shards.
+
+        Shards below the manifest's ``min_medoids`` are skipped — serving
+        them brute-force is faster than probing.  The saved files ride in
+        the generation directory, so the existing fsync + sweep logic of
+        :meth:`checkpoint` covers them.
+        """
+        settings = self.manifest.query_index
+        probe_bits = int(settings.get("probe_bits", DEFAULT_PROBE_BITS))
+        min_medoids = int(settings.get("min_medoids", DEFAULT_MIN_MEDOIDS))
+        indexes: Dict[int, BitSliceMedoidIndex] = {}
+        for shard_id, shard in enumerate(self._shards):
+            rows_by_label = shard.medoid_rows()
+            if len(rows_by_label) < min_medoids:
+                continue
+            medoid_rows = [
+                rows_by_label[label] for label in sorted(rows_by_label)
+            ]
+            index = BitSliceMedoidIndex.build(
+                shard.vectors_at(medoid_rows),
+                self.encoder.dim,
+                probe_bits=probe_bits,
+            )
+            index.save(generation_dir / f"shard-{shard_id:04d}.index.npz")
+            indexes[shard_id] = index
+        return indexes
 
     def _save_catalog(self, generation_dir: Path) -> None:
         map_items = sorted(

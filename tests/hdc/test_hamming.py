@@ -7,6 +7,7 @@ from repro.errors import EncodingError
 from repro.hdc import (
     condensed_index,
     condensed_pairwise_hamming,
+    hamming_cross,
     hamming_to_query,
     normalized_hamming,
     pairwise_hamming,
@@ -47,6 +48,54 @@ class TestQueryDistance:
     def test_shape_mismatch_rejected(self, vectors):
         with pytest.raises(EncodingError):
             hamming_to_query(vectors, vectors[0][:2])
+
+
+class TestCrossDistance:
+    def test_matches_stacked_query_rows(self, rng):
+        queries = random_hypervectors(9, 256, rng)
+        refs = random_hypervectors(23, 256, rng)
+        expected = np.stack(
+            [hamming_to_query(refs, query) for query in queries]
+        )
+        np.testing.assert_array_equal(hamming_cross(queries, refs), expected)
+
+    def test_block_size_is_invisible(self, rng):
+        queries = random_hypervectors(17, 192, rng)
+        refs = random_hypervectors(31, 192, rng)
+        reference = hamming_cross(queries, refs)
+        for block_rows in (1, 2, 5, 17, 100):
+            np.testing.assert_array_equal(
+                hamming_cross(queries, refs, block_rows=block_rows),
+                reference,
+            )
+
+    def test_empty_sides(self, rng):
+        queries = random_hypervectors(4, 128, rng)
+        refs = random_hypervectors(6, 128, rng)
+        assert hamming_cross(queries[:0], refs).shape == (0, 6)
+        assert hamming_cross(queries, refs[:0]).shape == (4, 0)
+        assert hamming_cross(queries[:0], refs[:0]).shape == (0, 0)
+
+    def test_single_row_each_side(self, rng):
+        queries = random_hypervectors(1, 128, rng)
+        refs = random_hypervectors(1, 128, rng)
+        cross = hamming_cross(queries, refs)
+        assert cross.shape == (1, 1)
+        assert cross[0, 0] == hamming_to_query(refs, queries[0])[0]
+
+    def test_identical_rows_give_zero(self, rng):
+        vectors = random_hypervectors(5, 256, rng)
+        cross = hamming_cross(vectors, vectors)
+        np.testing.assert_array_equal(np.diag(cross), np.zeros(5, np.int64))
+
+    def test_shape_errors(self, rng):
+        vectors = random_hypervectors(4, 128, rng)
+        with pytest.raises(EncodingError):
+            hamming_cross(vectors[0], vectors)
+        with pytest.raises(EncodingError):
+            hamming_cross(vectors, vectors[:, :1])
+        with pytest.raises(EncodingError):
+            hamming_cross(vectors, vectors, block_rows=0)
 
 
 class TestCondensedLayout:

@@ -84,6 +84,54 @@ class TestRoundTrip:
             HypervectorStore.load(tmp_path / "nope.npz")
 
 
+class TestZeroCopyLoading:
+    def test_uncompressed_vectors_are_memory_mapped(self, encoded, tmp_path):
+        spectra, vectors = encoded
+        store = HypervectorStore.from_encoding(spectra, vectors)
+        path = tmp_path / "raw.npz"
+        store.save(path, compress=False)
+        mapped = HypervectorStore.load(path, mmap=True)
+        assert isinstance(mapped.vectors, np.memmap)
+        np.testing.assert_array_equal(np.asarray(mapped.vectors), vectors)
+        assert mapped.identifiers == store.identifiers
+
+    def test_compressed_archive_falls_back_to_copy(self, encoded, tmp_path):
+        spectra, vectors = encoded
+        store = HypervectorStore.from_encoding(spectra, vectors)
+        path = tmp_path / "deflated.npz"
+        store.save(path, compress=True)
+        loaded = HypervectorStore.load(path, mmap=True)
+        assert not isinstance(loaded.vectors, np.memmap)
+        np.testing.assert_array_equal(loaded.vectors, vectors)
+
+    def test_mmap_flag_does_not_change_contents(self, encoded, tmp_path):
+        spectra, vectors = encoded
+        store = HypervectorStore.from_encoding(spectra, vectors)
+        path = tmp_path / "raw.npz"
+        store.save(path, compress=False)
+        mapped = HypervectorStore.load(path, mmap=True)
+        copied = HypervectorStore.load(path)
+        np.testing.assert_array_equal(
+            np.asarray(mapped.vectors), copied.vectors
+        )
+        np.testing.assert_array_equal(mapped.labels, copied.labels)
+
+    def test_uncompressed_empty_store(self, tmp_path):
+        store = HypervectorStore(
+            vectors=np.zeros((0, 8), dtype=np.uint64),
+            precursor_mz=np.zeros(0),
+            charge=np.zeros(0, dtype=np.int16),
+            labels=np.zeros(0, dtype=np.int64),
+            identifiers=[],
+            dim=512,
+        )
+        path = tmp_path / "empty.npz"
+        store.save(path, compress=False)
+        loaded = HypervectorStore.load(path, mmap=True)
+        assert len(loaded) == 0
+        assert loaded.vectors.shape == (0, 8)
+
+
 class TestEdgeCases:
     def test_empty_store_round_trip(self, tmp_path):
         store = HypervectorStore.from_encoding(
