@@ -1,0 +1,264 @@
+"""Streaming-ingest benchmark: staged dataflow vs the sequential path.
+
+Sweeps files × workers × batch size on a multi-file synthetic MGF
+workload.  ``sequential`` is the pre-streaming reference — each file
+parsed to exhaustion and pushed through raw ``add_batch`` calls, so
+parsing, preprocessing, HD encoding, WAL journaling and shard apply all
+serialise on one thread.  ``streamed`` is
+:class:`repro.store.StreamingIngestor`: parse + preprocess + encode run
+on pipeline workers with bounded-queue backpressure while the caller's
+thread applies strictly in order.
+
+Every configuration asserts the streamed repository's labels are
+**identical** to the sequential one's — the speedups below are for a
+bit-equivalent ingest, not an approximation.  The full run additionally
+asserts the paper-motivated scaling claim: streamed ingest on the
+``processes`` backend at 4 workers is at least 2x the sequential
+throughput on this workload.
+
+Run under pytest (see README) or directly::
+
+    PYTHONPATH=src python benchmarks/bench_ingest_stream.py [--smoke]
+
+``--smoke`` runs a seconds-scale configuration for CI wiring checks
+(equivalence still asserted, the scaling floor is not) and does not
+overwrite the committed full report.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.datasets import SyntheticConfig, generate_dataset
+from repro.hdc import EncoderConfig
+from repro.io import read_spectra, write_mgf
+from repro.reporting import banner, format_table
+from repro.store import ClusterRepository, RepositoryConfig, StreamingIngestor
+
+ENCODER = EncoderConfig(dim=1024, mz_bins=8_000, intensity_levels=32)
+SHARDS = 4
+THRESHOLD = 0.36
+
+#: Streamed configurations swept: (backend, workers).
+WORKER_SWEEP = (("threads", 2), ("threads", 4), ("processes", 2), ("processes", 4))
+
+#: Floor asserted on the full run for processes @ 4 workers.
+REQUIRED_SPEEDUP = 2.0
+
+
+def _write_workload(root, num_files, num_peptides, replicates, seed):
+    """Round-robin a replicate-structured dataset into ``num_files`` MGFs."""
+    data = generate_dataset(
+        SyntheticConfig(
+            num_peptides=num_peptides,
+            replicates_per_peptide=replicates,
+            peptides_per_mass_group=1,
+            seed=seed,
+        )
+    )
+    paths = []
+    for index in range(num_files):
+        path = root / f"run{index:02d}.mgf"
+        write_mgf(data.spectra[index::num_files], path)
+        paths.append(path)
+    return paths, len(data.spectra)
+
+
+def _repo_config():
+    return RepositoryConfig(
+        num_shards=SHARDS,
+        shard_width=16,
+        encoder=ENCODER,
+        cluster_threshold=THRESHOLD,
+    )
+
+
+def _sequential_ingest(root, paths, batch_size, tag):
+    """The pre-streaming path: parse, then raw add_batch, one thread."""
+    repository = ClusterRepository.create(root / f"seq-{tag}", _repo_config())
+    start = time.perf_counter()
+    for path in paths:
+        batch = []
+        for spectrum in read_spectra(path):
+            batch.append(spectrum)
+            if len(batch) >= batch_size:
+                repository.add_batch(batch)
+                batch = []
+        if batch:
+            repository.add_batch(batch)
+    return repository, time.perf_counter() - start
+
+
+def _streamed_ingest(root, paths, batch_size, backend, workers, tag):
+    repository = ClusterRepository.create(
+        root / f"stream-{tag}", _repo_config()
+    )
+    start = time.perf_counter()
+    with StreamingIngestor(
+        repository, batch_size=batch_size, backend=backend, workers=workers
+    ) as ingestor:
+        ingestor.ingest(paths)
+    return repository, time.perf_counter() - start
+
+
+def _worker_sweep(root, paths, total, batch_size):
+    """Sequential vs streamed at fixed batch size; returns (table, rates)."""
+    sequential, baseline_seconds = _sequential_ingest(
+        root, paths, batch_size, f"w{batch_size}"
+    )
+    reference_labels = sequential.labels()
+    rows = [
+        [
+            "sequential",
+            "-",
+            batch_size,
+            f"{baseline_seconds:.2f}",
+            f"{total / baseline_seconds:,.0f}",
+            "1.00x",
+        ]
+    ]
+    speedups = {}
+    for backend, workers in WORKER_SWEEP:
+        repository, seconds = _streamed_ingest(
+            root, paths, batch_size, backend, workers,
+            f"{backend}{workers}-b{batch_size}",
+        )
+        labels = repository.labels()
+        assert np.array_equal(labels, reference_labels), (
+            f"streamed labels diverge ({backend}, {workers} workers)"
+        )
+        speedups[(backend, workers)] = baseline_seconds / seconds
+        rows.append(
+            [
+                f"streamed/{backend}",
+                workers,
+                batch_size,
+                f"{seconds:.2f}",
+                f"{total / seconds:,.0f}",
+                f"{baseline_seconds / seconds:.2f}x",
+            ]
+        )
+    table = format_table(
+        ["path", "workers", "batch", "seconds", "spectra/s", "speedup"],
+        rows,
+    )
+    return table, speedups
+
+
+def _batch_sweep(root, paths, total, batch_sizes, backend, workers):
+    """Streamed throughput as the WAL batch granularity varies."""
+    rows = []
+    for batch_size in batch_sizes:
+        sequential, baseline_seconds = _sequential_ingest(
+            root, paths, batch_size, f"b{batch_size}"
+        )
+        repository, seconds = _streamed_ingest(
+            root, paths, batch_size, backend, workers, f"bs{batch_size}"
+        )
+        assert np.array_equal(repository.labels(), sequential.labels()), (
+            f"streamed labels diverge at batch size {batch_size}"
+        )
+        rows.append(
+            [
+                batch_size,
+                f"{baseline_seconds:.2f}",
+                f"{seconds:.2f}",
+                f"{total / seconds:,.0f}",
+                f"{baseline_seconds / seconds:.2f}x",
+            ]
+        )
+    return format_table(
+        ["batch", "sequential s", "streamed s", "spectra/s", "speedup"],
+        rows,
+    )
+
+
+def _run(root, smoke):
+    if smoke:
+        num_files, peptides, replicates = 4, 40, 6
+        batch_size = 64
+        batch_sizes = (32, 128)
+    else:
+        num_files, peptides, replicates = 8, 900, 10
+        batch_size = 512
+        batch_sizes = (128, 512, 2048)
+    paths, total = _write_workload(
+        root, num_files, peptides, replicates, seed=2026
+    )
+
+    sweep_table, speedups = _worker_sweep(root, paths, total, batch_size)
+    batch_table = _batch_sweep(
+        root, paths, total, batch_sizes, "processes", 4
+    )
+
+    notes = []
+    if not smoke:
+        achieved = speedups[("processes", 4)]
+        if (os.cpu_count() or 1) >= 4:
+            assert achieved >= REQUIRED_SPEEDUP, (
+                f"streamed ingest at 4 process workers is {achieved:.2f}x "
+                f"the sequential path; the dataflow promises "
+                f">= {REQUIRED_SPEEDUP}x"
+            )
+        else:
+            notes.append(
+                f"note: only {os.cpu_count()} CPU(s) visible — the "
+                f">= {REQUIRED_SPEEDUP}x floor at 4 process workers is "
+                "not asserted (it needs 4 cores to be physical)."
+            )
+
+    sections = [
+        banner(
+            f"Streaming ingest: staged dataflow vs sequential add_batch "
+            f"({num_files} files, {total} spectra, D_hv = {ENCODER.dim}, "
+            f"{SHARDS} shards)"
+        ),
+        "",
+        f"Worker sweep (batch size {batch_size}):",
+        "",
+        sweep_table,
+        "",
+        "Batch-size sweep (processes backend, 4 workers):",
+        "",
+        batch_table,
+        "",
+        "Labels are asserted identical to the sequential path in every",
+        "configuration: the stage graph reorders *work*, never *output*.",
+        "Speedup comes from two places: parsing, preprocessing and HD",
+        "encoding run on workers while WAL append + shard apply stay",
+        "ordered on the caller's thread, and the streamed WAL journals",
+        "compact encoded records (dim/8 bytes each) instead of raw peak",
+        "JSON — the ordered critical section is ~1/4 of the sequential",
+        "path even before any parallelism.",
+    ]
+    sections.extend(notes)
+    return "\n".join(sections)
+
+
+def bench_ingest_stream(emit_report, tmp_path_factory):
+    smoke = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+    text = _run(tmp_path_factory.mktemp("ingest-stream"), smoke)
+    emit_report("ingest_stream", text)
+
+
+if __name__ == "__main__":
+    import argparse
+    import tempfile
+    from pathlib import Path
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-scale run for CI wiring checks (no report file)",
+    )
+    arguments = parser.parse_args()
+    with tempfile.TemporaryDirectory(prefix="bench-ingest-") as scratch:
+        report = _run(Path(scratch), arguments.smoke)
+    print(report)
+    if not arguments.smoke:
+        results = Path(__file__).parent / "results"
+        results.mkdir(exist_ok=True)
+        (results / "ingest_stream.txt").write_text(
+            report + "\n", encoding="utf-8"
+        )

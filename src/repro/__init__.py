@@ -21,11 +21,15 @@ Subpackages
 ``repro.store``
     Sharded persistent cluster repository: WAL-backed ingest, segment
     checkpoints, top-k medoid query service.
+``repro.streaming``
+    Staged streaming dataflow (parse → preprocess → encode →
+    bucket-route) feeding repository ingest and ``run_files``.
 
 The top-level exports are the end-to-end pipeline API.
 """
 
 from .execution import EXECUTION_BACKENDS, ExecutionPool, execution_map
+from .streaming import EncodedBatch, StreamConfig, StreamStats
 from .pipeline import (
     SpecHDConfig,
     SpecHDPipeline,
@@ -49,6 +53,9 @@ __all__ = [
     "EXECUTION_BACKENDS",
     "ExecutionPool",
     "execution_map",
+    "EncodedBatch",
+    "StreamConfig",
+    "StreamStats",
     "SpecHDConfig",
     "SpecHDPipeline",
     "SpecHDResult",

@@ -35,6 +35,9 @@ from typing import List, Optional, Sequence
 from . import __version__
 from .errors import SpecHDError
 
+#: Query spectra processed per QueryService batch when streaming a file.
+QUERY_STREAM_BATCH = 2048
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
@@ -171,11 +174,22 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument(
         "--backend", default="serial",
         choices=("serial", "threads", "processes"),
-        help="execution backend for leftover clustering (default serial)",
+        help="execution backend for the streaming parse/encode stages "
+             "and leftover clustering (default serial)",
     )
     ingest.add_argument(
         "--workers", type=int, default=None,
         help="worker count for threads/processes backends",
+    )
+    ingest.add_argument(
+        "--queue-depth", type=int, default=4,
+        help="encoded batches buffered per in-flight file "
+             "(streaming backpressure; default 4)",
+    )
+    ingest.add_argument(
+        "--progress", action="store_true",
+        help="report streaming progress (spectra/s, batches, per-stage "
+             "queue depth) to stderr",
     )
 
     query = subparsers.add_parser(
@@ -298,25 +312,38 @@ def _cmd_info(args: argparse.Namespace) -> int:
     from collections import Counter
 
     from .io import detect_format, read_spectra
-    from .spectrum import bucket_statistics, partition_spectra
+    from .spectrum import BucketingConfig, bucket_key, pairwise_work
 
     format_name = detect_format(args.input)
-    spectra = list(read_spectra(args.input))
-    charges = Counter(s.precursor_charge for s in spectra)
-    peaks = [s.peak_count for s in spectra]
+    # One streaming pass: counts, charge histogram and bucket sizes are
+    # all reducible, so the file is never materialised in memory.
+    charges: Counter = Counter()
+    bucket_sizes: Counter = Counter()
+    bucketing = BucketingConfig()
+    total = 0
+    peak_min = peak_max = peak_sum = 0
+    for spectrum in read_spectra(args.input):
+        count = spectrum.peak_count
+        if total == 0:
+            peak_min = peak_max = count
+        total += 1
+        charges[spectrum.precursor_charge] += 1
+        peak_min = min(peak_min, count)
+        peak_max = max(peak_max, count)
+        peak_sum += count
+        bucket_sizes[bucket_key(spectrum, bucketing)] += 1
     print(f"format        : {format_name}")
-    print(f"spectra       : {len(spectra)}")
-    if spectra:
+    print(f"spectra       : {total}")
+    if total:
         print(
             "charges       : "
             + ", ".join(f"{c}+: {n}" for c, n in sorted(charges.items()))
         )
-        print(f"peaks/spectrum: min {min(peaks)}, max {max(peaks)}, "
-              f"mean {sum(peaks) / len(peaks):.1f}")
-        stats = bucket_statistics(partition_spectra(spectra))
-        print(f"buckets (1 Da): {stats['num_buckets']} "
-              f"(max size {stats['max_size']}, "
-              f"pairwise work {stats['pairwise_work']:,})")
+        print(f"peaks/spectrum: min {peak_min}, max {peak_max}, "
+              f"mean {peak_sum / total:.1f}")
+        print(f"buckets (1 Da): {len(bucket_sizes)} "
+              f"(max size {max(bucket_sizes.values())}, "
+              f"pairwise work {pairwise_work(bucket_sizes.values()):,})")
     return 0
 
 
@@ -324,8 +351,9 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     from .io import read_spectra
     from .spectrum import validate_dataset
 
-    spectra = list(read_spectra(args.input))
-    report = validate_dataset(spectra)
+    # validate_dataset makes one pass over any iterable, so the reader
+    # streams straight through it.
+    report = validate_dataset(read_spectra(args.input))
     print(f"spectra : {report.total}")
     print(f"valid   : {report.valid} ({report.valid_fraction:.1%})")
     if report.issue_counts:
@@ -433,29 +461,67 @@ def _open_or_create_repository(args: argparse.Namespace):
 
 
 def _cmd_ingest(args: argparse.Namespace) -> int:
-    from .io import read_spectra
+    import time
+
     from .io.hvstore import HypervectorStore
+    from .store import StreamingIngestor
 
     if args.batch_size < 1:
         print("error: --batch-size must be >= 1", file=sys.stderr)
         return 2
+    if args.queue_depth < 1:
+        print("error: --queue-depth must be >= 1", file=sys.stderr)
+        return 2
     repository = _open_or_create_repository(args)
 
+    # Reset per streamed flush: each StreamingIngestor starts fresh
+    # counters, so the rate denominator must start with them.
+    flush_start = [time.monotonic()]
+
+    def report_progress(snapshot: dict) -> None:
+        elapsed = max(time.monotonic() - flush_start[0], 1e-9)
+        rate = snapshot["spectra_applied"] / elapsed
+        print(
+            f"progress: {snapshot['spectra_applied']} spectra applied "
+            f"({rate:.0f}/s), {snapshot['spectra_dropped']} QC-dropped, "
+            f"batches {snapshot['batches_applied']}/"
+            f"{snapshot['batches_encoded']} applied/encoded, "
+            f"stage queue depth {snapshot['queue_depth']}, "
+            f"files {snapshot['files_done']}/{snapshot['files_total']}",
+            file=sys.stderr,
+        )
+
+    progress = report_progress if args.progress else None
+
     def ingest_reports():
+        # Inputs are ingested strictly in command-line order; consecutive
+        # spectrum files ride one streaming stage graph, .npz stores go
+        # through the pre-encoded path between flushes.
+        pending = []
+
+        def flush():
+            if not pending:
+                return
+            flush_start[0] = time.monotonic()
+            with StreamingIngestor(
+                repository,
+                batch_size=args.batch_size,
+                queue_depth=args.queue_depth,
+                backend=args.backend,
+                workers=args.workers,
+            ) as ingestor:
+                yield ingestor.ingest(list(pending), progress=progress)
+            pending.clear()
+
         for path in args.inputs:
             if path.suffix == ".npz":
+                yield from flush()
                 yield repository.add_store(
                     HypervectorStore.load(path), batch_rows=args.batch_size
                 )
                 continue
-            batch = []
-            for spectrum in read_spectra(path):
-                batch.append(spectrum)
-                if len(batch) >= args.batch_size:
-                    yield repository.add_batch(batch)
-                    batch = []
-            if batch:
-                yield repository.add_batch(batch)
+            pending.append(path)
+        yield from flush()
 
     added = absorbed = new_clusters = dropped = 0
     for report in ingest_reports():
@@ -477,51 +543,102 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    from .io import read_spectra
+    from .io import SpectrumSource
     from .store import ClusterRepository, QueryService
 
     if args.top_k < 1:
         print("error: --top-k must be >= 1", file=sys.stderr)
         return 2
-    spectra = list(read_spectra(args.input))
-    if not spectra:
-        print("no spectra found in query input", file=sys.stderr)
-        return 1
     if args.probe_bits is not None and args.probe_bits < 1:
         print("error: --probe-bits must be >= 1", file=sys.stderr)
         return 2
     repository = ClusterRepository.open(args.repository)
-    with QueryService(
-        repository,
-        execution_backend=args.backend,
-        num_workers=args.workers,
-        use_index={"auto": None, "on": True, "off": False}[args.index],
-        probe_bits=args.probe_bits,
-    ) as service:
-        results = service.query(spectra, k=args.top_k)
 
     header = (
         "query\trank\tcluster\tshard\tdistance\tnormalized\t"
         "cluster_size\tmedoid\tmedoid_mz\tmedoid_charge"
     )
-    lines = [header]
-    for spectrum, matches in zip(spectra, results):
-        for rank, match in enumerate(matches, start=1):
-            lines.append(
-                f"{spectrum.identifier}\t{rank}\t{match.global_label}\t"
-                f"{match.shard_id}\t{match.distance}\t"
-                f"{match.normalized_distance:.4f}\t{match.cluster_size}\t"
-                f"{match.medoid_identifier}\t"
-                f"{match.medoid_precursor_mz:.4f}\t{match.medoid_charge}"
-            )
+    num_queries = 0
+    num_matches = 0
+    handle = None
+    # Stream rows into a temp file and rename on success, so a mid-run
+    # failure (corrupt tail, Ctrl+C) never truncates or deletes the
+    # matches file of a previous successful run.
+    temp_output = (
+        args.output.with_name(args.output.name + ".tmp")
+        if args.output is not None
+        else None
+    )
+    try:
+        # Query files stream through the service in bounded batches: each
+        # spectrum's top-k is independent, so chunking never changes any
+        # row, only the peak memory of very large query runs.  The header
+        # is emitted lazily with the first batch, so an empty input (or a
+        # failure before any result) produces no output at all.
+        import io
+
+        with QueryService(
+            repository,
+            execution_backend=args.backend,
+            num_workers=args.workers,
+            use_index={"auto": None, "on": True, "off": False}[args.index],
+            probe_bits=args.probe_bits,
+        ) as service:
+            source = SpectrumSource(args.input)
+            for _file_index, _batch_index, spectra in source.iter_batches(
+                QUERY_STREAM_BATCH
+            ):
+                if num_queries == 0:
+                    if temp_output is not None:
+                        handle = open(temp_output, "w", encoding="utf-8")
+                        out = handle
+                    else:
+                        # stdout stays all-or-nothing: buffer and print
+                        # only on success, so a mid-run failure never
+                        # emits partial TSV to a redirected stream.
+                        # This costs O(result rows) memory — the same
+                        # profile the verb always had on stdout; very
+                        # large query runs should use -o, which streams
+                        # through a temp file in O(batch) memory.
+                        out = io.StringIO()
+                    out.write(header + "\n")
+                results = service.query(spectra, k=args.top_k)
+                num_queries += len(spectra)
+                for spectrum, matches in zip(spectra, results):
+                    for rank, match in enumerate(matches, start=1):
+                        num_matches += 1
+                        out.write(
+                            f"{spectrum.identifier}\t{rank}\t"
+                            f"{match.global_label}\t"
+                            f"{match.shard_id}\t{match.distance}\t"
+                            f"{match.normalized_distance:.4f}\t"
+                            f"{match.cluster_size}\t"
+                            f"{match.medoid_identifier}\t"
+                            f"{match.medoid_precursor_mz:.4f}\t"
+                            f"{match.medoid_charge}\n"
+                        )
+    except BaseException:
+        # Never leave a half-written temp file behind; the previous
+        # matches file (if any) is untouched.
+        if handle is not None:
+            handle.close()
+            temp_output.unlink(missing_ok=True)
+        raise
+    if handle is not None:
+        handle.close()
+        import os
+
+        os.replace(temp_output, args.output)
+    if num_queries == 0:
+        print("no spectra found in query input", file=sys.stderr)
+        return 1
     if args.output is not None:
-        args.output.write_text("\n".join(lines) + "\n", encoding="utf-8")
         print(
-            f"wrote {len(lines) - 1} matches for {len(spectra)} queries "
+            f"wrote {num_matches} matches for {num_queries} queries "
             f"to {args.output}"
         )
     else:
-        print("\n".join(lines))
+        sys.stdout.write(out.getvalue())
     return 0
 
 

@@ -25,6 +25,7 @@ Backends
 from __future__ import annotations
 
 import os
+from concurrent.futures import Future
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 from .errors import ConfigurationError
@@ -149,15 +150,47 @@ class ExecutionPool:
             return [function(item) for item in items]
         return list(self._ensure_executor().map(function, items))
 
-    def close(self) -> None:
-        """Shut the underlying executor down (idempotent)."""
+    def submit(self, function: Callable[..., _ResultT], *args) -> Future:
+        """Schedule one call, returning its :class:`Future`.
+
+        This is the building block the streaming ingest stage graph uses
+        for long-lived producer tasks, where :meth:`map`'s run-to-
+        completion semantics would serialise the pipeline.  An inline
+        pool (``serial`` backend or one worker) executes the call
+        immediately in the calling thread and returns an already-resolved
+        future, so callers need no backend-specific branches — but note
+        that an inline "producer" therefore runs to completion before
+        ``submit`` returns; stage graphs that rely on producer/consumer
+        overlap must check :attr:`is_inline` and fall back to a
+        sequential generator instead.
+        """
+        if self._closed:
+            raise ConfigurationError("execution pool is closed")
+        if self.is_inline:
+            future: Future = Future()
+            try:
+                future.set_result(function(*args))
+            except BaseException as exc:
+                future.set_exception(exc)
+            return future
+        return self._ensure_executor().submit(function, *args)
+
+    def close(self, cancel_pending: bool = False) -> None:
+        """Shut the underlying executor down (idempotent).
+
+        ``cancel_pending=True`` abandons queued-but-unstarted work —
+        the right call on error paths, where waiting for a backlog of
+        doomed tasks only delays the exception.
+        """
         self._closed = True
         if self._executor is not None:
-            self._executor.shutdown(wait=True)
+            self._executor.shutdown(wait=True, cancel_futures=cancel_pending)
             self._executor = None
 
     def __enter__(self) -> "ExecutionPool":
         return self
 
-    def __exit__(self, *_exc) -> None:
-        self.close()
+    def __exit__(self, exc_type, *_exc) -> None:
+        # A body that raised mid-stream should not wait for a backlog of
+        # queued work it no longer wants.
+        self.close(cancel_pending=exc_type is not None)

@@ -105,6 +105,20 @@ class IDLevelEncoder:
         self._level_augmented: np.ndarray | None = None
         self._scratch_buffers: dict = {}
 
+    def clone(self) -> "IDLevelEncoder":
+        """A new encoder sharing this one's read-only lookup tables.
+
+        :meth:`encode_batch` reuses per-instance scratch buffers and
+        lazily builds the sentinel-augmented tables, so a single encoder
+        must never be driven from two threads at once.  Clones share the
+        item memory and the augmented tables (both read-only after this
+        call) while keeping scratch private — one clone per worker thread
+        is the concurrency contract of the streaming dataflow.
+        """
+        twin = IDLevelEncoder(self.config, item_memory=self.item_memory)
+        twin._id_augmented, twin._level_augmented = self._augmented_memories()
+        return twin
+
     @property
     def dim(self) -> int:
         """Hypervector dimensionality in bits."""
@@ -163,11 +177,15 @@ class IDLevelEncoder:
         """
         if self._id_augmented is None:
             zero = np.zeros((1, self.words), dtype=np.uint64)
-            self._id_augmented = np.vstack(
-                [self.item_memory.id_memory, zero]
-            )
+            # The guard field is published *last*: a concurrent reader
+            # that observes a non-None _id_augmented is then guaranteed
+            # to see _level_augmented too (clone() may race this lazy
+            # build from several producer threads).
             self._level_augmented = np.vstack(
                 [self.item_memory.level_memory, zero]
+            )
+            self._id_augmented = np.vstack(
+                [self.item_memory.id_memory, zero]
             )
         return self._id_augmented, self._level_augmented
 

@@ -6,6 +6,7 @@ from .mzml import read_mzml, write_mzml
 from .mzxml import read_mzxml, write_mzxml
 from .detect import detect_format, read_spectra
 from .hvstore import HypervectorStore
+from .source import SpectrumFile, SpectrumSource
 
 __all__ = [
     "read_mgf",
@@ -20,4 +21,6 @@ __all__ = [
     "detect_format",
     "read_spectra",
     "HypervectorStore",
+    "SpectrumFile",
+    "SpectrumSource",
 ]

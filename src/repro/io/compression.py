@@ -1,0 +1,107 @@
+"""Transparent compression support for spectrum files.
+
+Raw MS runs routinely ship gzip-compressed (``run01.mgf.gz``); the paper's
+near-storage pipeline decompresses on the fly rather than materialising
+the expanded file.  This module is the one place the readers go through to
+open an input: a ``.gz`` suffix (case-insensitive) switches to streamed
+``gzip`` decompression, everything else opens as before.
+
+gzip surfaces damage lazily — a truncated or corrupt member raises
+``EOFError``/``BadGzipFile`` in the middle of a read, long after ``open``
+succeeded — so the helpers here also translate those into
+:class:`~repro.errors.ParseError` at a single choke point instead of every
+reader growing its own handler.
+"""
+
+from __future__ import annotations
+
+import gzip
+import zlib
+from pathlib import Path
+from typing import IO, Iterator, Tuple, Union
+
+from ..errors import ParseError
+
+#: Suffixes treated as gzip containers.
+GZIP_SUFFIXES = (".gz", ".gzip")
+
+#: Exceptions a damaged gzip stream (or plain I/O failure) can raise
+#: lazily during reads.
+DECOMPRESSION_ERRORS = (OSError, EOFError, zlib.error)
+
+
+def is_gzip_path(path: Union[str, Path]) -> bool:
+    """True when ``path`` names a gzip container by suffix."""
+    return Path(path).suffix.lower() in GZIP_SUFFIXES
+
+
+def strip_compression_suffix(path: Union[str, Path]) -> Tuple[Path, bool]:
+    """``("run.mgf.gz" -> ("run.mgf", True))``; non-gz paths pass through."""
+    path = Path(path)
+    if is_gzip_path(path):
+        return path.with_suffix(""), True
+    return path, False
+
+
+def open_spectrum_text(
+    path: Union[str, Path], mode: str = "r", errors: str = "strict"
+) -> IO[str]:
+    """Open a possibly-gzipped spectrum file for text reading or writing."""
+    if is_gzip_path(path):
+        return gzip.open(path, mode + "t", encoding="utf-8", errors=errors)
+    return open(path, mode, encoding="utf-8", errors=errors)
+
+
+def open_spectrum_binary(path: Union[str, Path]) -> IO[bytes]:
+    """Open a possibly-gzipped spectrum file for binary reading."""
+    if is_gzip_path(path):
+        return gzip.open(path, "rb")
+    return open(path, "rb")
+
+
+def parse_xml_document(path_or_file, path_name: str):
+    """Parse an XML document, transparently decompressing ``.gz`` paths.
+
+    Shared by the mzML and mzXML readers; both stream damage and XML
+    syntax errors surface as :class:`~repro.errors.ParseError`.
+    """
+    from xml.etree import ElementTree
+
+    handle = None
+    source = path_or_file
+    if isinstance(path_or_file, (str, Path)):
+        handle = source = open_spectrum_binary(path_or_file)
+    try:
+        return ElementTree.parse(source)
+    except ElementTree.ParseError as exc:
+        raise ParseError(f"invalid XML: {exc}", path_name) from exc
+    except DECOMPRESSION_ERRORS as exc:
+        raise ParseError(
+            f"cannot read input stream: {exc}", path_name
+        ) from exc
+    finally:
+        if handle is not None:
+            handle.close()
+
+
+def safe_lines(handle: IO[str], path_name: str) -> Iterator[str]:
+    """Iterate a text handle, mapping lazy stream damage to ParseError.
+
+    A corrupt or truncated gzip member only fails once the reader pulls
+    the bad block; wrapping the line iteration here gives every text
+    reader the same failure mode as a syntactically bad file.  Plain
+    I/O failures mid-read are translated the same way (the message is
+    compression-neutral), so a reader's error surface is uniformly
+    :class:`ParseError` regardless of the container.
+    """
+    iterator = iter(handle)
+    while True:
+        try:
+            line = next(iterator)
+        except StopIteration:
+            return
+        except DECOMPRESSION_ERRORS as exc:
+            raise ParseError(
+                f"cannot read input stream: {exc}", path_name
+            ) from exc
+        yield line

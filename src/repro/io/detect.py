@@ -7,6 +7,11 @@ from typing import Iterator, Union
 
 from ..errors import ParseError
 from ..spectrum import MassSpectrum
+from .compression import (
+    DECOMPRESSION_ERRORS,
+    open_spectrum_text,
+    strip_compression_suffix,
+)
 from .mgf import read_mgf
 from .ms2 import read_ms2
 from .mzml import read_mzml
@@ -24,21 +29,26 @@ KNOWN_EXTENSIONS = {
 def detect_format(path: Union[str, Path]) -> str:
     """Detect the spectrum file format from extension, falling back to content.
 
-    Returns one of ``"mgf"``, ``"ms2"``, ``"mzml"`` or ``"mzxml"``.
+    Returns one of ``"mgf"``, ``"ms2"``, ``"mzml"`` or ``"mzxml"``.  A
+    ``.gz`` suffix is transparent: the inner extension is consulted first
+    (``run.mgf.gz`` → ``mgf``) and content sniffing reads through the
+    decompressor.
 
     Raises
     ------
     ParseError
-        If the format cannot be determined.
+        If the format cannot be determined (including a corrupt or empty
+        gzip container whose inner extension is unknown).
     """
     path = Path(path)
-    extension = path.suffix.lower()
+    inner, _compressed = strip_compression_suffix(path)
+    extension = inner.suffix.lower()
     if extension in KNOWN_EXTENSIONS:
         return KNOWN_EXTENSIONS[extension]
     try:
-        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        with open_spectrum_text(path, errors="replace") as handle:
             head = handle.read(4096)
-    except OSError as exc:
+    except DECOMPRESSION_ERRORS as exc:
         raise ParseError(f"cannot read file: {exc}", str(path)) from exc
     stripped = head.lstrip()
     if "<mzXML" in stripped:

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..errors import ParseError
 from ..spectrum import MassSpectrum
+from .compression import open_spectrum_text, safe_lines
 
 PathOrFile = Union[str, Path, IO[str]]
 
@@ -35,9 +36,13 @@ def _parse_charge(raw: str) -> int:
 
 
 def _open_maybe(path_or_file: PathOrFile, mode: str) -> tuple[IO[str], bool]:
-    """Return ``(file_object, should_close)`` for a path or open file."""
+    """Return ``(file_object, should_close)`` for a path or open file.
+
+    A ``.gz`` suffix transparently reads (or writes) through gzip via
+    the shared :mod:`repro.io.compression` choke point.
+    """
     if isinstance(path_or_file, (str, Path)):
-        return open(path_or_file, mode, encoding="utf-8"), True
+        return open_spectrum_text(path_or_file, mode), True
     return path_or_file, False
 
 
@@ -62,7 +67,9 @@ def read_mgf(path_or_file: PathOrFile) -> Iterator[MassSpectrum]:
         intensity_values: List[float] = []
         spectrum_ordinal = 0
 
-        for line_number, raw_line in enumerate(handle, start=1):
+        for line_number, raw_line in enumerate(
+            safe_lines(handle, path_name), start=1
+        ):
             line = raw_line.strip()
             if not line or line.startswith("#"):
                 continue

@@ -25,6 +25,7 @@ import numpy as np
 from ..errors import ParseError
 from ..spectrum import MassSpectrum
 from ..units import PROTON_MASS
+from .compression import safe_lines
 from .mgf import _open_maybe
 
 PathOrFile = Union[str, Path, IO[str]]
@@ -66,7 +67,9 @@ def read_ms2(path_or_file: PathOrFile) -> Iterator[MassSpectrum]:
                     metadata={k.lower(): v for k, v in info.items()},
                 )
 
-        for line_number, raw_line in enumerate(handle, start=1):
+        for line_number, raw_line in enumerate(
+            safe_lines(handle, path_name), start=1
+        ):
             line = raw_line.strip()
             if not line:
                 continue

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..errors import ParseError
 from ..spectrum import MassSpectrum
+from .compression import parse_xml_document
 
 PathOrFile = Union[str, Path, IO[bytes], IO[str]]
 
@@ -71,10 +72,7 @@ def read_mzml(path_or_file: PathOrFile) -> Iterator[MassSpectrum]:
         if isinstance(path_or_file, (str, Path))
         else getattr(path_or_file, "name", "<stream>")
     )
-    try:
-        tree = ElementTree.parse(path_or_file)
-    except ElementTree.ParseError as exc:
-        raise ParseError(f"invalid XML: {exc}", path_name) from exc
+    tree = parse_xml_document(path_or_file, path_name)
     root = tree.getroot()
     for element in root.iter():
         if _strip_namespace(element.tag) != "spectrum":

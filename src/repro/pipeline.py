@@ -222,26 +222,61 @@ class SpecHDPipeline:
     def run_files(self, paths) -> "SpecHDResult":
         """Run the pipeline over one or more spectrum files (MGF/MS2/mzML).
 
-        Files are read lazily and each raw spectrum is preprocessed the
-        moment it streams in, so peak memory is bounded by the
-        *preprocessed* dataset (top-k peaks per spectrum), mirroring the
-        near-storage flow where raw data never reaches the host.
+        Built on the staged streaming dataflow (:mod:`repro.streaming`):
+        files are parsed lazily and each batch is preprocessed *and
+        HD-encoded* the moment it streams in, with parse/encode of
+        later batches overlapping on the configured execution backend
+        while earlier ones are collected.  Peak memory is bounded by the
+        *preprocessed* dataset (top-k peaks per spectrum) plus the
+        packed hypervectors, mirroring the near-storage flow where raw
+        data never reaches the host.  Labels are invariant under the
+        backend and worker count.
         """
-        from .io import read_spectra
+        from .io.source import SpectrumSource
+        from .streaming import StreamConfig, stream_encoded_batches
 
+        config = self.config
+        source = SpectrumSource(paths)
+        stream_config = StreamConfig(
+            batch_size=config.encode_batch_size,
+            backend=config.execution_backend,
+            workers=config.num_workers,
+        )
         kept: List[MassSpectrum] = []
         kept_indices: List[int] = []
-        index = 0
-        for path in paths:
-            for spectrum in read_spectra(path):
-                processed = preprocess_spectrum(
-                    spectrum, self.config.preprocessing
-                )
-                if processed is not None:
-                    kept.append(processed)
-                    kept_indices.append(index)
-                index += 1
-        return self._run_preprocessed(kept, kept_indices)
+        vector_parts: List[np.ndarray] = []
+        file_base = 0
+        current_file = 0
+        file_raw_total = 0
+        for batch in stream_encoded_batches(
+            source,
+            config.preprocessing,
+            config.encoder,
+            stream_config,
+            keep_spectra=True,
+            encoder=self.encoder,
+        ):
+            if batch.file_index != current_file:
+                # Batches arrive file-major, so the previous file's raw
+                # total is final the moment a new file's batch shows up.
+                file_base += file_raw_total
+                file_raw_total = 0
+                current_file = batch.file_index
+            file_raw_total = batch.raw_start + batch.raw_count
+            kept.extend(batch.spectra)
+            batch_base = file_base + batch.raw_start
+            kept_indices.extend(
+                int(batch_base + offset) for offset in batch.kept_offsets
+            )
+            vector_parts.append(batch.vectors)
+        hypervectors = (
+            np.vstack(vector_parts)
+            if vector_parts
+            else np.zeros((0, config.encoder.dim // 64), dtype=np.uint64)
+        )
+        return self._run_preprocessed(
+            kept, kept_indices, hypervectors=hypervectors
+        )
 
     def encode_only(self, spectra: Sequence[MassSpectrum]):
         """Preprocess + encode without clustering; returns a store.
@@ -296,9 +331,18 @@ class SpecHDPipeline:
         return self._run_preprocessed(kept, kept_indices)
 
     def _run_preprocessed(
-        self, kept: List[MassSpectrum], kept_indices: List[int]
+        self,
+        kept: List[MassSpectrum],
+        kept_indices: List[int],
+        hypervectors: Optional[np.ndarray] = None,
     ) -> SpecHDResult:
-        """Bucket, encode and cluster already-preprocessed spectra."""
+        """Bucket, encode and cluster already-preprocessed spectra.
+
+        ``hypervectors`` lets a caller that already encoded the spectra
+        (the streaming stage graph) skip the encode stage here; the
+        hardware encoder-cycle accounting is identical either way since
+        it depends only on spectrum and peak counts.
+        """
         config = self.config
         hardware = HardwareReport(
             clock_hz=config.clock_hz,
@@ -320,16 +364,19 @@ class SpecHDPipeline:
             )
 
         buckets = partition_spectra(kept, config.bucketing)
-        # Stream encode batches (fast vectorised path) rather than one
-        # monolithic call, mirroring the FPGA's burst dataflow and bounding
-        # encoder scratch memory for very large runs.
-        hypervectors = np.vstack(
-            list(
-                self.encoder.encode_stream(
-                    kept, batch_size=config.encode_batch_size
+        if hypervectors is None:
+            # Stream encode batches (fast vectorised path) rather than one
+            # monolithic call, mirroring the FPGA's burst dataflow and
+            # bounding encoder scratch memory for very large runs.
+            hypervectors = np.vstack(
+                list(
+                    self.encoder.encode_stream(
+                        kept, batch_size=config.encode_batch_size
+                    )
                 )
             )
-        )
+        else:
+            hypervectors = np.asarray(hypervectors, dtype=np.uint64)
         average_peaks = float(np.mean([s.peak_count for s in kept]))
         hardware.encoder_cycles = encoder_cycles(
             len(kept), average_peaks, config.encoder.dim

@@ -24,6 +24,7 @@ from .bucketing import (
     partition_spectra,
     bucket_size_histogram,
     bucket_statistics,
+    pairwise_work,
     split_oversized_buckets,
 )
 from .validation import (
@@ -60,6 +61,7 @@ __all__ = [
     "partition_spectra",
     "bucket_size_histogram",
     "bucket_statistics",
+    "pairwise_work",
     "split_oversized_buckets",
     "binned_vector",
     "cosine_similarity",

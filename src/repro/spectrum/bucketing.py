@@ -107,6 +107,18 @@ def bucket_size_histogram(
     return dict(histogram)
 
 
+def pairwise_work(sizes: Iterable[int]) -> int:
+    """Pairwise distances the clustering stage must compute.
+
+    Sum over bucket sizes of ``n*(n-1)/2``; shared by
+    :func:`bucket_statistics` and streaming consumers that only track
+    bucket *sizes* (e.g. the CLI ``info`` verb) so the statistic has one
+    definition.
+    """
+    values = np.fromiter(sizes, dtype=np.int64)
+    return int((values * (values - 1) // 2).sum())
+
+
 def bucket_statistics(
     buckets: Dict[Tuple[int, int], List[int]]
 ) -> Dict[str, float]:
@@ -133,7 +145,7 @@ def bucket_statistics(
         "max_size": int(sizes.max()),
         "mean_size": float(sizes.mean()),
         "singleton_fraction": float((sizes == 1).mean()),
-        "pairwise_work": int((sizes * (sizes - 1) // 2).sum()),
+        "pairwise_work": pairwise_work(sizes),
     }
 
 

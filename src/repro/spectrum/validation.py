@@ -10,7 +10,7 @@ very few peaks, zero intensities, precursor outside the scan range).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, Iterable, List
 
 import numpy as np
 
@@ -115,17 +115,23 @@ class DatasetQCReport:
 
 
 def validate_dataset(
-    spectra: Sequence[MassSpectrum], **kwargs
+    spectra: Iterable[MassSpectrum], **kwargs
 ) -> DatasetQCReport:
-    """Validate a dataset; returns aggregate counts per issue code."""
+    """Validate a dataset; returns aggregate counts per issue code.
+
+    Accepts any iterable and makes a single pass, so callers can feed a
+    lazy file reader without materialising the dataset.
+    """
     issue_counts: Dict[str, int] = {}
     valid = 0
+    total = 0
     for spectrum in spectra:
+        total += 1
         report = validate_spectrum(spectrum, **kwargs)
         if report.is_valid:
             valid += 1
         for issue in report.issues:
             issue_counts[issue.code] = issue_counts.get(issue.code, 0) + 1
     return DatasetQCReport(
-        total=len(spectra), valid=valid, issue_counts=issue_counts
+        total=total, valid=valid, issue_counts=issue_counts
     )

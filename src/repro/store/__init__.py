@@ -24,9 +24,15 @@ a durable substrate.  This package provides it:
     :class:`BitSliceMedoidIndex` — per-shard transposed bit-plane index
     that prunes shard scans to a candidate set provably containing the
     exact top-k.
+``repro.store.ingest``
+    :class:`StreamingIngestor` — backpressured streaming ingest riding
+    the :mod:`repro.streaming` stage graph: parse/preprocess/encode on
+    workers, WAL append + shard apply strictly ordered on the caller,
+    labels and checkpoints byte-identical to sequential ``add_batch``.
 """
 
 from .index import BitSliceMedoidIndex, batched_topk
+from .ingest import StreamingIngestor
 from .manifest import MANIFEST_VERSION, RepositoryManifest
 from .repository import (
     ClusterRepository,
@@ -40,6 +46,7 @@ from .wal import WalRecord, WriteAheadLog
 __all__ = [
     "BitSliceMedoidIndex",
     "batched_topk",
+    "StreamingIngestor",
     "MANIFEST_VERSION",
     "RepositoryManifest",
     "ClusterRepository",

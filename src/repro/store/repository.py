@@ -416,6 +416,71 @@ class ClusterRepository:
         self._next_seq = seq + 1
         return self._apply_guarded(self._apply_spectra, seq, spectra)
 
+    def add_encoded_batch(
+        self,
+        vectors: np.ndarray,
+        precursor_mz: Sequence[float],
+        charge: Sequence[int],
+        identifiers: Sequence[str],
+        num_dropped: int = 0,
+    ) -> RepositoryUpdateReport:
+        """Durably ingest one pre-encoded batch: journal, then apply.
+
+        This is the streaming-ingest apply stage: preprocessing and
+        encoding already happened on pipeline workers
+        (:mod:`repro.streaming`), so only the compact encoded rows enter
+        the repository's critical section.  The batch must have been
+        encoded with this repository's exact encoder configuration —
+        the stage graph guarantees that by cloning the repository's own
+        encoder.
+
+        An *empty* batch (every spectrum failed QC) is journaled anyway:
+        it still consumes a sequence number, keeping the WAL history —
+        and therefore ``applied_seq`` and the checkpoint manifest —
+        aligned one-to-one with the raw-spectra batches the sequential
+        :meth:`add_batch` path would have written.
+
+        ``num_dropped`` is the preprocess stage's QC-drop count for this
+        batch, passed through to the report (it is not journaled; replay
+        reports drops as 0 exactly like the ``add_store`` path).
+        """
+        vectors = np.asarray(vectors, dtype=np.uint64)
+        if vectors.ndim != 2 or vectors.shape[1] * 64 != self.manifest.encoder.dim:
+            raise ConfigurationError(
+                f"encoded vectors must be (n, {self.manifest.encoder.dim // 64})"
+                " uint64"
+            )
+        # Validate *before* journaling: a mismatched record fsynced to the
+        # WAL would fail again on every replay, bricking the repository.
+        if not (
+            vectors.shape[0]
+            == len(precursor_mz)
+            == len(charge)
+            == len(identifiers)
+        ):
+            raise ConfigurationError(
+                "encoded batch arrays have unequal lengths"
+            )
+        if num_dropped < 0:
+            raise ConfigurationError("num_dropped must be >= 0")
+        self._guard_consistent()
+        seq = self._next_seq
+        self._wal.append_encoded(seq, vectors, precursor_mz, charge, identifiers)
+        self._next_seq = seq + 1
+        report = self._apply_guarded(
+            self._apply_encoded, seq, vectors, precursor_mz, charge, identifiers
+        )
+        if num_dropped == 0:
+            return report
+        return RepositoryUpdateReport(
+            seq=report.seq,
+            num_added=report.num_added,
+            num_absorbed=report.num_absorbed,
+            num_new_clusters=report.num_new_clusters,
+            num_dropped=num_dropped,
+            shards_touched=report.shards_touched,
+        )
+
     def add_store(
         self,
         store: HypervectorStore,

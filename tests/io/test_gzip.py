@@ -1,0 +1,148 @@
+"""Transparent gzip decompression across all four spectrum formats."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.errors import ParseError
+from repro.io import (
+    detect_format,
+    read_spectra,
+    write_mgf,
+    write_ms2,
+    write_mzml,
+    write_mzxml,
+)
+from repro.io.compression import (
+    is_gzip_path,
+    open_spectrum_text,
+    strip_compression_suffix,
+)
+from repro.spectrum import MassSpectrum
+
+WRITERS = {
+    "mgf": write_mgf,
+    "ms2": write_ms2,
+    "mzml": write_mzml,
+    "mzxml": write_mzxml,
+}
+
+
+def sample():
+    return [
+        MassSpectrum(
+            "s1",
+            500.25,
+            2,
+            np.array([150.0, 300.0, 450.0]),
+            np.array([1.0, 2.0, 3.0]),
+        ),
+        MassSpectrum(
+            "s2",
+            612.5,
+            3,
+            np.array([120.0, 240.0, 480.0]),
+            np.array([3.0, 1.0, 2.0]),
+        ),
+    ]
+
+
+def write_gzipped(tmp_path, format_name, spectra):
+    plain = tmp_path / f"run.{format_name}"
+    WRITERS[format_name](spectra, plain)
+    compressed = tmp_path / f"run.{format_name}.gz"
+    compressed.write_bytes(gzip.compress(plain.read_bytes()))
+    return compressed
+
+
+class TestSuffixHandling:
+    def test_strip_compression_suffix(self):
+        inner, compressed = strip_compression_suffix("a/run.mgf.gz")
+        assert inner.name == "run.mgf" and compressed
+        inner, compressed = strip_compression_suffix("a/run.mzML")
+        assert inner.name == "run.mzML" and not compressed
+
+    def test_is_gzip_path_case_insensitive(self):
+        assert is_gzip_path("x.MGF.GZ")
+        assert not is_gzip_path("x.mgf")
+
+    @pytest.mark.parametrize("format_name", sorted(WRITERS))
+    def test_detect_by_inner_extension(self, tmp_path, format_name):
+        path = tmp_path / f"anything.{format_name}.gz"
+        path.write_bytes(b"")  # never read: suffix wins
+        assert detect_format(path) == format_name
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("format_name", sorted(WRITERS))
+    def test_gzipped_equals_plain(self, tmp_path, format_name):
+        spectra = sample()
+        plain = tmp_path / f"run.{format_name}"
+        WRITERS[format_name](spectra, plain)
+        compressed = write_gzipped(tmp_path, format_name, spectra)
+        direct = list(read_spectra(plain))
+        via_gz = list(read_spectra(compressed))
+        assert len(direct) == len(via_gz) == len(spectra)
+        for a, b in zip(direct, via_gz):
+            assert a.identifier == b.identifier
+            assert a.precursor_mz == pytest.approx(b.precursor_mz)
+            np.testing.assert_allclose(a.mz, b.mz)
+            np.testing.assert_allclose(a.intensity, b.intensity)
+
+    def test_bare_gz_content_sniffed(self, tmp_path):
+        plain = tmp_path / "run.mgf"
+        write_mgf(sample(), plain)
+        bare = tmp_path / "run.gz"
+        bare.write_bytes(gzip.compress(plain.read_bytes()))
+        assert detect_format(bare) == "mgf"
+        assert len(list(read_spectra(bare))) == 2
+
+    def test_gz_writer_round_trip(self, tmp_path):
+        # _open_maybe writes through gzip for .gz targets too.
+        target = tmp_path / "out.mgf.gz"
+        write_mgf(sample(), target)
+        with gzip.open(target, "rt", encoding="utf-8") as handle:
+            assert "BEGIN IONS" in handle.read()
+        assert len(list(read_spectra(target))) == 2
+
+
+class TestDamagedContainers:
+    @pytest.mark.parametrize("format_name", sorted(WRITERS))
+    def test_corrupt_gzip_raises_parse_error(self, tmp_path, format_name):
+        bad = tmp_path / f"bad.{format_name}.gz"
+        bad.write_bytes(b"\x1f\x8b\x08\x00" + b"\xde\xad\xbe\xef" * 8)
+        with pytest.raises(ParseError):
+            list(read_spectra(bad))
+
+    def test_truncated_member_raises_parse_error(self, tmp_path):
+        plain = tmp_path / "run.mgf"
+        write_mgf(sample(), plain)
+        payload = gzip.compress(plain.read_bytes())
+        truncated = tmp_path / "cut.mgf.gz"
+        truncated.write_bytes(payload[: len(payload) // 2])
+        with pytest.raises(ParseError):
+            list(read_spectra(truncated))
+
+    def test_corrupt_bare_gz_detect_raises(self, tmp_path):
+        bad = tmp_path / "bad.gz"
+        bad.write_bytes(b"\x1f\x8b\x08\x00garbage")
+        with pytest.raises(ParseError, match="cannot read file"):
+            detect_format(bad)
+
+    def test_zero_byte_gz_yields_no_spectra(self, tmp_path):
+        # gzip iteration treats a 0-byte file as an empty stream.
+        empty = tmp_path / "empty.mgf.gz"
+        empty.write_bytes(b"")
+        assert list(read_spectra(empty)) == []
+
+    def test_empty_payload_gz_yields_no_spectra(self, tmp_path):
+        valid_empty = tmp_path / "empty2.mgf.gz"
+        valid_empty.write_bytes(gzip.compress(b""))
+        assert list(read_spectra(valid_empty)) == []
+
+    def test_open_spectrum_text_reads_through_gzip(self, tmp_path):
+        target = tmp_path / "t.txt.gz"
+        target.write_bytes(gzip.compress(b"hello\n"))
+        with open_spectrum_text(target) as handle:
+            assert handle.read() == "hello\n"

@@ -171,3 +171,115 @@ class TestQueryCommand:
         assert main(
             ["query", str(repo), str(query_path), "-k", "0"]
         ) == 2
+
+
+class TestStreamingIngestCli:
+    def test_threaded_ingest_with_progress(
+        self, mgf_fixture, tmp_path, capsys
+    ):
+        directory, input_path, _ = mgf_fixture
+        repo = tmp_path / "repo-stream"
+        assert main(
+            ingest_args(
+                repo, input_path,
+                "--backend", "threads", "--workers", "2",
+                "--queue-depth", "2", "--progress",
+            )
+        ) == 0
+        captured = capsys.readouterr()
+        assert "ingested 40 spectra" in captured.out
+        assert "progress:" in captured.err
+        assert "queue depth" in captured.err
+
+    def test_streamed_matches_serial_ingest(self, mgf_fixture, tmp_path):
+        import numpy as np
+
+        from repro.store import ClusterRepository
+
+        directory, input_path, _ = mgf_fixture
+        serial_repo = tmp_path / "repo-serial"
+        threaded_repo = tmp_path / "repo-threaded"
+        assert main(ingest_args(serial_repo, input_path)) == 0
+        assert main(
+            ingest_args(
+                threaded_repo, input_path, "--backend", "threads",
+                "--workers", "3",
+            )
+        ) == 0
+        np.testing.assert_array_equal(
+            ClusterRepository.open(serial_repo).labels(),
+            ClusterRepository.open(threaded_repo).labels(),
+        )
+
+    def test_gzipped_input_ingests(self, mgf_fixture, tmp_path, capsys):
+        import gzip
+
+        directory, input_path, _ = mgf_fixture
+        compressed = tmp_path / "input.mgf.gz"
+        compressed.write_bytes(gzip.compress(input_path.read_bytes()))
+        repo = tmp_path / "repo-gz"
+        assert main(ingest_args(repo, compressed)) == 0
+        assert "ingested 40 spectra" in capsys.readouterr().out
+
+    def test_bad_queue_depth(self, mgf_fixture, tmp_path, capsys):
+        directory, input_path, _ = mgf_fixture
+        repo = tmp_path / "repo-badq"
+        assert main(
+            ingest_args(repo, input_path, "--queue-depth", "0")
+        ) == 2
+
+    def test_empty_query_emits_no_header(self, mgf_fixture, tmp_path, capsys):
+        directory, input_path, _ = mgf_fixture
+        repo = tmp_path / "repo-empty-q"
+        assert main(ingest_args(repo, input_path)) == 0
+        empty = tmp_path / "empty.mgf"
+        empty.write_text("")
+        capsys.readouterr()
+        out_tsv = tmp_path / "matches.tsv"
+        assert main(
+            ["query", str(repo), str(empty), "-o", str(out_tsv)]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "query\trank" not in captured.out  # no spurious header
+        assert not out_tsv.exists()  # and no half-written file
+
+    def test_failed_query_preserves_previous_output(
+        self, mgf_fixture, tmp_path
+    ):
+        directory, input_path, query_path = mgf_fixture
+        repo = tmp_path / "repo-preserve"
+        assert main(ingest_args(repo, input_path)) == 0
+        out_tsv = tmp_path / "matches.tsv"
+        assert main(
+            ["query", str(repo), str(query_path), "-o", str(out_tsv)]
+        ) == 0
+        previous = out_tsv.read_bytes()
+        corrupt = tmp_path / "corrupt.mgf"
+        corrupt.write_text("BEGIN IONS\nTITLE=x\nPEPMASS=bad\nEND IONS\n")
+        assert main(["query", str(repo), str(corrupt), "-o", str(out_tsv)]) == 1
+        assert out_tsv.read_bytes() == previous  # untouched on failure
+        assert not out_tsv.with_name("matches.tsv.tmp").exists()
+
+    def test_failed_stdout_query_emits_nothing(
+        self, mgf_fixture, tmp_path, capsys
+    ):
+        directory, input_path, _ = mgf_fixture
+        repo = tmp_path / "repo-stdout-fail"
+        assert main(ingest_args(repo, input_path)) == 0
+        good_then_bad = tmp_path / "tail-corrupt.mgf"
+        good_then_bad.write_text(
+            input_path.read_text()
+            + "BEGIN IONS\nTITLE=x\nPEPMASS=bad\nEND IONS\n"
+        )
+        capsys.readouterr()
+        from repro.errors import SpecHDError
+
+        with pytest.raises(SpecHDError):
+            # Bypass main()'s error handler to observe raw stdout.
+            from repro.cli import _cmd_query, build_parser
+
+            args = build_parser().parse_args(
+                ["query", str(repo), str(good_then_bad)]
+            )
+            _cmd_query(args)
+        assert capsys.readouterr().out == ""  # nothing leaked to stdout

@@ -146,3 +146,73 @@ class TestBackendEquivalence:
             IncrementalClusterStore(
                 execution_backend="threads", num_workers=0
             )
+
+
+class TestExecutionPoolLifecycle:
+    """Audit of pool teardown on submit/error paths (streaming ingest)."""
+
+    @pytest.mark.parametrize("backend", EXECUTION_BACKENDS)
+    def test_submit_returns_future(self, backend):
+        from repro.execution import ExecutionPool
+
+        with ExecutionPool(backend, 2) as pool:
+            future = pool.submit(_square, 6)
+            assert future.result() == 36
+
+    def test_inline_submit_captures_exception(self):
+        from repro.execution import ExecutionPool
+
+        def explode():
+            raise ValueError("inline boom")
+
+        with ExecutionPool("serial") as pool:
+            future = pool.submit(explode)
+            with pytest.raises(ValueError, match="inline boom"):
+                future.result()
+
+    def test_submit_after_close_raises(self):
+        from repro.execution import ExecutionPool
+
+        pool = ExecutionPool("threads", 2)
+        pool.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            pool.submit(_square, 2)
+        with pytest.raises(ConfigurationError, match="closed"):
+            pool.map(_square, [1, 2])
+
+    def test_close_idempotent_and_cancels_pending(self):
+        import threading
+        from repro.execution import ExecutionPool
+
+        release = threading.Event()
+        pool = ExecutionPool("threads", 1)
+        pool.submit(release.wait, 5)  # occupies the only worker
+        queued = [pool.submit(_square, n) for n in range(8)]
+        release.set()
+        pool.close(cancel_pending=True)
+        pool.close()  # idempotent
+        assert all(f.done() for f in queued)
+
+    def test_context_manager_closes_on_error(self):
+        from repro.execution import ExecutionPool
+
+        pool = ExecutionPool("threads", 2)
+        with pytest.raises(RuntimeError):
+            with pool:
+                pool.submit(_square, 3)
+                raise RuntimeError("body failed")
+        assert pool._closed
+        with pytest.raises(ConfigurationError):
+            pool.submit(_square, 4)
+
+    def test_worker_exception_surfaces_via_future(self):
+        from repro.execution import ExecutionPool
+
+        with ExecutionPool("threads", 2) as pool:
+            future = pool.submit(_raise_value_error)
+            with pytest.raises(ValueError):
+                future.result()
+
+
+def _raise_value_error():
+    raise ValueError("worker boom")

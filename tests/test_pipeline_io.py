@@ -51,6 +51,49 @@ class TestRunFiles:
         assert len(result.spectra) <= len(dataset.spectra)
         assert len(result.spectra) > half
 
+    @pytest.mark.parametrize(
+        "backend,workers", [("threads", 3), ("processes", 2)]
+    )
+    def test_streamed_backends_match_serial(
+        self, dataset, tmp_path, backend, workers
+    ):
+        # run_files rides the streaming stage graph; labels, kept
+        # indices and hypervectors must be invariant under the backend.
+        paths = []
+        for index in range(3):
+            path = tmp_path / f"part{index}.mgf"
+            write_mgf(dataset.spectra[index::3], path)
+            paths.append(path)
+        config = dict(
+            encoder=EncoderConfig(dim=1024, mz_bins=8_000, intensity_levels=32),
+            cluster_threshold=0.35,
+        )
+        serial = SpecHDPipeline(SpecHDConfig(**config)).run_files(paths)
+        parallel = SpecHDPipeline(
+            SpecHDConfig(
+                **config,
+                execution_backend=backend,
+                num_workers=workers,
+                encode_batch_size=7,
+            )
+        ).run_files(paths)
+        np.testing.assert_array_equal(parallel.labels, serial.labels)
+        assert parallel.kept_indices == serial.kept_indices
+        np.testing.assert_array_equal(
+            parallel.hypervectors, serial.hypervectors
+        )
+
+    def test_run_files_gzip_matches_plain(self, dataset, pipeline, tmp_path):
+        import gzip
+
+        plain = tmp_path / "run.mgf"
+        write_mgf(dataset.spectra, plain)
+        compressed = tmp_path / "run.mgf.gz"
+        compressed.write_bytes(gzip.compress(plain.read_bytes()))
+        from_plain = pipeline.run_files([plain])
+        from_gz = pipeline.run_files([compressed])
+        np.testing.assert_array_equal(from_gz.labels, from_plain.labels)
+
 
 class TestEncodeOnly:
     def test_store_contents(self, dataset, pipeline):
