@@ -20,9 +20,15 @@ Subcommands
     first use.
 ``query``
     Top-k nearest clusters for each spectrum of a query file, served from
-    a repository's shard medoids.
+    a repository's shard medoids — directly, or via ``--remote`` from a
+    running ``repro serve`` daemon.
 ``repo-info``
-    Summarise a repository directory (manifest, shard stats, WAL state).
+    Summarise a repository directory (manifest, shard stats, WAL state);
+    ``--json`` emits the machine-readable health record.
+``serve``
+    Run the cluster-query daemon on a repository: snapshot-isolated
+    queries with request coalescing, background checkpointing, and
+    socket ingest, all concurrent.
 """
 
 from __future__ import annotations
@@ -196,9 +202,15 @@ def build_parser() -> argparse.ArgumentParser:
         "query", help="top-k nearest clusters from a repository"
     )
     query.add_argument(
-        "repository", type=Path, help="repository directory"
+        "repository", type=Path, nargs="?", default=None,
+        help="repository directory (omit with --remote)",
     )
     query.add_argument("input", type=Path, help="MGF/MS2/mzML query file")
+    query.add_argument(
+        "--remote", default=None, metavar="HOST:PORT",
+        help="query a running `repro serve` daemon instead of opening "
+             "the repository directory",
+    )
     query.add_argument(
         "-k", "--top-k", type=int, default=5,
         help="matches reported per query spectrum (default 5)",
@@ -233,6 +245,65 @@ def build_parser() -> argparse.ArgumentParser:
     )
     repo_info.add_argument(
         "repository", type=Path, help="repository directory"
+    )
+    repo_info.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable health record (stable keys: "
+             "generation, wal_pending_batches, pinned_generations, ...)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve", help="run the cluster-query daemon on a repository"
+    )
+    serve.add_argument(
+        "repository", type=Path, help="repository directory"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="listen address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=7677,
+        help="listen port; 0 picks an ephemeral one (default 7677)",
+    )
+    serve.add_argument(
+        "--backend", default="serial",
+        choices=("serial", "threads", "processes"),
+        help="execution backend for query fan-out and leftover "
+             "clustering (default serial)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for threads/processes backends",
+    )
+    serve.add_argument(
+        "--checkpoint-interval", type=float, default=2.0,
+        help="seconds between background checkpointer wake-ups "
+             "(default 2.0)",
+    )
+    serve.add_argument(
+        "--checkpoint-min-batches", type=int, default=1,
+        help="pending WAL batches required before a wake-up "
+             "checkpoints (default 1)",
+    )
+    serve.add_argument(
+        "--coalesce-window-ms", type=float, default=2.0,
+        help="how long the first query of a batch waits for company "
+             "before one coalesced kernel pass (default 2.0)",
+    )
+    serve.add_argument(
+        "--coalesce-max-rows", type=int, default=4096,
+        help="coalesced query rows per kernel pass (default 4096)",
+    )
+    serve.add_argument(
+        "--max-wal-bytes", type=int, default=256 * 1024 * 1024,
+        help="shed ingest once the WAL backlog exceeds this many bytes "
+             "(default 256 MiB)",
+    )
+    serve.add_argument(
+        "--index", default="auto", choices=("auto", "on", "off"),
+        help="bit-slice medoid index policy for the query path "
+             "(default auto)",
     )
     return parser
 
@@ -542,9 +613,91 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _query_service_context(args: argparse.Namespace):
+    """The query callable for the verb: local snapshot or remote daemon.
+
+    Local mode reads through a pinned :class:`RepositorySnapshot` (plus
+    a WAL-replaying ``ClusterRepository.open`` only when un-checkpointed
+    batches exist, so the common reopen-after-checkpoint path never pays
+    replay), remote mode through a :class:`ServiceClient`.  Both yield a
+    ``query(spectra, k)`` callable returning identical match objects.
+    """
+    from contextlib import contextmanager
+
+    @contextmanager
+    def local():
+        from .store import ClusterRepository, QueryService
+        from .store.manifest import RepositoryManifest
+        from .store.repository import WAL_NAME
+
+        manifest = RepositoryManifest.load(args.repository)
+        wal = args.repository / WAL_NAME
+        source = None
+        if manifest.generation > 0 and (
+            not wal.exists() or wal.stat().st_size == 0
+        ):
+            from .store import RepositorySnapshot
+
+            source = RepositorySnapshot.open(args.repository)
+        else:
+            # Un-checkpointed batches exist: replay them for complete
+            # results, but never truncate the WAL — another process (a
+            # live daemon) may be appending to this directory.
+            source = ClusterRepository.open(
+                args.repository, recover_wal=False
+            )
+        try:
+            with QueryService(
+                source,
+                execution_backend=args.backend,
+                num_workers=args.workers,
+                use_index={"auto": None, "on": True, "off": False}[
+                    args.index
+                ],
+                probe_bits=args.probe_bits,
+            ) as service:
+                yield service.query
+        finally:
+            if hasattr(source, "close"):
+                source.close()
+
+    @contextmanager
+    def remote():
+        from .service import ServiceClient
+
+        # Scan-path knobs belong to the daemon's configuration; warn so
+        # a user passing them with --remote knows they did nothing.
+        ignored = [
+            flag
+            for flag, value, default in (
+                ("--backend", args.backend, "serial"),
+                ("--workers", args.workers, None),
+                ("--index", args.index, "auto"),
+                ("--probe-bits", args.probe_bits, None),
+            )
+            if value != default
+        ]
+        if ignored:
+            print(
+                f"warning: {', '.join(ignored)} ignored with --remote — "
+                "the daemon's own settings govern the scan path",
+                file=sys.stderr,
+            )
+        host, _, port_text = args.remote.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise SpecHDError(
+                f"--remote must be HOST:PORT, got {args.remote!r}"
+            ) from None
+        with ServiceClient(host or "127.0.0.1", port) as client:
+            yield client.query
+
+    return remote() if args.remote is not None else local()
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from .io import SpectrumSource
-    from .store import ClusterRepository, QueryService
 
     if args.top_k < 1:
         print("error: --top-k must be >= 1", file=sys.stderr)
@@ -552,7 +705,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.probe_bits is not None and args.probe_bits < 1:
         print("error: --probe-bits must be >= 1", file=sys.stderr)
         return 2
-    repository = ClusterRepository.open(args.repository)
+    if (args.repository is None) == (args.remote is None):
+        print(
+            "error: give a repository directory or --remote HOST:PORT "
+            "(exactly one)",
+            file=sys.stderr,
+        )
+        return 2
 
     header = (
         "query\trank\tcluster\tshard\tdistance\tnormalized\t"
@@ -577,13 +736,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         # failure before any result) produces no output at all.
         import io
 
-        with QueryService(
-            repository,
-            execution_backend=args.backend,
-            num_workers=args.workers,
-            use_index={"auto": None, "on": True, "off": False}[args.index],
-            probe_bits=args.probe_bits,
-        ) as service:
+        with _query_service_context(args) as query_fn:
             source = SpectrumSource(args.input)
             for _file_index, _batch_index, spectra in source.iter_batches(
                 QUERY_STREAM_BATCH
@@ -602,7 +755,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
                         # through a temp file in O(batch) memory.
                         out = io.StringIO()
                     out.write(header + "\n")
-                results = service.query(spectra, k=args.top_k)
+                results = query_fn(spectra, k=args.top_k)
                 num_queries += len(spectra)
                 for spectrum, matches in zip(spectra, results):
                     for rank, match in enumerate(matches, start=1):
@@ -643,10 +796,15 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_repo_info(args: argparse.Namespace) -> int:
+    import json
+
     from .store import ClusterRepository
     from .units import format_bytes
 
     repository = ClusterRepository.open(args.repository)
+    if args.json:
+        print(json.dumps(repository.info(), indent=2, sort_keys=True))
+        return 0
     manifest = repository.manifest
     print(f"repository : {args.repository}")
     print(f"format     : v{manifest.format_version}, "
@@ -668,6 +826,38 @@ def _cmd_repo_info(args: argparse.Namespace) -> int:
         print(f"  shard {stats['shard']}: {stats['spectra']} spectra, "
               f"{stats['clusters']} clusters, "
               f"{format_bytes(stats['bytes'])}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ClusterService, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        workers=args.workers,
+        checkpoint_interval=args.checkpoint_interval,
+        checkpoint_min_batches=args.checkpoint_min_batches,
+        coalesce_window_ms=args.coalesce_window_ms,
+        coalesce_max_rows=args.coalesce_max_rows,
+        max_wal_bytes=args.max_wal_bytes,
+        use_index={"auto": None, "on": True, "off": False}[args.index],
+    )
+    service = ClusterService(args.repository, config)
+    try:
+        service.start()
+        print(
+            f"serving {args.repository} on {config.host}:{service.port} "
+            f"(generation {service.serving_generation}, "
+            f"{len(service.repository)} spectra in "
+            f"{service.repository.num_clusters} clusters); Ctrl+C stops"
+        )
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        service.stop()
     return 0
 
 
@@ -696,6 +886,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "ingest": _cmd_ingest,
         "query": _cmd_query,
         "repo-info": _cmd_repo_info,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

@@ -45,3 +45,11 @@ class CapacityError(SpecHDError):
 
 class SearchError(SpecHDError):
     """Database search failed (empty database, bad tolerance, ...)."""
+
+
+class ServiceError(SpecHDError):
+    """A cluster-service request failed (protocol, transport, or server)."""
+
+
+class ServiceBusy(ServiceError):
+    """The service shed this request under admission control; retry later."""

@@ -122,6 +122,20 @@ class ExecutionPool:
                 self._executor = ProcessPoolExecutor(max_workers=self.workers)
         return self._executor
 
+    def warm_up(self) -> None:
+        """Eagerly spawn the underlying executor (no-op when inline).
+
+        Pools are created lazily on first dispatch, which is right for
+        one-shot CLI runs but wrong for a serving daemon: the first
+        client query would pay the whole thread/process spawn (and, for
+        ``processes``, interpreter + import) cost.  Daemons call this at
+        startup so the first request is as fast as the thousandth.
+        """
+        if self._closed:
+            raise ConfigurationError("execution pool is closed")
+        if not self.is_inline:
+            self._ensure_executor()
+
     @property
     def is_inline(self) -> bool:
         """True when :meth:`map` always runs items in the calling thread.

@@ -1,0 +1,30 @@
+"""The serving layer: a snapshot-isolated cluster-query daemon.
+
+This package turns the :mod:`repro.store` repository into a networked
+service with the concurrency shape of the production deployments the
+baselines model — continuous ingest interleaved with online queries:
+
+``repro.service.daemon``
+    :class:`ClusterService` — owns the single repository writer, serves
+    queries from pinned MVCC snapshots, checkpoints and republishes in a
+    background thread, coalesces concurrent small queries into one
+    batched kernel pass, and sheds load under admission control.
+``repro.service.client``
+    :class:`ServiceClient` — a blocking client returning the same match
+    and report objects as the in-process query service.
+``repro.service.protocol``
+    The length-prefixed JSON wire format both sides speak.
+
+CLI: ``repro serve <repo>`` runs the daemon, ``repro query --remote
+HOST:PORT`` queries it.
+"""
+
+from .client import ServiceClient
+from .daemon import ClusterService, ServiceConfig, ServiceStats
+
+__all__ = [
+    "ClusterService",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceStats",
+]

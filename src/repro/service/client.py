@@ -1,0 +1,169 @@
+"""Client for the cluster-query daemon's socket protocol.
+
+:class:`ServiceClient` speaks :mod:`repro.service.protocol` over one
+persistent TCP connection (requests are strictly request/response, so
+one socket serves a client thread for its whole session).  Results come
+back as the same :class:`~repro.store.ClusterMatch` /
+:class:`~repro.store.RepositoryUpdateReport` objects the in-process
+:class:`~repro.store.QueryService` and :class:`~repro.store.ClusterRepository`
+return — remote and local serving are drop-in interchangeable for
+callers.
+
+``busy`` responses (admission control: WAL backlog or a full query
+queue) raise :class:`~repro.errors.ServiceBusy`, which callers should
+treat as retry-with-backoff; every other failure raises
+:class:`~repro.errors.ServiceError`.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ServiceBusy, ServiceError
+from ..spectrum import MassSpectrum
+from ..store import RepositoryUpdateReport
+from ..store.query import ClusterMatch
+from . import protocol
+
+
+def _match_from_wire(record: dict) -> ClusterMatch:
+    try:
+        return ClusterMatch(
+            global_label=int(record["global_label"]),
+            shard_id=int(record["shard_id"]),
+            local_label=int(record["local_label"]),
+            distance=int(record["distance"]),
+            normalized_distance=float(record["normalized_distance"]),
+            cluster_size=int(record["cluster_size"]),
+            medoid_identifier=str(record["medoid_identifier"]),
+            medoid_precursor_mz=float(record["medoid_precursor_mz"]),
+            medoid_charge=int(record["medoid_charge"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(f"malformed match record: {exc}") from exc
+
+
+def _report_from_wire(record: dict) -> RepositoryUpdateReport:
+    try:
+        return RepositoryUpdateReport(
+            seq=int(record["seq"]),
+            num_added=int(record["num_added"]),
+            num_absorbed=int(record["num_absorbed"]),
+            num_new_clusters=int(record["num_new_clusters"]),
+            num_dropped=int(record["num_dropped"]),
+            shards_touched=int(record["shards_touched"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(f"malformed ingest report: {exc}") from exc
+
+
+class ServiceClient:
+    """One connection to a running :class:`~repro.service.ClusterService`.
+
+    Not thread-safe: the protocol is strictly request/response on one
+    socket, so give each client thread its own instance (connections are
+    cheap; the daemon handles each on its own thread).
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0,
+        timeout: Optional[float] = 60.0,
+    ) -> None:
+        if port < 1:
+            raise ServiceError("port must be a bound daemon port")
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _call(self, request: dict) -> dict:
+        try:
+            protocol.send_message(self._sock, request)
+            response = protocol.recv_message(self._sock)
+        except OSError as exc:
+            raise ServiceError(f"service connection failed: {exc}") from exc
+        if response is None:
+            raise ServiceError("service closed the connection")
+        status = response.get("status")
+        if status == "ok":
+            return response
+        if status == "busy":
+            raise ServiceBusy(response.get("error", "service is busy"))
+        raise ServiceError(response.get("error", "service request failed"))
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Ops
+    # ------------------------------------------------------------------
+
+    def ping(self) -> int:
+        """Round-trip liveness probe; returns the serving generation."""
+        return int(self._call({"op": "ping"})["generation"])
+
+    def info(self) -> dict:
+        """The daemon's repository + service health record."""
+        return self._call({"op": "info"})["info"]
+
+    def query(
+        self, spectra: Sequence[MassSpectrum], k: int = 5
+    ) -> List[List[ClusterMatch]]:
+        """Top-k nearest clusters per spectrum (QC failures → empty)."""
+        response = self._call(
+            {
+                "op": "query",
+                "k": int(k),
+                "spectra": protocol.spectra_to_wire(spectra),
+            }
+        )
+        return [
+            [_match_from_wire(record) for record in matches]
+            for matches in response["results"]
+        ]
+
+    def query_vectors(
+        self, vectors: np.ndarray, k: int = 5
+    ) -> List[List[ClusterMatch]]:
+        """Top-k nearest clusters for pre-encoded packed vectors."""
+        request = {"op": "query_vectors", "k": int(k)}
+        request.update(protocol.vectors_to_wire(vectors))
+        response = self._call(request)
+        return [
+            [_match_from_wire(record) for record in matches]
+            for matches in response["results"]
+        ]
+
+    def ingest(
+        self, spectra: Sequence[MassSpectrum]
+    ) -> RepositoryUpdateReport:
+        """Durably ingest one batch through the daemon's writer."""
+        response = self._call(
+            {"op": "ingest", "spectra": protocol.spectra_to_wire(spectra)}
+        )
+        return _report_from_wire(response["report"])
+
+    def checkpoint(self) -> Optional[int]:
+        """Ask the daemon to checkpoint now; None when nothing pending."""
+        generation = self._call({"op": "checkpoint"}).get("generation")
+        return None if generation is None else int(generation)
+
+    def shutdown(self) -> None:
+        """Stop the daemon (acknowledged before the server exits)."""
+        self._call({"op": "shutdown"})

@@ -1,0 +1,712 @@
+"""The cluster-query daemon: one writer, N snapshot readers, one socket.
+
+:class:`ClusterService` turns a repository directory into a long-running
+service with the production shape the ROADMAP asks for — continuous
+ingest interleaved with online nearest-cluster queries:
+
+* **One writer.**  The service owns the only :class:`ClusterRepository`
+  handle; every ingest batch is encoded *outside* the writer lock (on
+  the connection's thread, with a per-thread encoder clone) and only the
+  journal append + shard apply run inside it.
+* **Snapshot readers.**  Queries never touch the writer.  They run
+  against the current :class:`~repro.store.snapshot.RepositorySnapshot`
+  through a :class:`~repro.store.QueryService`, with zero locks on the
+  scan path — MVCC pins keep the generation's files alive while any
+  query is in flight.
+* **Background checkpointer.**  A daemon thread folds the WAL into a
+  new generation whenever enough batches accumulate, republishes the
+  serving snapshot, and retires superseded generations once their last
+  reader drains.  Readers mid-query keep the *old* snapshot via a
+  refcounted lease, so a swap never invalidates an in-flight scan.
+* **Request coalescing.**  Concurrent small queries are batched by a
+  dispatcher thread into one ``query_vectors`` kernel pass (the batched
+  cross-Hamming engine is dramatically more efficient per-query at
+  larger batch sizes), then split back per caller.  Queries with
+  different ``k`` coalesce too: the pass runs at the max ``k`` and each
+  caller's rows are trimmed — top-k lists are prefixes of top-k'
+  lists for k ≤ k', so results are identical to a solo pass.
+* **Admission control.**  Ingest is shed with a ``busy`` response once
+  the WAL backlog passes ``max_wal_bytes`` (the checkpointer is behind);
+  queries are shed once the coalescing queue is full.  Load shedding
+  beats unbounded queueing in every serving system this models.
+
+The wire protocol is :mod:`repro.service.protocol`; the op table:
+
+========== ============================================= ==============
+op          request fields                                response
+========== ============================================= ==============
+``ping``    —                                             ``generation``
+``info``    —                                             ``info`` dict
+``query``   ``spectra`` (WAL JSON), ``k``                 ``results``
+``query_vectors`` ``dim``/``vec`` (packed b64), ``k``     ``results``
+``ingest``  ``spectra`` (WAL JSON)                        ``report``
+``checkpoint`` —                                          ``generation``
+``shutdown`` —                                            —
+========== ============================================= ==============
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from queue import Empty, Full, Queue
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError, ServiceBusy, ServiceError
+from ..execution import ExecutionPool
+from ..spectrum import MassSpectrum
+from ..store import ClusterRepository, QueryService, RepositoryUpdateReport
+from ..store.snapshot import RepositorySnapshot
+from ..streaming import encode_spectra
+from . import protocol
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one :class:`ClusterService` (validated at construction)."""
+
+    host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port; read :attr:`ClusterService.port` after
+    #: :meth:`~ClusterService.start`.
+    port: int = 0
+    #: Query fan-out backend shared by every snapshot's query service.
+    backend: str = "serial"
+    workers: Optional[int] = None
+    #: Seconds between checkpointer wake-ups.
+    checkpoint_interval: float = 2.0
+    #: WAL batches that must be pending before a wake-up checkpoints.
+    checkpoint_min_batches: int = 1
+    #: How long the dispatcher holds the first query of a batch open for
+    #: company, in milliseconds.  0 disables coalescing delay (each
+    #: dispatch takes whatever is already queued).
+    coalesce_window_ms: float = 2.0
+    #: Per-pass ceiling on coalesced query rows.
+    coalesce_max_rows: int = 4096
+    #: Queue slots for not-yet-dispatched queries (admission control).
+    max_pending_queries: int = 1024
+    #: Ingest is shed once the WAL backlog exceeds this many bytes.
+    max_wal_bytes: int = 256 * 1024 * 1024
+    #: Forwarded to every :class:`QueryService` (None = manifest auto).
+    use_index: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_interval <= 0:
+            raise ConfigurationError("checkpoint_interval must be > 0")
+        if self.checkpoint_min_batches < 1:
+            raise ConfigurationError("checkpoint_min_batches must be >= 1")
+        if self.coalesce_window_ms < 0:
+            raise ConfigurationError("coalesce_window_ms must be >= 0")
+        if self.coalesce_max_rows < 1:
+            raise ConfigurationError("coalesce_max_rows must be >= 1")
+        if self.max_pending_queries < 1:
+            raise ConfigurationError("max_pending_queries must be >= 1")
+        if self.max_wal_bytes < 1:
+            raise ConfigurationError("max_wal_bytes must be >= 1")
+
+
+@dataclass
+class ServiceStats:
+    """Monotonic service counters (exposed via the ``info`` op)."""
+
+    queries: int = 0
+    query_rows: int = 0
+    query_passes: int = 0
+    queries_shed: int = 0
+    ingest_batches: int = 0
+    ingest_spectra: int = 0
+    ingest_shed: int = 0
+    checkpoints: int = 0
+    snapshot_swaps: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def bump(self, **deltas: int) -> None:
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "queries": self.queries,
+                "query_rows": self.query_rows,
+                "query_passes": self.query_passes,
+                "queries_shed": self.queries_shed,
+                "ingest_batches": self.ingest_batches,
+                "ingest_spectra": self.ingest_spectra,
+                "ingest_shed": self.ingest_shed,
+                "checkpoints": self.checkpoints,
+                "snapshot_swaps": self.snapshot_swaps,
+            }
+
+    @property
+    def mean_coalesced_rows(self) -> float:
+        with self._lock:
+            if self.query_passes == 0:
+                return 0.0
+            return self.query_rows / self.query_passes
+
+
+class _SnapshotLease:
+    """Refcounted (snapshot, query service) pair with deferred close.
+
+    Queries acquire the lease for exactly the duration of one kernel
+    pass; retiring marks it for close, which happens when the last
+    in-flight pass releases.  This is what makes snapshot swaps safe
+    without a reader lock on the scan itself.
+    """
+
+    def __init__(
+        self, snapshot: RepositorySnapshot, service: QueryService
+    ) -> None:
+        self.snapshot = snapshot
+        self.service = service
+        self._refs = 0
+        self._retired = False
+        self._lock = threading.Lock()
+
+    @property
+    def generation(self) -> int:
+        return self.snapshot.generation
+
+    def acquire(self) -> "_SnapshotLease":
+        with self._lock:
+            if self._retired and self._refs == 0:
+                raise ServiceError("snapshot lease already closed")
+            self._refs += 1
+            return self
+
+    def release(self) -> None:
+        close = False
+        with self._lock:
+            self._refs -= 1
+            close = self._retired and self._refs == 0
+        if close:
+            self._close()
+
+    def retire(self) -> None:
+        close = False
+        with self._lock:
+            self._retired = True
+            close = self._refs == 0
+        if close:
+            self._close()
+
+    def _close(self) -> None:
+        self.service.close()
+        self.snapshot.close()
+
+
+@dataclass
+class _PendingQuery:
+    """One caller's query waiting in the coalescing queue."""
+
+    vectors: np.ndarray
+    k: int
+    future: Future
+
+
+class ClusterService:
+    """The daemon: repository writer + snapshot serving + socket front.
+
+    Use as a context manager or call :meth:`start` / :meth:`stop`.  All
+    public request methods (:meth:`query_vectors`, :meth:`ingest`, …)
+    are also callable in-process — the socket layer is a thin framing of
+    exactly these methods, so tests and embedded callers skip TCP.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        config: ServiceConfig = ServiceConfig(),
+    ) -> None:
+        self.directory = Path(directory)
+        self.config = config
+        self.stats = ServiceStats()
+        self.repository = ClusterRepository.open(
+            self.directory,
+            execution_backend=config.backend,
+            num_workers=config.workers,
+        )
+        self._write_lock = threading.Lock()
+        self._pool = ExecutionPool(config.backend, config.workers)
+        self._pool.warm_up()
+        # Per-connection-thread encoder clones: the shared item memory is
+        # read-only, scratch is private (IDLevelEncoder.clone()).
+        self._thread_encoders = threading.local()
+        self._queue: "Queue[Optional[_PendingQuery]]" = Queue(
+            maxsize=config.max_pending_queries
+        )
+        #: Serialises query admission against shutdown: stop() flips the
+        #: stop flag under this lock, so an enqueue either happens before
+        #: the drain (and is failed by it) or observes the flag and
+        #: raises — no future can be left unresolved.
+        self._admit_lock = threading.Lock()
+        self._checkpoint_error: Optional[str] = None
+        self._lease: Optional[_SnapshotLease] = None
+        self._lease_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._listener: Optional[socket.socket] = None
+        self.port: Optional[int] = None
+        self._started = False
+        # Serve the freshest possible state from the first request on:
+        # fold any replayed-but-unpublished WAL batches into a
+        # generation, then pin it.
+        if self.repository.wal_pending_batches > 0:
+            self.repository.checkpoint()
+        self._publish_snapshot()
+
+    # ------------------------------------------------------------------
+    # Snapshot lifecycle
+    # ------------------------------------------------------------------
+
+    def _publish_snapshot(self) -> None:
+        """Open a lease on the last published generation and swap it in."""
+        snapshot = self.repository.snapshot()
+        service = QueryService(
+            snapshot,
+            use_index=self.config.use_index,
+            pool=self._pool,
+        )
+        lease = _SnapshotLease(snapshot, service)
+        with self._lease_lock:
+            old, self._lease = self._lease, lease
+        if old is not None:
+            old.retire()
+            self.stats.bump(snapshot_swaps=1)
+
+    def _acquire_lease(self) -> _SnapshotLease:
+        with self._lease_lock:
+            if self._lease is None:
+                raise ServiceError("service is closed")
+            return self._lease.acquire()
+
+    @property
+    def serving_generation(self) -> int:
+        """Generation the query path currently serves from."""
+        with self._lease_lock:
+            if self._lease is None:
+                raise ServiceError("service is closed")
+            return self._lease.generation
+
+    # ------------------------------------------------------------------
+    # Encoder plumbing
+    # ------------------------------------------------------------------
+
+    def _encoder(self):
+        encoder = getattr(self._thread_encoders, "encoder", None)
+        if encoder is None:
+            encoder = self.repository.encoder.clone()
+            self._thread_encoders.encoder = encoder
+        return encoder
+
+    def _encode(self, spectra: Sequence[MassSpectrum]):
+        return encode_spectra(
+            spectra,
+            self.repository.manifest.preprocessing,
+            self._encoder(),
+        )
+
+    # ------------------------------------------------------------------
+    # Ingest (the writer path)
+    # ------------------------------------------------------------------
+
+    def ingest(
+        self, spectra: Sequence[MassSpectrum]
+    ) -> RepositoryUpdateReport:
+        """Durably ingest one batch; sheds with :class:`ServiceBusy`.
+
+        Preprocess + encode run on the calling thread (no lock); only
+        the WAL append and shard apply serialise on the writer lock.
+        """
+        if self.repository.wal_bytes() > self.config.max_wal_bytes:
+            self.stats.bump(ingest_shed=1)
+            raise ServiceBusy(
+                "WAL backlog exceeds max_wal_bytes; retry after the next "
+                "checkpoint"
+            )
+        batch = self._encode(spectra)
+        with self._write_lock:
+            report = self.repository.add_encoded_batch(
+                batch.vectors,
+                batch.precursor_mz,
+                batch.charge,
+                batch.identifiers,
+                num_dropped=batch.num_dropped,
+            )
+        self.stats.bump(ingest_batches=1, ingest_spectra=report.num_added)
+        return report
+
+    def checkpoint(self, force: bool = True) -> Optional[int]:
+        """Checkpoint now (if work is pending) and republish the snapshot.
+
+        ``force=False`` applies the ``checkpoint_min_batches`` threshold —
+        the background checkpointer's call.  Returns the new generation,
+        or ``None`` when nothing was pending.
+        """
+        with self._write_lock:
+            pending = self.repository.wal_pending_batches
+            if pending == 0:
+                return None
+            if not force and pending < self.config.checkpoint_min_batches:
+                return None
+            generation = self.repository.checkpoint()
+        self.stats.bump(checkpoints=1)
+        self._publish_snapshot()
+        return generation
+
+    def _checkpoint_loop(self) -> None:
+        import sys
+
+        while not self._stop.wait(self.config.checkpoint_interval):
+            try:
+                self.checkpoint(force=False)
+                # Generations whose last reader drained since the
+                # previous pass are reclaimed even when no new
+                # checkpoint happened.
+                with self._write_lock:
+                    self.repository.sweep()
+                self._checkpoint_error = None
+            except Exception as exc:
+                # Keep the daemon alive, but never silently: a failing
+                # checkpoint eventually sheds all ingest (max_wal_bytes),
+                # so operators must see why in the health record.
+                if self._stop.is_set():
+                    return
+                self._checkpoint_error = f"{type(exc).__name__}: {exc}"
+                print(
+                    f"checkpoint failed (will retry): "
+                    f"{self._checkpoint_error}",
+                    file=sys.stderr,
+                )
+
+    # ------------------------------------------------------------------
+    # Query (the coalesced snapshot path)
+    # ------------------------------------------------------------------
+
+    def query(
+        self, spectra: Sequence[MassSpectrum], k: int = 5
+    ) -> List[List]:
+        """Top-k matches per query spectrum (QC failures → empty lists)."""
+        batch = self._encode(spectra)
+        results: List[List] = [[] for _ in spectra]
+        if batch.num_kept:
+            for offset, matches in zip(
+                batch.kept_offsets,
+                self.query_vectors(batch.vectors, k),
+            ):
+                results[int(offset)] = matches
+        return results
+
+    def query_vectors(self, vectors: np.ndarray, k: int = 5) -> List[List]:
+        """Top-k matches for pre-encoded vectors, via the coalescer.
+
+        Blocks until the dispatcher's pass completes; concurrent callers
+        share one kernel pass.  Sheds with :class:`ServiceBusy` when the
+        pending queue is full.
+        """
+        vectors = np.asarray(vectors, dtype=np.uint64)
+        if vectors.ndim != 2:
+            raise ServiceError("query vectors must be a (n, words) matrix")
+        if vectors.shape[0] == 0:
+            return []
+        if k < 1:
+            return [[] for _ in range(vectors.shape[0])]
+        if not self._started:
+            # No dispatcher thread: serve inline (embedded/test use).
+            return self._direct_query(vectors, k)
+        pending = _PendingQuery(vectors=vectors, k=k, future=Future())
+        with self._admit_lock:
+            if self._stop.is_set():
+                raise ServiceError("service is stopping")
+            try:
+                self._queue.put_nowait(pending)
+            except Full:
+                self.stats.bump(queries_shed=1)
+                raise ServiceBusy(
+                    "query queue is full; retry with backoff"
+                ) from None
+        return pending.future.result()
+
+    def _direct_query(self, vectors: np.ndarray, k: int) -> List[List]:
+        lease = self._acquire_lease()
+        try:
+            results = lease.service.query_vectors(vectors, k)
+        finally:
+            lease.release()
+        self.stats.bump(
+            queries=1, query_rows=int(vectors.shape[0]), query_passes=1
+        )
+        return results
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            head = self._queue.get()
+            if head is None:
+                return
+            batch = [head]
+            rows = head.vectors.shape[0]
+            deadline = time.monotonic() + self.config.coalesce_window_ms / 1e3
+            while rows < self.config.coalesce_max_rows:
+                remaining = deadline - time.monotonic()
+                try:
+                    item = (
+                        self._queue.get_nowait()
+                        if remaining <= 0
+                        else self._queue.get(timeout=remaining)
+                    )
+                except Empty:
+                    break
+                if item is None:
+                    self._run_pass(batch)
+                    return
+                batch.append(item)
+                rows += item.vectors.shape[0]
+            self._run_pass(batch)
+
+    def _run_pass(self, batch: List[_PendingQuery]) -> None:
+        """One coalesced kernel pass; splits results back per caller.
+
+        The pass runs at ``max(k)`` over the batch: each query's top-k
+        list is a prefix of its top-k' list for k ≤ k', so trimming a
+        caller's rows to its own ``k`` reproduces a solo pass exactly.
+        """
+        try:
+            stacked = (
+                batch[0].vectors
+                if len(batch) == 1
+                else np.concatenate([item.vectors for item in batch], axis=0)
+            )
+            k_max = max(item.k for item in batch)
+            merged = self._direct_query(stacked, k_max)
+        except BaseException as exc:
+            for item in batch:
+                if not item.future.set_running_or_notify_cancel():
+                    continue
+                item.future.set_exception(exc)
+            return
+        self.stats.bump(queries=len(batch) - 1)  # _direct_query counted 1
+        row = 0
+        for item in batch:
+            count = item.vectors.shape[0]
+            rows = merged[row : row + count]
+            row += count
+            if not item.future.set_running_or_notify_cancel():
+                continue
+            if item.k < k_max:
+                item.future.set_result(
+                    [matches[: item.k] for matches in rows]
+                )
+            else:
+                item.future.set_result(rows)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def info(self) -> dict:
+        """Repository + service health, JSON-serialisable."""
+        record = self.repository.info()
+        record["serving_generation"] = self.serving_generation
+        record["service"] = {
+            **self.stats.snapshot(),
+            "mean_coalesced_rows": self.stats.mean_coalesced_rows,
+            "coalesce_window_ms": self.config.coalesce_window_ms,
+            "coalesce_max_rows": self.config.coalesce_max_rows,
+            "checkpoint_interval": self.config.checkpoint_interval,
+            "backend": self.config.backend,
+            "last_checkpoint_error": self._checkpoint_error,
+        }
+        return record
+
+    # ------------------------------------------------------------------
+    # Socket front
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ClusterService":
+        """Bind the socket and launch the daemon threads (idempotent)."""
+        if self._started:
+            return self
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.config.host, self.config.port))
+        listener.listen(128)
+        # A blocked accept() is not reliably woken by close() alone; the
+        # timeout bounds how long stop() waits for the accept thread.
+        listener.settimeout(0.2)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        self._started = True
+        for name, target in (
+            ("repro-accept", self._accept_loop),
+            ("repro-dispatch", self._dispatch_loop),
+            ("repro-checkpoint", self._checkpoint_loop),
+        ):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stop.is_set():
+            try:
+                connection, _address = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed by stop()
+            # Accepted sockets inherit the listener's timeout mode; the
+            # per-connection protocol is blocking request/response.
+            connection.setblocking(True)
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(connection,),
+                name="repro-conn",
+                daemon=True,
+            )
+            thread.start()
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        with connection:
+            connection.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+            while not self._stop.is_set():
+                try:
+                    request = protocol.recv_message(connection)
+                except ServiceError:
+                    return  # framing violation: drop the connection
+                if request is None:
+                    return  # clean client disconnect
+                response = self._handle(request)
+                try:
+                    protocol.send_message(connection, response)
+                except OSError:
+                    return
+                if request.get("op") == "shutdown":
+                    # Response is on the wire; stop from a helper thread
+                    # so this handler can be joined like any other.
+                    threading.Thread(
+                        target=self.stop, name="repro-shutdown"
+                    ).start()
+                    return
+
+    def _handle(self, request: dict) -> dict:
+        """Dispatch one request dict to a response dict (never raises)."""
+        op = request.get("op")
+        try:
+            if op == "ping":
+                return {
+                    "status": "ok",
+                    "generation": self.serving_generation,
+                }
+            if op == "info":
+                return {"status": "ok", "info": self.info()}
+            if op == "query":
+                spectra = protocol.spectra_from_wire(
+                    request.get("spectra", [])
+                )
+                results = self.query(spectra, k=int(request.get("k", 5)))
+                return {
+                    "status": "ok",
+                    "results": [
+                        [asdict(match) for match in matches]
+                        for matches in results
+                    ],
+                }
+            if op == "query_vectors":
+                vectors = protocol.vectors_from_wire(request)
+                results = self.query_vectors(
+                    vectors, k=int(request.get("k", 5))
+                )
+                return {
+                    "status": "ok",
+                    "results": [
+                        [asdict(match) for match in matches]
+                        for matches in results
+                    ],
+                }
+            if op == "ingest":
+                spectra = protocol.spectra_from_wire(
+                    request.get("spectra", [])
+                )
+                report = self.ingest(spectra)
+                return {"status": "ok", "report": asdict(report)}
+            if op == "checkpoint":
+                return {"status": "ok", "generation": self.checkpoint()}
+            if op == "shutdown":
+                return {"status": "ok"}
+            return {"status": "error", "error": f"unknown op {op!r}"}
+        except ServiceBusy as exc:
+            return {"status": "busy", "error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - one bad request must
+            # never take the daemon down; the client gets the message.
+            return {"status": "error", "error": f"{type(exc).__name__}: {exc}"}
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`stop` (or a client ``shutdown`` op)."""
+        self.start()
+        self._stop.wait()
+
+    def stop(self) -> None:
+        """Stop threads, close the socket, release every pin (idempotent)."""
+        with self._admit_lock:
+            if self._stop.is_set():
+                return
+            self._stop.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._started:
+            self._queue.put(None)  # wake the dispatcher for shutdown
+        current = threading.current_thread()
+        for thread in self._threads:
+            if thread is not current:
+                thread.join(timeout=10.0)
+        self._threads.clear()
+        self._drain_queue()
+        with self._lease_lock:
+            lease, self._lease = self._lease, None
+        if lease is not None:
+            lease.retire()
+        # The writer lock waits out any in-flight ingest before the
+        # terminal sweep + close; later ingests fail on the closed
+        # repository instead of being acknowledged post-shutdown.
+        with self._write_lock:
+            # With the last pin gone, superseded generations are garbage.
+            try:
+                self.repository.sweep()
+            except OSError:
+                pass
+            self._pool.close()
+            self.repository.close()
+
+    def _drain_queue(self) -> None:
+        """Fail every query the dispatcher will never serve."""
+        error = ServiceError("service stopped before the query ran")
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except Empty:
+                return
+            if item is None:
+                continue
+            if item.future.set_running_or_notify_cancel():
+                item.future.set_exception(error)
+
+    def __enter__(self) -> "ClusterService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

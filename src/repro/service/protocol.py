@@ -1,0 +1,150 @@
+"""Length-prefixed wire protocol of the cluster-query daemon.
+
+Framing is deliberately minimal: every message — request or response —
+is one UTF-8 JSON object prefixed by a fixed 10-byte header::
+
+    +---------+-------------------+--------------------------+---------
+    | "RPRO"  | version (u16, BE) | payload length (u32, BE) | payload
+    +---------+-------------------+--------------------------+---------
+
+A fixed header keeps the reader trivial (two exact reads), the magic
+catches clients speaking the wrong protocol to the port, and the
+explicit version lets the format evolve without guessing.
+
+Payload conventions shared with the rest of the store layer:
+
+* spectra ride as the WAL's JSON spectrum records (shortest-round-trip
+  floats, so a spectrum survives client → daemon bit-identically to a
+  local ``add_batch``);
+* packed hypervector matrices ride as base64 of their little-endian
+  ``uint64`` bytes plus a ``dim`` field, exactly like ``encoded`` WAL
+  records.
+
+Requests are ``{"op": <name>, ...}``; responses are ``{"status": "ok" |
+"busy" | "error", ...}``.  See :mod:`repro.service.daemon` for the op
+table.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import struct
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import ServiceError
+from ..spectrum import MassSpectrum
+from ..store.wal import _spectrum_from_json, _spectrum_to_json
+
+#: Protocol magic: rejects stray HTTP/TLS/etc. traffic immediately.
+MAGIC = b"RPRO"
+
+#: Wire protocol version (bumped on incompatible payload changes).
+PROTOCOL_VERSION = 1
+
+#: Header layout: magic, version, payload byte length.
+_HEADER = struct.Struct(">4sHI")
+
+#: Hard ceiling on one frame's payload — a corrupt or hostile length
+#: field must not make the daemon allocate gigabytes.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+def encode_frame(message: dict) -> bytes:
+    """Serialise one message to its framed wire bytes."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ServiceError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte protocol limit"
+        )
+    return _HEADER.pack(MAGIC, PROTOCOL_VERSION, len(payload)) + payload
+
+
+def send_message(sock, message: dict) -> None:
+    """Frame and send one message on a connected socket."""
+    sock.sendall(encode_frame(message))
+
+
+def _recv_exactly(sock, count: int) -> bytes:
+    """Read exactly ``count`` bytes; empty bytes on clean EOF at offset 0."""
+    chunks: List[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if remaining == count:
+                return b""  # clean EOF between frames
+            raise ServiceError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock) -> dict | None:
+    """Receive one framed message; ``None`` on clean end-of-stream."""
+    header = _recv_exactly(sock, _HEADER.size)
+    if not header:
+        return None
+    magic, version, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ServiceError("bad frame magic (not a repro service peer?)")
+    if version != PROTOCOL_VERSION:
+        raise ServiceError(
+            f"unsupported protocol version {version} "
+            f"(this build speaks {PROTOCOL_VERSION})"
+        )
+    if length > MAX_FRAME_BYTES:
+        raise ServiceError(
+            f"frame of {length} bytes exceeds the protocol limit"
+        )
+    payload = _recv_exactly(sock, length) if length else b""
+    if length and not payload:
+        raise ServiceError("connection closed mid-frame")
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServiceError(f"undecodable frame payload: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ServiceError("frame payload must be a JSON object")
+    return message
+
+
+# ----------------------------------------------------------------------
+# Payload codecs
+# ----------------------------------------------------------------------
+
+
+def spectra_to_wire(spectra: Sequence[MassSpectrum]) -> List[dict]:
+    """Spectra → WAL-format JSON records (bit-exact float round-trip)."""
+    return [_spectrum_to_json(spectrum) for spectrum in spectra]
+
+
+def spectra_from_wire(records: Sequence[dict]) -> List[MassSpectrum]:
+    """WAL-format JSON records → spectra."""
+    return [_spectrum_from_json(record) for record in records]
+
+
+def vectors_to_wire(vectors: np.ndarray) -> dict:
+    """Packed uint64 matrix → ``{"dim", "vec"}`` (little-endian base64)."""
+    vectors = np.ascontiguousarray(vectors, dtype="<u8")
+    if vectors.ndim != 2:
+        raise ServiceError("query vectors must be a (n, words) matrix")
+    return {
+        "dim": int(vectors.shape[1] * 64),
+        "vec": base64.b64encode(vectors.tobytes()).decode("ascii"),
+    }
+
+
+def vectors_from_wire(payload: dict) -> np.ndarray:
+    """Inverse of :func:`vectors_to_wire`."""
+    try:
+        words = int(payload["dim"]) // 64
+        raw = base64.b64decode(payload["vec"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(f"malformed vector payload: {exc}") from exc
+    if words < 1 or len(raw) % (8 * words):
+        raise ServiceError("vector payload length does not match dim")
+    return np.frombuffer(raw, dtype="<u8").reshape(-1, words).astype(np.uint64)

@@ -29,6 +29,11 @@ a durable substrate.  This package provides it:
     the :mod:`repro.streaming` stage graph: parse/preprocess/encode on
     workers, WAL append + shard apply strictly ordered on the caller,
     labels and checkpoints byte-identical to sequential ``add_batch``.
+``repro.store.snapshot``
+    :class:`RepositorySnapshot` — MVCC reads: pin one published
+    checkpoint generation and serve it (memory-mapped, read-only,
+    zero-lock) while the writer ingests and checkpoints past it;
+    generations retire only once unpinned.
 """
 
 from .index import BitSliceMedoidIndex, batched_topk
@@ -41,6 +46,12 @@ from .repository import (
     shard_for_bucket,
 )
 from .query import ClusterMatch, QueryService
+from .snapshot import (
+    RepositorySnapshot,
+    generations_on_disk,
+    pinned_generations,
+    sweep_generations,
+)
 from .wal import WalRecord, WriteAheadLog
 
 __all__ = [
@@ -55,6 +66,10 @@ __all__ = [
     "shard_for_bucket",
     "ClusterMatch",
     "QueryService",
+    "RepositorySnapshot",
+    "generations_on_disk",
+    "pinned_generations",
+    "sweep_generations",
     "WalRecord",
     "WriteAheadLog",
 ]

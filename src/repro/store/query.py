@@ -81,10 +81,33 @@ class _ShardIndex:
 
 #: Worker-side cache of shard snapshots loaded from disk, keyed by file
 #: path.  Paths embed the repository version, so an entry never changes
-#: once written; overflow evicts in insertion order, which drops the
-#: paths of superseded repository versions before any current one.
+#: once written.  The cache is bounded two ways: loading a shard evicts
+#: every cached copy of the *same shard* from superseded versions (a
+#: long-lived worker under a checkpointing daemon would otherwise hold
+#: one full medoid matrix per checkpoint it ever served), and a FIFO
+#: limit backstops pathological many-shard layouts.
 _SNAPSHOT_CACHE: Dict[str, Tuple[np.ndarray, Optional[BitSliceMedoidIndex]]] = {}
 _SNAPSHOT_CACHE_LIMIT = 64
+
+
+def _evict_superseded_snapshots(path: str) -> None:
+    """Drop cached copies of ``path``'s shard from other versions.
+
+    Snapshot files are named ``<dir>/shard-NNNN-v<version>.npz``; any
+    cached key sharing the directory and shard stem but not the exact
+    path belongs to a version this load supersedes (the writer only ever
+    advances versions).
+    """
+    directory, name = os.path.split(path)
+    stem = name.split("-v", 1)[0]
+    prefix = os.path.join(directory, stem + "-v")
+    stale = [
+        key
+        for key in _SNAPSHOT_CACHE
+        if key != path and key.startswith(prefix)
+    ]
+    for key in stale:
+        del _SNAPSHOT_CACHE[key]
 
 
 def _load_shard_snapshot(
@@ -104,6 +127,7 @@ def _load_shard_snapshot(
                 positions=archive["index_positions"].astype(np.int64),
                 planes=archive["index_planes"].astype(np.uint64),
             )
+    _evict_superseded_snapshots(path)
     while len(_SNAPSHOT_CACHE) >= _SNAPSHOT_CACHE_LIMIT:
         _SNAPSHOT_CACHE.pop(next(iter(_SNAPSHOT_CACHE)))
     _SNAPSHOT_CACHE[path] = (vectors, index)
@@ -164,15 +188,27 @@ def _shard_topk_reference(
 
 
 class QueryService:
-    """Batch top-k nearest-cluster queries over a :class:`ClusterRepository`.
+    """Batch top-k nearest-cluster queries over repository cluster state.
 
     Parameters
     ----------
     repository:
-        The repository to serve; its encoder is reused for queries.
+        The read source: a live :class:`ClusterRepository` *or* a pinned
+        :class:`~repro.store.snapshot.RepositorySnapshot` — the service
+        only consumes the shared read surface (``shard``/``version``/
+        ``global_label``/``cached_query_index``/``manifest``/
+        ``encoder``).  Over a snapshot the scan state is built once and
+        never refreshed (a snapshot's version is frozen), which is the
+        zero-lock serving path the cluster daemon uses while ingest and
+        checkpoints proceed underneath.
     execution_backend, num_workers:
         How shard scans are fanned out (see :mod:`repro.execution`).  All
         backends return identical results.
+    pool:
+        An externally owned :class:`~repro.execution.ExecutionPool` to
+        fan out on instead of creating one.  The caller keeps ownership:
+        :meth:`close` leaves it running, so a daemon can swap query
+        services per snapshot without respawning process workers.
     use_index:
         ``None`` (default) enables the bit-slice medoid index for shards
         with at least ``index_min_medoids`` medoids; ``True`` forces it
@@ -195,9 +231,15 @@ class QueryService:
         probe_bits: Optional[int] = None,
         index_min_medoids: Optional[int] = None,
         inline_batch_threshold: int = 8,
+        pool: Optional[ExecutionPool] = None,
     ) -> None:
         self.repository = repository
-        self._pool = ExecutionPool(execution_backend, num_workers)
+        self._own_pool = pool is None
+        self._pool = (
+            pool
+            if pool is not None
+            else ExecutionPool(execution_backend, num_workers)
+        )
         defaults = repository.manifest.query_index
         self._use_index = use_index
         self._probe_bits = int(
@@ -545,8 +587,9 @@ class QueryService:
         return results
 
     def close(self) -> None:
-        """Release the fan-out pool and any shard snapshot files."""
-        self._pool.close()
+        """Release the fan-out pool (if owned) and any snapshot files."""
+        if self._own_pool:
+            self._pool.close()
         if self._snapshot_dir is not None:
             shutil.rmtree(self._snapshot_dir, ignore_errors=True)
             self._snapshot_dir = None

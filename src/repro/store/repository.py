@@ -55,6 +55,7 @@ from .index import (
     BitSliceMedoidIndex,
 )
 from .manifest import MANIFEST_NAME, RepositoryManifest
+from .snapshot import RepositorySnapshot, sweep_generations
 from .wal import WriteAheadLog
 
 #: Name of the journal file inside a repository directory.
@@ -157,11 +158,18 @@ class ClusterRepository:
         self._next_global_label = 0
         self._applied_seq = manifest.applied_seq
         self._next_seq = manifest.applied_seq + 1
+        #: WAL records applied since the last checkpoint (replayed ones
+        #: included) — the backlog a checkpoint would fold into a new
+        #: generation; drives the service's checkpoint trigger.
+        self._wal_pending = 0
         #: Shard ids the most recent apply routed rows to (for reports).
         self._last_touched_shards: set = set()
         #: Set when an apply died partway: in-memory state no longer
         #: matches the journal, so mutations must go through a reopen.
         self._poisoned = False
+        #: Set by :meth:`close`; mutations after it must fail loudly
+        #: instead of silently reopening the WAL handle.
+        self._closed = False
         #: Bumped on every state change; lets query services cache medoids.
         self.version = 0
         #: Per-shard bit-slice query indexes persisted by the checkpoint,
@@ -216,8 +224,17 @@ class ClusterRepository:
         directory: Union[str, Path],
         execution_backend: str = "serial",
         num_workers: Optional[int] = None,
+        recover_wal: bool = True,
     ) -> "ClusterRepository":
-        """Open a repository: load the checkpoint, replay the WAL."""
+        """Open a repository: load the checkpoint, replay the WAL.
+
+        ``recover_wal=False`` replays without truncating a torn WAL tail
+        on disk — required for read-only opens of a directory another
+        process may be *writing* (a CLI query against a live daemon's
+        repository must never truncate a record the daemon is mid-append
+        on).  Writers must keep the default: an append after a torn tail
+        would merge records.
+        """
         directory = Path(directory)
         manifest = RepositoryManifest.load(directory)
         # One encoder (therefore one item memory) shared by every shard.
@@ -278,7 +295,7 @@ class ClusterRepository:
                     # Derived cache only: an unreadable index file is
                     # rebuilt on demand by the query service.
                     continue
-        repository._replay_wal()
+        repository._replay_wal(recover=recover_wal)
         if loaded_indexes and repository.version == 0:
             # WAL replay applied nothing, so the checkpointed medoids —
             # and therefore the checkpointed indexes — are still current.
@@ -290,11 +307,42 @@ class ClusterRepository:
     def _generation_dir(directory: Path, generation: int) -> Path:
         return directory / SEGMENTS_DIR / f"gen-{generation:06d}"
 
-    def _replay_wal(self) -> None:
+    def snapshot(self) -> RepositorySnapshot:
+        """Pin and open the last *published* generation for reading.
+
+        The snapshot shares this repository's encoder (one item memory
+        per process) but none of its mutable state: it sees exactly what
+        :meth:`checkpoint` last wrote, and keeps seeing it while this
+        repository ingests and checkpoints past it.  Batches applied
+        since that checkpoint are invisible to the snapshot — checkpoint
+        first if the read must include them.
+        """
+        return RepositorySnapshot.open(self.directory, encoder=self.encoder)
+
+    def close(self) -> None:
+        """Release OS resources (the WAL's append handle); idempotent.
+
+        The repository object must not ingest after ``close`` — reopen
+        the directory instead (enforced: a later ingest or checkpoint
+        raises).  Reads of in-memory state remain valid.
+        """
+        self._closed = True
+        self._wal.close()
+
+    def __enter__(self) -> "ClusterRepository":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _replay_wal(self, recover: bool = True) -> None:
         """Re-apply acknowledged batches newer than the checkpoint."""
         # Discard a torn tail first: a later append must never merge
         # with the partial bytes of a record that was never acknowledged.
-        self._wal.recover()
+        # (Read-only opens skip the truncation — replay() tolerates a
+        # torn tail by itself.)
+        if recover:
+            self._wal.recover()
         for record in self._wal.replay(after_seq=self._applied_seq):
             if record.kind == "spectra":
                 self._apply_spectra(record.seq, record.spectra())
@@ -304,6 +352,7 @@ class ClusterRepository:
                     record.seq, vectors, mz, charge, identifiers
                 )
             self._next_seq = record.seq + 1
+            self._wal_pending += 1
 
     # ------------------------------------------------------------------
     # Introspection
@@ -344,6 +393,11 @@ class ClusterRepository:
         """Current size of the ingest journal."""
         return self._wal.size_bytes()
 
+    @property
+    def wal_pending_batches(self) -> int:
+        """Applied batches not yet folded into a checkpoint generation."""
+        return self._wal_pending
+
     def shard_stats(self) -> List[Dict[str, int]]:
         """Per-shard ``{spectra, clusters, bytes}`` summaries."""
         return [
@@ -355,6 +409,45 @@ class ClusterRepository:
             }
             for shard_id, shard in enumerate(self._shards)
         ]
+
+    def info(self) -> Dict[str, object]:
+        """Machine-readable repository summary (JSON-serialisable).
+
+        One shape for every consumer: ``repro repo-info --json``, the
+        cluster daemon's ``info`` endpoint, and scripts.  Keys are stable
+        API; additions are backwards-compatible.
+        """
+        from .snapshot import generations_on_disk, pinned_generations
+
+        manifest = self.manifest
+        return {
+            "directory": str(self.directory),
+            "format_version": manifest.format_version,
+            "generation": manifest.generation,
+            "applied_seq": self._applied_seq,
+            "num_spectra": len(self),
+            "num_clusters": self.num_clusters,
+            "num_shards": manifest.num_shards,
+            "shard_width": manifest.shard_width,
+            "encoder": {
+                "dim": manifest.encoder.dim,
+                "seed": manifest.encoder.seed,
+            },
+            "bucketing_resolution": manifest.bucketing.resolution,
+            "cluster_threshold": manifest.cluster_threshold,
+            "linkage": manifest.linkage,
+            "stored_bytes": self.stored_bytes(),
+            "wal_bytes": self.wal_bytes(),
+            "wal_pending_batches": self.wal_pending_batches,
+            "generations_on_disk": generations_on_disk(self.directory),
+            "pinned_generations": {
+                str(generation): count
+                for generation, count in sorted(
+                    pinned_generations(self.directory).items()
+                )
+            },
+            "shards": self.shard_stats(),
+        }
 
     def shard(self, shard_id: int) -> IncrementalClusterStore:
         """Direct access to one shard's store (read-only use expected)."""
@@ -382,6 +475,10 @@ class ClusterRepository:
     # ------------------------------------------------------------------
 
     def _guard_consistent(self) -> None:
+        if self._closed:
+            raise SpecHDError(
+                "repository is closed; reopen the directory to ingest"
+            )
         if self._poisoned:
             raise SpecHDError(
                 "repository state is inconsistent after a failed apply; "
@@ -414,6 +511,7 @@ class ClusterRepository:
         # durable: even if the apply below raises, a retry gets a fresh
         # seq and replay stays free of duplicates.
         self._next_seq = seq + 1
+        self._wal_pending += 1
         return self._apply_guarded(self._apply_spectra, seq, spectra)
 
     def add_encoded_batch(
@@ -467,6 +565,7 @@ class ClusterRepository:
         seq = self._next_seq
         self._wal.append_encoded(seq, vectors, precursor_mz, charge, identifiers)
         self._next_seq = seq + 1
+        self._wal_pending += 1
         report = self._apply_guarded(
             self._apply_encoded, seq, vectors, precursor_mz, charge, identifiers
         )
@@ -533,6 +632,7 @@ class ClusterRepository:
                 store.identifiers[start:stop],
             )
             self._next_seq = seq + 1
+            self._wal_pending += 1
             report = self._apply_guarded(
                 self._apply_encoded,
                 seq,
@@ -719,20 +819,26 @@ class ClusterRepository:
         }
         self.manifest.save(self.directory)
         self._wal.reset()
+        self._wal_pending = 0
         self._query_indexes = query_indexes
         self._query_index_version = self.version
-        # Sweep every generation below the one the manifest now names —
-        # not just the immediate predecessor, so generations orphaned by
-        # a crash between manifest swap and cleanup get collected too.
-        segments_dir = self.directory / SEGMENTS_DIR
-        for stale in segments_dir.glob("gen-*"):
-            try:
-                stale_generation = int(stale.name.split("-", 1)[1])
-            except ValueError:
-                continue
-            if stale_generation < generation:
-                shutil.rmtree(stale)
+        # Retire every *unpinned* generation below the one the manifest
+        # now names — not just the immediate predecessor, so generations
+        # orphaned by a crash between manifest swap and cleanup get
+        # collected too.  Generations pinned by a live
+        # RepositorySnapshot survive the sweep and are collected by a
+        # later one, once their readers close (the MVCC contract).
+        sweep_generations(self.directory, generation)
         return generation
+
+    def sweep(self) -> List[int]:
+        """Retire unpinned superseded generations; returns those removed.
+
+        Checkpoints sweep automatically; this explicit hook lets a
+        long-running service reclaim a generation as soon as its last
+        snapshot closes instead of waiting for the next checkpoint.
+        """
+        return sweep_generations(self.directory, self.manifest.generation)
 
     def _save_query_indexes(
         self, generation_dir: Path

@@ -131,10 +131,25 @@ def _decode_line(line: bytes) -> WalRecord | None:
 
 
 class WriteAheadLog:
-    """An append-only, CRC-protected journal of ingest batches."""
+    """An append-only, CRC-protected journal of ingest batches.
+
+    Appends go through one persistent file handle: a serving daemon
+    journals every ingest batch, and reopening the file per record costs
+    two extra syscalls on the critical section's hot path.  The handle
+    is opened lazily and released by :meth:`close` (or :meth:`reset`,
+    which truncates).  Readers (:meth:`replay`) always use their own
+    short-lived handles, so reads never disturb the append position.
+    """
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
+        self._handle = None
+
+    def close(self) -> None:
+        """Release the persistent append handle (idempotent)."""
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+        self._handle = None
 
     def append_spectra(
         self, seq: int, spectra: Sequence[MassSpectrum]
@@ -164,29 +179,40 @@ class WriteAheadLog:
 
     def _append(self, seq: int, kind: str, payload: dict) -> None:
         line = _encode_line(seq, kind, payload)
-        self._ensure_record_boundary()
-        with open(self.path, "ab") as handle:
-            handle.write(line)
-            handle.flush()
-            os.fsync(handle.fileno())
+        handle = self._append_handle()
+        if not self._at_record_boundary(handle):
+            # Torn bytes from a failed append (ours or another handle's):
+            # heal through recover() before writing, or the two records
+            # would merge into one CRC-failing line.
+            self.close()
+            self.recover()
+            handle = self._append_handle()
+        handle.seek(0, os.SEEK_END)
+        handle.write(line)
+        handle.flush()
+        os.fsync(handle.fileno())
 
-    def _ensure_record_boundary(self) -> None:
-        """Discard torn bytes a failed *in-session* append left behind.
+    def _append_handle(self):
+        if self._handle is None or self._handle.closed:
+            # "a+b": writes land at EOF (append semantics) while the
+            # O(1) record-boundary probe can still read the final byte
+            # through the same descriptor.
+            self._handle = open(self.path, "a+b")
+        return self._handle
+
+    @staticmethod
+    def _at_record_boundary(handle) -> bool:
+        """True when the file ends in a record terminator (or is empty).
 
         An append that died mid-write (ENOSPC, signal) leaves a partial
-        line with no newline; writing after it would merge the two
-        records into one CRC-failing line and lose the acknowledged one.
-        Checking the final byte is O(1); the full :meth:`recover` scan
-        only runs when that byte shows a torn tail.
+        line with no newline; checking the final byte is O(1), and the
+        full :meth:`recover` scan only runs when it shows a torn tail.
         """
         try:
-            with open(self.path, "rb") as handle:
-                handle.seek(-1, os.SEEK_END)
-                final_byte = handle.read(1)
-        except (FileNotFoundError, OSError):
-            return  # missing or empty file: already at a boundary
-        if final_byte != b"\n":
-            self.recover()
+            handle.seek(-1, os.SEEK_END)
+        except OSError:
+            return True  # empty file: already at a boundary
+        return handle.read(1) == b"\n"
 
     def replay(self, after_seq: int = 0) -> Iterator[WalRecord]:
         """Yield intact records with ``seq > after_seq``, in file order.
@@ -233,6 +259,7 @@ class WriteAheadLog:
         """
         if not self.path.exists():
             return False
+        self.close()  # never truncate under a live append handle
         valid_end = 0
         offset = 0
         bad_seen = False
@@ -265,6 +292,7 @@ class WriteAheadLog:
 
     def reset(self) -> None:
         """Truncate the log (called after a successful checkpoint)."""
+        self.close()
         with open(self.path, "wb") as handle:
             handle.flush()
             os.fsync(handle.fileno())

@@ -42,7 +42,7 @@ from __future__ import annotations
 import queue
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -218,6 +218,32 @@ def _encode_raw_batch(
         ),
         vectors=vectors,
         spectra=kept if keep_spectra else None,
+    )
+
+
+def encode_spectra(
+    spectra: Sequence[MassSpectrum],
+    preprocessing: PreprocessingConfig,
+    encoder: IDLevelEncoder,
+    keep_spectra: bool = False,
+) -> EncodedBatch:
+    """Preprocess + encode one in-memory batch; the RPC-shaped entry point.
+
+    The file-streaming paths above chop inputs themselves; this is for
+    callers whose batches arrive already materialised — the cluster
+    service daemon runs every client ingest and query payload through it
+    *outside* its writer lock, so only the compact encoded rows enter
+    the repository's critical section.  Semantics (QC drops, encoding,
+    ``kept_offsets`` bookkeeping) are exactly the stage graph's.
+    """
+    return _encode_raw_batch(
+        list(spectra),
+        preprocessing,
+        encoder,
+        keep_spectra,
+        file_index=0,
+        batch_index=0,
+        raw_start=0,
     )
 
 

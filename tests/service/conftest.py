@@ -1,0 +1,44 @@
+"""Shared fixtures for the cluster-service daemon tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import SyntheticConfig, generate_dataset
+from repro.hdc import EncoderConfig
+from repro.store import ClusterRepository, RepositoryConfig
+
+
+@pytest.fixture(scope="session")
+def service_encoder():
+    return EncoderConfig(dim=1024, mz_bins=8_000, intensity_levels=32)
+
+
+@pytest.fixture(scope="session")
+def service_dataset():
+    return generate_dataset(
+        SyntheticConfig(
+            num_peptides=12,
+            replicates_per_peptide=8,
+            peptides_per_mass_group=1,
+            seed=47,
+        )
+    )
+
+
+@pytest.fixture()
+def populated_repo(tmp_path, service_encoder, service_dataset):
+    """A checkpointed three-shard repository holding half the dataset."""
+    repository = ClusterRepository.create(
+        tmp_path / "repo",
+        RepositoryConfig(
+            num_shards=3,
+            shard_width=16,
+            encoder=service_encoder,
+            cluster_threshold=0.36,
+        ),
+    )
+    repository.add_batch(service_dataset.spectra[: len(service_dataset) // 2])
+    repository.checkpoint()
+    repository.close()
+    return tmp_path / "repo"

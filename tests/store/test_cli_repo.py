@@ -132,6 +132,25 @@ class TestRepoInfoCommand:
         assert main(["repo-info", str(tmp_path / "nope")]) == 1
         assert "no manifest" in capsys.readouterr().err
 
+    def test_json_output_is_parseable_and_stable(
+        self, mgf_fixture, capsys
+    ):
+        import json
+
+        directory, input_path, _ = mgf_fixture
+        repo = directory / "repo-info-json"
+        assert main(ingest_args(repo, input_path)) == 0
+        capsys.readouterr()
+        assert main(["repo-info", str(repo), "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["generation"] == 1
+        assert record["num_spectra"] == 40
+        assert record["wal_pending_batches"] == 0
+        assert record["generations_on_disk"] == [1]
+        assert record["pinned_generations"] == {}
+        assert len(record["shards"]) == 3
+        assert record["encoder"]["dim"] == 1024
+
 
 class TestQueryCommand:
     def test_round_trip(self, mgf_fixture, capsys):
@@ -171,6 +190,54 @@ class TestQueryCommand:
         assert main(
             ["query", str(repo), str(query_path), "-k", "0"]
         ) == 2
+
+    def test_repository_and_remote_are_exclusive(
+        self, mgf_fixture, capsys
+    ):
+        directory, input_path, query_path = mgf_fixture
+        repo = directory / "repo-query-excl"
+        assert main(ingest_args(repo, input_path)) == 0
+        capsys.readouterr()
+        assert main(
+            ["query", str(repo), str(query_path),
+             "--remote", "127.0.0.1:1"]
+        ) == 2
+        assert main(["query", str(query_path)]) == 2
+        err = capsys.readouterr().err
+        assert "exactly one" in err
+
+
+class TestServeAndRemoteQuery:
+    def test_remote_query_matches_local(self, mgf_fixture, capsys):
+        import threading
+
+        from repro.service import ClusterService, ServiceConfig
+
+        directory, input_path, query_path = mgf_fixture
+        repo = directory / "repo-serve"
+        assert main(ingest_args(repo, input_path)) == 0
+        capsys.readouterr()
+        assert main(["query", str(repo), str(query_path), "-k", "2"]) == 0
+        local_out = capsys.readouterr().out
+
+        with ClusterService(
+            repo, ServiceConfig(port=0, checkpoint_interval=60.0)
+        ) as service:
+            service.start()
+            assert main(
+                ["query", str(query_path),
+                 "--remote", f"127.0.0.1:{service.port}", "-k", "2"]
+            ) == 0
+            remote_out = capsys.readouterr().out
+            assert threading.active_count() >= 1  # daemon still alive
+        assert remote_out == local_out
+
+    def test_remote_bad_address(self, mgf_fixture, capsys):
+        _directory, _input_path, query_path = mgf_fixture
+        assert main(
+            ["query", str(query_path), "--remote", "nonsense"]
+        ) == 1
+        assert "HOST:PORT" in capsys.readouterr().err
 
 
 class TestStreamingIngestCli:
