@@ -1,0 +1,288 @@
+"""Fleet benchmark: scatter-gather query throughput across 1→4 nodes.
+
+Measures what the fleet tier was built for — routed ``query_vectors``
+fanned across daemons that each own a slice of the shards — against the
+same repository served by a single node:
+
+``standalone``
+    One thread, one local :class:`~repro.store.QueryService` over a
+    pinned snapshot.  The in-process floor.
+``routed sweep``
+    N real :class:`~repro.service.ClusterService` daemons on localhost
+    TCP ports, a :class:`~repro.fleet.PlacementMap` striping the shards
+    across them, and an in-process :class:`~repro.fleet.RouterDaemon`
+    scatter-gathering through pooled :class:`ServiceClient` connections
+    while query threads hammer it.  Reported per fleet size: aggregate
+    q/s, per-request p50/p99, and the speedup over one routed node.
+
+Exactness is asserted on every fleet size: the routed answers must be
+byte-identical to the local query service over the same generation.
+Scaling on a single host is bounded by cores — the sweep's point is the
+router's overhead and that the merge stays exact, not a linear-speedup
+claim (that needs real machines).
+
+Run under pytest (see README) or directly::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py [--smoke]
+
+``--smoke`` runs a seconds-scale configuration for CI wiring checks and
+does not overwrite the committed full report.
+"""
+
+import os
+import shutil
+import threading
+import time
+
+import numpy as np
+
+from bench_service import (
+    DIM,
+    ENCODER,
+    REQUEST_ROWS,
+    TOP_K,
+    _make_medoids,
+    _query_batches,
+)
+from repro.fleet import NodeInfo, PlacementMap, RouterConfig, RouterDaemon
+from repro.io.hvstore import HypervectorStore
+from repro.reporting import banner, format_table
+from repro.service import ClusterService, ServiceConfig
+from repro.store import (
+    ClusterRepository,
+    QueryService,
+    RepositoryConfig,
+    RepositorySnapshot,
+)
+
+NUM_SHARDS = 8
+QUERY_THREADS = 4
+
+
+def _build_repository(root, rng, count):
+    """A checkpointed repository of ``count`` singleton clusters."""
+    repository = ClusterRepository.create(
+        root / "repo-fleet",
+        RepositoryConfig(
+            num_shards=NUM_SHARDS, shard_width=1, encoder=ENCODER
+        ),
+    )
+    vectors = _make_medoids(rng, count)
+    store = HypervectorStore(
+        vectors=vectors,
+        precursor_mz=np.array([300.0 + 0.7 * i for i in range(count)]),
+        charge=np.full(count, 2, dtype=np.int16),
+        labels=np.full(count, -1, dtype=np.int64),
+        identifiers=[f"m{i}" for i in range(count)],
+        dim=DIM,
+        encoder_seed=ENCODER.seed,
+    )
+    repository.add_store(store, batch_rows=4096)
+    repository.checkpoint()
+    repository.close()
+    return root / "repo-fleet", vectors
+
+
+def _standalone_qps(repo_dir, batches, duration):
+    with RepositorySnapshot.open(repo_dir) as snapshot:
+        with QueryService(snapshot) as service:
+            service.query_vectors(batches[0], TOP_K)  # build scan state
+            deadline = time.perf_counter() + duration
+            done = 0
+            while time.perf_counter() < deadline:
+                service.query_vectors(batches[done % len(batches)], TOP_K)
+                done += 1
+            elapsed = time.perf_counter() - deadline + duration
+    return done * REQUEST_ROWS / elapsed
+
+
+def _routed_run(root, repo_dir, num_nodes, batches, expected, duration):
+    """One sweep point: ``num_nodes`` TCP daemons behind one router."""
+    services = []
+    nodes = []
+    try:
+        for index in range(num_nodes):
+            directory = root / f"fleet{num_nodes}-node{index}"
+            shutil.copytree(repo_dir, directory)
+            service = ClusterService(
+                directory, ServiceConfig(checkpoint_interval=60.0)
+            ).start()
+            services.append(service)
+            nodes.append(
+                NodeInfo(f"node{index}", "127.0.0.1", service.port)
+            )
+        placement = PlacementMap.create(
+            nodes, num_shards=NUM_SHARDS, replication=1
+        )
+        with RouterDaemon(
+            placement, RouterConfig(probe_interval=0)
+        ) as router:
+            # Exactness first: routed answers byte-identical to the
+            # local reader over the same generation.
+            assert router.query_vectors(batches[0], k=TOP_K) == expected, (
+                f"routed results diverged at {num_nodes} nodes"
+            )
+
+            stop = threading.Event()
+            counts = [0] * QUERY_THREADS
+            latencies = []
+            latency_lock = threading.Lock()
+            failures = []
+
+            def worker(worker_id):
+                rng = np.random.default_rng(worker_id)
+                local_latencies = []
+                try:
+                    while not stop.is_set():
+                        batch = batches[int(rng.integers(len(batches)))]
+                        start = time.perf_counter()
+                        router.query_vectors(batch, k=TOP_K)
+                        local_latencies.append(
+                            time.perf_counter() - start
+                        )
+                        counts[worker_id] += 1
+                except BaseException as exc:  # pragma: no cover
+                    failures.append(exc)
+                with latency_lock:
+                    latencies.extend(local_latencies)
+
+            threads = [
+                threading.Thread(target=worker, args=(worker_id,))
+                for worker_id in range(QUERY_THREADS)
+            ]
+            begin = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            time.sleep(duration)
+            stop.set()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - begin
+            assert not failures, failures[:1]
+    finally:
+        for service in services:
+            service.stop()
+
+    latencies = np.array(latencies)
+    return {
+        "qps": sum(counts) * REQUEST_ROWS / elapsed,
+        "p50_ms": float(np.percentile(latencies, 50)) * 1e3,
+        "p99_ms": float(np.percentile(latencies, 99)) * 1e3,
+    }
+
+
+def _run(root, smoke):
+    rng = np.random.default_rng(4242)
+    count = 512 if smoke else 16_000
+    duration = 0.6 if smoke else 3.0
+    fleet_sizes = (1, 2) if smoke else (1, 2, 4)
+    num_batches = 32 if smoke else 256
+
+    repo_dir, medoids = _build_repository(root, rng, count)
+    batches = _query_batches(rng, medoids, num_batches)
+    with RepositorySnapshot.open(repo_dir) as snapshot:
+        with QueryService(snapshot) as local:
+            expected = local.query_vectors(batches[0], TOP_K)
+    standalone = _standalone_qps(repo_dir, batches, duration)
+
+    headers = ["nodes", "q/s", "vs 1 node", "vs standalone", "p50 ms",
+               "p99 ms"]
+    rows = []
+    points = []
+    base_qps = None
+    for num_nodes in fleet_sizes:
+        outcome = _routed_run(
+            root, repo_dir, num_nodes, batches, expected, duration
+        )
+        if base_qps is None:
+            base_qps = outcome["qps"]
+        points.append(
+            {
+                "nodes": num_nodes,
+                "qps": round(outcome["qps"], 1),
+                "vs_one_node": round(outcome["qps"] / base_qps, 3),
+                "vs_standalone": round(outcome["qps"] / standalone, 3),
+                "p50_ms": round(outcome["p50_ms"], 3),
+                "p99_ms": round(outcome["p99_ms"], 3),
+            }
+        )
+        rows.append(
+            [
+                f"{num_nodes}",
+                f"{outcome['qps']:,.0f}",
+                f"{outcome['qps'] / base_qps:.2f}x",
+                f"{outcome['qps'] / standalone:.2f}x",
+                f"{outcome['p50_ms']:.2f}",
+                f"{outcome['p99_ms']:.2f}",
+            ]
+        )
+
+    sections = [
+        banner(
+            "Fleet benchmark: scatter-gather routing across nodes"
+            + (" (smoke mode)" if smoke else "")
+        ),
+        f"repository: {count:,} singleton clusters over {NUM_SHARDS} "
+        f"shards, dim {DIM}; each node a full replica, shards striped "
+        f"by placement",
+        f"standalone (local snapshot reads): {standalone:,.0f} q/s at "
+        f"{REQUEST_ROWS}-row requests",
+        f"router: {QUERY_THREADS} query threads x {REQUEST_ROWS}-row "
+        f"requests over TCP daemons, {duration:.1f}s per fleet size",
+        "",
+        format_table(headers, rows),
+        "",
+        "Exactness asserted per fleet size: routed answers byte-",
+        "identical to a local QueryService over the same generation.",
+        "Single-host sweep: all nodes share these cores, so the q/s",
+        "column measures router overhead, not multi-machine speedup.",
+    ]
+    headline = {
+        "benchmark": "fleet",
+        "repository": {
+            "clusters": count,
+            "shards": NUM_SHARDS,
+            "dim": DIM,
+        },
+        "load": {
+            "query_threads": QUERY_THREADS,
+            "request_rows": REQUEST_ROWS,
+            "duration_s": duration,
+        },
+        "standalone_qps": round(standalone, 1),
+        "fleet": points,
+    }
+    return "\n".join(sections), headline
+
+
+def bench_fleet(emit_report, tmp_path_factory):
+    smoke = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+    text, headline = _run(tmp_path_factory.mktemp("fleet"), smoke)
+    emit_report("fleet", text)
+    if not smoke:
+        from bench_json import write_bench_json
+
+        write_bench_json("fleet", headline)
+
+
+if __name__ == "__main__":
+    import argparse
+    import tempfile
+    from pathlib import Path
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-scale run for CI wiring checks (no report file)",
+    )
+    arguments = parser.parse_args()
+    with tempfile.TemporaryDirectory(prefix="bench-fleet-") as scratch:
+        report, headline = _run(Path(scratch), arguments.smoke)
+    print(report)
+    if not arguments.smoke:
+        from bench_json import write_bench_json
+
+        results = Path(__file__).parent / "results"
+        results.mkdir(exist_ok=True)
+        (results / "fleet.txt").write_text(report + "\n", encoding="utf-8")
+        print(f"headline numbers -> {write_bench_json('fleet', headline)}")

@@ -1,0 +1,25 @@
+"""Machine-readable benchmark headline emission (ROADMAP item 5).
+
+Full benchmark runs fold their headline numbers into committed
+``BENCH_<name>.json`` files at the repository root, so the perf
+trajectory across PRs is diffable data instead of prose tables.  Smoke
+runs never write them — CI wiring checks must not overwrite real
+numbers with seconds-scale ones.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write ``BENCH_<name>.json`` at the repo root; returns the path."""
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path

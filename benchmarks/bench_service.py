@@ -246,6 +246,7 @@ def _run(root, smoke):
                "p99 ms", "ingest/s", "rows/pass", "ckpts"]
     rows = []
     floor_met = []
+    points = []
     for window_ms in windows:
         # Fresh copy of the repository per window, so every sweep point
         # starts from the identical generation.
@@ -257,6 +258,17 @@ def _run(root, smoke):
         )
         ratio = outcome["qps"] / standalone
         floor_met.append(ratio >= 0.8)
+        points.append(
+            {
+                "window_ms": window_ms,
+                "qps": round(outcome["qps"], 1),
+                "vs_standalone": round(ratio, 3),
+                "p50_ms": round(outcome["p50_ms"], 3),
+                "p99_ms": round(outcome["p99_ms"], 3),
+                "ingest_rate": round(outcome["ingest_rate"], 1),
+                "mean_coalesced_rows": round(outcome["mean_rows"], 2),
+            }
+        )
         rows.append(
             [
                 f"{window_ms:.1f} ms",
@@ -295,13 +307,31 @@ def _run(root, smoke):
         "Exactness asserted per window: service answers byte-identical",
         "to a local QueryService over the same pinned generation.",
     ]
-    return "\n".join(sections)
+    best = max(points, key=lambda point: point["qps"])
+    headline = {
+        "benchmark": "service",
+        "repository": {"clusters": count, "shards": 4, "dim": DIM},
+        "load": {
+            "query_threads": QUERY_THREADS,
+            "request_rows": REQUEST_ROWS,
+            "ingest_rate_offered": INGEST_RATE,
+            "duration_s": duration,
+        },
+        "standalone_qps": round(standalone, 1),
+        "best": best,
+        "windows": points,
+    }
+    return "\n".join(sections), headline
 
 
 def bench_service(emit_report, tmp_path_factory):
     smoke = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
-    text = _run(tmp_path_factory.mktemp("service"), smoke)
+    text, headline = _run(tmp_path_factory.mktemp("service"), smoke)
     emit_report("service", text)
+    if not smoke:
+        from bench_json import write_bench_json
+
+        write_bench_json("service", headline)
 
 
 if __name__ == "__main__":
@@ -316,9 +346,12 @@ if __name__ == "__main__":
     )
     arguments = parser.parse_args()
     with tempfile.TemporaryDirectory(prefix="bench-service-") as scratch:
-        report = _run(Path(scratch), arguments.smoke)
+        report, headline = _run(Path(scratch), arguments.smoke)
     print(report)
     if not arguments.smoke:
+        from bench_json import write_bench_json
+
         results = Path(__file__).parent / "results"
         results.mkdir(exist_ok=True)
         (results / "service.txt").write_text(report + "\n", encoding="utf-8")
+        print(f"headline numbers -> {write_bench_json('service', headline)}")

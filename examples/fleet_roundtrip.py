@@ -1,0 +1,131 @@
+"""Fleet round trip: placement, replication, routing, and failover.
+
+The multi-node shape of the repository (ISSUE 7): several cluster-query
+daemons each serving a replica, a versioned placement map striping the
+shards across them, and a router scatter-gathering queries with read
+failover.  This example:
+
+1. builds and checkpoints a repository, and starts node0 over it;
+2. brings node1 and node2 up **over the wire** — the replicator ships
+   node0's published generation files (resumable, checksum-verified)
+   and installs them with the checkpoint's own crash-safe ordering;
+3. writes the placement map (3 nodes, replication 2) to
+   ``placement.json`` — the same document ``repro fleet init`` emits;
+4. starts a :class:`repro.fleet.RouterDaemon` and queries through it
+   with the ordinary :class:`ServiceClient` — routed answers are
+   byte-identical to asking one node directly;
+5. stops a node and queries again: the router fails the read over to
+   the surviving replicas, still byte-identically, and the fleet
+   status record shows who is down.
+
+Run:  python examples/fleet_roundtrip.py
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro.datasets import SyntheticConfig, generate_dataset
+from repro.fleet import (
+    NodeInfo,
+    PlacementMap,
+    Replicator,
+    RouterConfig,
+    RouterDaemon,
+)
+from repro.hdc import EncoderConfig
+from repro.service import ClusterService, ServiceClient, ServiceConfig
+from repro.store import ClusterRepository, RepositoryConfig
+
+ENCODER = EncoderConfig(dim=1024, mz_bins=8_000, intensity_levels=32)
+
+
+def start_node(directory):
+    return ClusterService(
+        directory, ServiceConfig(port=0, checkpoint_interval=1.0)
+    ).start()
+
+
+def main() -> None:
+    population = generate_dataset(
+        SyntheticConfig(
+            num_peptides=24,
+            replicates_per_peptide=10,
+            peptides_per_mass_group=1,
+            seed=99,
+        )
+    )
+    half = len(population) // 2
+    queries = population.spectra[half : half + 8]
+
+    root = Path(tempfile.mkdtemp(prefix="spechd-fleet-"))
+    directories = [root / f"node{i}" for i in range(3)]
+
+    # -- 1: node0 over a checkpointed repository -----------------------
+    repository = ClusterRepository.create(
+        directories[0],
+        RepositoryConfig(num_shards=6, shard_width=16, encoder=ENCODER),
+    )
+    repository.add_batch(population.spectra[:half])
+    repository.checkpoint()
+    repository.close()
+    services = [start_node(directories[0])]
+    print(f"node0 serving generation "
+          f"{services[0].serving_generation} on port {services[0].port}")
+
+    # -- 2: replicate node0 -> node1, node2 over the wire --------------
+    with ServiceClient(port=services[0].port) as source:
+        for directory in directories[1:]:
+            installed = Replicator().pull(source, directory)
+            print(f"shipped generation {installed} to {directory.name}")
+    services += [start_node(d) for d in directories[1:]]
+
+    # -- 3: the placement map ------------------------------------------
+    nodes = [
+        NodeInfo(f"node{i}", "127.0.0.1", service.port)
+        for i, service in enumerate(services)
+    ]
+    placement = PlacementMap.create(nodes, num_shards=6, replication=2)
+    placement.save(root / "placement.json")
+    print(f"placement v{placement.version}: "
+          + ", ".join(
+              f"{name}->{placement.shards_of(name)}"
+              for name in placement.nodes
+          ))
+
+    # -- 4: the router --------------------------------------------------
+    with RouterDaemon(
+        PlacementMap.load(root / "placement.json"),
+        RouterConfig(port=0, probe_interval=0.5),
+    ) as router:
+        router.start()
+        with ServiceClient(port=services[0].port) as direct:
+            expected = direct.query(queries, k=3)
+        with ServiceClient(port=router.port) as client:
+            routed = client.query(queries, k=3)
+            assert routed == expected, "routed answers must be exact"
+            print(f"routed query across 3 nodes: byte-identical to "
+                  f"node0 (top match cluster "
+                  f"{routed[0][0].global_label}, distance "
+                  f"{routed[0][0].normalized_distance:.3f})")
+
+            # -- 5: failover -------------------------------------------
+            services[1].stop()
+            assert client.query(queries, k=3) == expected
+            print("node1 stopped: reads failed over, still "
+                  "byte-identical")
+            router.probe_once()
+            status = router.fleet_status()
+            for name, node in sorted(status["nodes"].items()):
+                state = "up" if node["healthy"] else "DOWN"
+                print(f"  {name}: {state} "
+                      f"(generation {node['generation']}, "
+                      f"shards {node['shards']})")
+
+    for service in services:
+        service.stop()
+    shutil.rmtree(root)
+
+
+if __name__ == "__main__":
+    main()

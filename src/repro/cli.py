@@ -212,6 +212,12 @@ def build_parser() -> argparse.ArgumentParser:
              "the repository directory",
     )
     query.add_argument(
+        "--router", default=None, metavar="HOST:PORT",
+        help="query a running `repro route serve` fleet router — "
+             "answers are byte-identical to a single node over the "
+             "same data",
+    )
+    query.add_argument(
         "-k", "--top-k", type=int, default=5,
         help="matches reported per query spectrum (default 5)",
     )
@@ -304,6 +310,112 @@ def build_parser() -> argparse.ArgumentParser:
         "--index", default="auto", choices=("auto", "on", "off"),
         help="bit-slice medoid index policy for the query path "
              "(default auto)",
+    )
+    serve.add_argument(
+        "--retain-generations", type=int, default=2,
+        help="superseded snapshot leases kept serving generation-pinned "
+             "reads after a checkpoint (fleet consistency; default 2)",
+    )
+
+    fleet = subparsers.add_parser(
+        "fleet", help="manage a multi-node fleet's placement map"
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fleet_init = fleet_sub.add_parser(
+        "init", help="create a placement map for a set of nodes"
+    )
+    fleet_init.add_argument(
+        "map", type=Path, help="placement map file to create"
+    )
+    fleet_init.add_argument(
+        "--node", action="append", required=True, metavar="NAME=HOST:PORT",
+        help="fleet member (repeat per node)",
+    )
+    fleet_init.add_argument(
+        "--shards", type=int, default=None,
+        help="shard count (omit with --repository to read it from the "
+             "manifest)",
+    )
+    fleet_init.add_argument(
+        "--repository", type=Path, default=None,
+        help="repository whose manifest supplies the shard count",
+    )
+    fleet_init.add_argument(
+        "--replication", type=int, default=1,
+        help="replicas per shard (default 1)",
+    )
+
+    fleet_add = fleet_sub.add_parser(
+        "add-node", help="add a node and rebalance the map"
+    )
+    fleet_add.add_argument("map", type=Path, help="placement map file")
+    fleet_add.add_argument(
+        "node", metavar="NAME=HOST:PORT", help="the joining node"
+    )
+
+    fleet_remove = fleet_sub.add_parser(
+        "remove-node", help="remove a node and rebalance the map"
+    )
+    fleet_remove.add_argument("map", type=Path, help="placement map file")
+    fleet_remove.add_argument("name", help="the leaving node's name")
+
+    fleet_status = fleet_sub.add_parser(
+        "status", help="probe every placed node and summarise health"
+    )
+    fleet_status.add_argument("map", type=Path, help="placement map file")
+    fleet_status.add_argument(
+        "--timeout", type=float, default=2.0,
+        help="per-node probe timeout in seconds (default 2.0)",
+    )
+    fleet_status.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable fleet record",
+    )
+
+    fleet_replicate = fleet_sub.add_parser(
+        "replicate",
+        help="ship a published generation between a daemon and a "
+             "directory (either direction)",
+    )
+    fleet_replicate.add_argument(
+        "source", help="HOST:PORT of a daemon (pull) or a repository "
+                       "directory (push)",
+    )
+    fleet_replicate.add_argument(
+        "target", help="repository directory (pull) or HOST:PORT of a "
+                       "daemon (push)",
+    )
+    fleet_replicate.add_argument(
+        "--chunk-bytes", type=int, default=4 * 1024 * 1024,
+        help="transfer granularity (default 4 MiB)",
+    )
+
+    route = subparsers.add_parser(
+        "route", help="the fleet's scatter-gather query router"
+    )
+    route_sub = route.add_subparsers(dest="route_command", required=True)
+    route_serve = route_sub.add_parser(
+        "serve", help="run the query router over a placement map"
+    )
+    route_serve.add_argument(
+        "map", type=Path, help="placement map file"
+    )
+    route_serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="listen address (default 127.0.0.1)",
+    )
+    route_serve.add_argument(
+        "--port", type=int, default=7678,
+        help="listen port; 0 picks an ephemeral one (default 7678)",
+    )
+    route_serve.add_argument(
+        "--probe-interval", type=float, default=2.0,
+        help="seconds between node health probes (default 2.0)",
+    )
+    route_serve.add_argument(
+        "--probe-timeout", type=float, default=2.0,
+        help="per-probe timeout in seconds (default 2.0)",
     )
     return parser
 
@@ -662,14 +774,15 @@ def _query_service_context(args: argparse.Namespace):
                 source.close()
 
     @contextmanager
-    def remote():
+    def remote(address: str, flag: str):
         from .service import ServiceClient
 
         # Scan-path knobs belong to the daemon's configuration; warn so
-        # a user passing them with --remote knows they did nothing.
+        # a user passing them with --remote/--router knows they did
+        # nothing.
         ignored = [
-            flag
-            for flag, value, default in (
+            name
+            for name, value, default in (
                 ("--backend", args.backend, "serial"),
                 ("--workers", args.workers, None),
                 ("--index", args.index, "auto"),
@@ -679,21 +792,33 @@ def _query_service_context(args: argparse.Namespace):
         ]
         if ignored:
             print(
-                f"warning: {', '.join(ignored)} ignored with --remote — "
-                "the daemon's own settings govern the scan path",
+                f"warning: {', '.join(ignored)} ignored with {flag} — "
+                "the serving side's own settings govern the scan path",
                 file=sys.stderr,
             )
-        host, _, port_text = args.remote.rpartition(":")
-        try:
-            port = int(port_text)
-        except ValueError:
-            raise SpecHDError(
-                f"--remote must be HOST:PORT, got {args.remote!r}"
-            ) from None
-        with ServiceClient(host or "127.0.0.1", port) as client:
+        host, port = _parse_address(address, flag)
+        with ServiceClient(host, port) as client:
             yield client.query
 
-    return remote() if args.remote is not None else local()
+    if args.router is not None:
+        # A router speaks the same query op as a single daemon, so the
+        # same client drives both; only the address source differs.
+        return remote(args.router, "--router")
+    if args.remote is not None:
+        return remote(args.remote, "--remote")
+    return local()
+
+
+def _parse_address(address: str, flag: str):
+    """``HOST:PORT`` → ``(host, port)`` with a clear CLI error."""
+    host, _, port_text = address.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise SpecHDError(
+            f"{flag} must be HOST:PORT, got {address!r}"
+        ) from None
+    return host or "127.0.0.1", port
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -705,10 +830,14 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.probe_bits is not None and args.probe_bits < 1:
         print("error: --probe-bits must be >= 1", file=sys.stderr)
         return 2
-    if (args.repository is None) == (args.remote is None):
+    sources = sum(
+        source is not None
+        for source in (args.repository, args.remote, args.router)
+    )
+    if sources != 1:
         print(
-            "error: give a repository directory or --remote HOST:PORT "
-            "(exactly one)",
+            "error: give a repository directory, --remote HOST:PORT, or "
+            "--router HOST:PORT (exactly one)",
             file=sys.stderr,
         )
         return 2
@@ -843,6 +972,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         coalesce_max_rows=args.coalesce_max_rows,
         max_wal_bytes=args.max_wal_bytes,
         use_index={"auto": None, "on": True, "off": False}[args.index],
+        retain_generations=args.retain_generations,
     )
     service = ClusterService(args.repository, config)
     try:
@@ -858,6 +988,174 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("shutting down", file=sys.stderr)
     finally:
         service.stop()
+    return 0
+
+
+def _parse_node_spec(spec: str):
+    """``NAME=HOST:PORT`` → :class:`~repro.fleet.NodeInfo`."""
+    from .fleet import NodeInfo
+
+    name, eq, address = spec.partition("=")
+    if not eq or not name:
+        raise SpecHDError(
+            f"node spec must be NAME=HOST:PORT, got {spec!r}"
+        )
+    host, port = _parse_address(address, f"node {name!r}")
+    return NodeInfo(name=name, host=host, port=port)
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from .fleet import PlacementMap, Replicator
+
+    if args.fleet_command == "init":
+        num_shards = args.shards
+        if (num_shards is None) == (args.repository is None):
+            print(
+                "error: give --shards N or --repository DIR "
+                "(exactly one)",
+                file=sys.stderr,
+            )
+            return 2
+        if num_shards is None:
+            from .store.manifest import RepositoryManifest
+
+            num_shards = RepositoryManifest.load(
+                args.repository
+            ).num_shards
+        nodes = [_parse_node_spec(spec) for spec in args.node]
+        placement = PlacementMap.create(
+            nodes, num_shards=num_shards, replication=args.replication
+        )
+        placement.save(args.map)
+        print(
+            f"placed {num_shards} shards x{args.replication} across "
+            f"{len(nodes)} nodes -> {args.map} (version 1)"
+        )
+        return 0
+
+    if args.fleet_command == "add-node":
+        placement = PlacementMap.load(args.map)
+        node = _parse_node_spec(args.node)
+        rebalanced = placement.add_node(node)
+        rebalanced.save(args.map)
+        moved = sum(
+            before != after
+            for before, after in zip(
+                placement.assignments, rebalanced.assignments
+            )
+        )
+        print(
+            f"added {node.name}; {moved} shard assignments moved "
+            f"(version {rebalanced.version}, loads {rebalanced.loads()})"
+        )
+        return 0
+
+    if args.fleet_command == "remove-node":
+        placement = PlacementMap.load(args.map)
+        rebalanced = placement.remove_node(args.name)
+        rebalanced.save(args.map)
+        print(
+            f"removed {args.name} "
+            f"(version {rebalanced.version}, loads {rebalanced.loads()})"
+        )
+        return 0
+
+    if args.fleet_command == "status":
+        from .fleet import RouterConfig, RouterDaemon
+
+        placement = PlacementMap.load(args.map)
+        router = RouterDaemon(
+            placement,
+            RouterConfig(
+                probe_interval=0,
+                probe_timeout=args.timeout,
+            ),
+        )
+        try:
+            router.probe_once()
+            record = router.fleet_status()
+        finally:
+            router.stop()
+        if args.json:
+            print(json.dumps(record, indent=2, sort_keys=True))
+            return 0
+        print(
+            f"placement version {record['placement_version']}: "
+            f"{record['num_shards']} shards "
+            f"x{record['replication']} replicas"
+        )
+        healthy = 0
+        for name, node in record["nodes"].items():
+            mark = "up  " if node["healthy"] else "DOWN"
+            healthy += node["healthy"]
+            detail = (
+                f"generation {node['generation']}, "
+                f"shards {node['shards']}"
+                if node["healthy"]
+                else f"({node['last_error']})"
+            )
+            print(f"  {mark} {name} {node['host']}:{node['port']} {detail}")
+        print(f"{healthy}/{len(record['nodes'])} nodes healthy")
+        return 0 if healthy == len(record["nodes"]) else 1
+
+    if args.fleet_command == "replicate":
+        from .service import ServiceClient
+
+        replicator = Replicator(chunk_bytes=args.chunk_bytes)
+        pull = ":" in args.source and args.source.rsplit(":", 1)[
+            1
+        ].isdigit()
+        if pull:
+            host, port = _parse_address(args.source, "source")
+            with ServiceClient(host, port) as client:
+                installed = replicator.pull(client, Path(args.target))
+        else:
+            host, port = _parse_address(args.target, "target")
+            with ServiceClient(host, port) as client:
+                installed = replicator.push(Path(args.source), client)
+        if installed is None:
+            print("already up to date")
+        else:
+            direction = "pulled" if pull else "pushed"
+            print(f"{direction} generation {installed}")
+        return 0
+
+    print(f"error: unknown fleet command {args.fleet_command!r}",
+          file=sys.stderr)
+    return 2
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from .fleet import PlacementMap, RouterConfig, RouterDaemon
+
+    placement = PlacementMap.load(args.map)
+    router = RouterDaemon(
+        placement,
+        RouterConfig(
+            host=args.host,
+            port=args.port,
+            probe_interval=args.probe_interval,
+            probe_timeout=args.probe_timeout,
+        ),
+    )
+    try:
+        router.start()
+        healthy = sum(
+            1 for name in placement.nodes if router._is_healthy(name)
+        )
+        print(
+            f"routing {placement.num_shards} shards across "
+            f"{len(placement.nodes)} nodes "
+            f"({healthy} healthy) on {args.host}:{router.port} "
+            f"(placement version {placement.version}); Ctrl+C stops"
+        )
+        router.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        router.stop()
     return 0
 
 
@@ -887,6 +1185,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "query": _cmd_query,
         "repo-info": _cmd_repo_info,
         "serve": _cmd_serve,
+        "fleet": _cmd_fleet,
+        "route": _cmd_route,
     }
     try:
         return handlers[args.command](args)

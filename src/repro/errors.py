@@ -53,3 +53,15 @@ class ServiceError(SpecHDError):
 
 class ServiceBusy(ServiceError):
     """The service shed this request under admission control; retry later."""
+
+
+class FleetError(SpecHDError):
+    """A multi-node fleet operation failed (placement, replication, routing)."""
+
+
+class PlacementError(FleetError):
+    """A placement map is invalid or a rebalance request is unsatisfiable."""
+
+
+class ReplicationError(FleetError):
+    """A generation transfer failed (checksum, staleness, or local state)."""

@@ -1,0 +1,39 @@
+"""The multi-node fleet tier: placement, replication, routed reads.
+
+One node (:mod:`repro.service`) is a complete serving system; this
+package scales it *out* without touching its correctness story:
+
+``repro.fleet.placement``
+    :class:`PlacementMap` — the versioned JSON control-plane document
+    assigning each precursor-bucket shard to ``replication`` nodes,
+    with minimal-disruption rebalance on node join/leave.
+``repro.fleet.replicate``
+    :class:`Replicator` — replication by *generation shipping*: a
+    published checkpoint generation is an immutable directory, so a
+    follower is brought up to date by a resumable, digest-verified file
+    transfer installed with checkpoint's own crash-safe ordering.
+``repro.fleet.router``
+    :class:`RouterDaemon` — the scatter-gather query front: each shard
+    is scanned on one of its replicas, partial top-k lists merge by the
+    store's total order, failed reads fail over to replicas inside the
+    request, and mixed-generation fan-outs re-pin at the minimum
+    generation so answers stay byte-identical to a single node even
+    while members checkpoint.
+
+CLI: ``repro fleet init/add-node/remove-node/status/replicate`` manage
+the control plane; ``repro route serve`` runs the router; ``repro query
+--router HOST:PORT`` queries through it.
+"""
+
+from .placement import NodeInfo, PlacementMap, PLACEMENT_NAME
+from .replicate import Replicator
+from .router import RouterConfig, RouterDaemon
+
+__all__ = [
+    "NodeInfo",
+    "PLACEMENT_NAME",
+    "PlacementMap",
+    "Replicator",
+    "RouterConfig",
+    "RouterDaemon",
+]

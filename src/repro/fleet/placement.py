@@ -1,0 +1,352 @@
+"""Versioned shard placement for the multi-node fleet tier.
+
+A :class:`PlacementMap` is the fleet's one piece of shared control-plane
+state: which nodes exist, and which node(s) own each precursor-bucket
+shard.  It is a small versioned JSON document — every mutation
+(:meth:`~PlacementMap.add_node`, :meth:`~PlacementMap.remove_node`)
+bumps ``version``, so the router can detect a stale map and operators
+can audit rebalances in the file's history.
+
+Placement semantics:
+
+* every node holds a *full replica* of the repository data (replication
+  ships whole generations; see :mod:`repro.fleet.replicate`), so
+  placement governs **scan responsibility**, not data partitioning —
+  shard ``s`` is scanned by the nodes in ``assignments[s]``, primary
+  first;
+* ``replication`` is the number of nodes that can answer for a shard —
+  the router fails a read over to the next replica when the primary is
+  down;
+* rebalance keeps per-node scan loads within one replica of each other
+  and moves as few assignments as a greedy exchange allows — a node
+  join must not reshuffle the whole map.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..errors import PlacementError
+
+#: Schema version of the placement document.
+PLACEMENT_FORMAT_VERSION = 1
+
+#: Conventional file name inside a fleet directory.
+PLACEMENT_NAME = "placement.json"
+
+
+@dataclass(frozen=True)
+class NodeInfo:
+    """One fleet member's identity and dial address."""
+
+    name: str
+    host: str
+    port: int
+
+    def to_wire(self) -> dict:
+        return {"host": self.host, "port": int(self.port)}
+
+
+class PlacementMap:
+    """The fleet's versioned shard→nodes assignment document."""
+
+    def __init__(
+        self,
+        nodes: Dict[str, NodeInfo],
+        assignments: List[List[str]],
+        replication: int,
+        version: int = 1,
+    ) -> None:
+        self.nodes = dict(nodes)
+        self.assignments = [list(owners) for owners in assignments]
+        self.replication = int(replication)
+        self.version = int(version)
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Construction / (de)serialisation
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        nodes: Sequence[NodeInfo],
+        num_shards: int,
+        replication: int = 1,
+    ) -> "PlacementMap":
+        """Initial round-robin placement: striped, trivially balanced.
+
+        ``assignments[s][r] = nodes[(s + r) % n]`` — each shard's
+        replicas land on consecutive nodes, so node loads differ by at
+        most one replica and every pair of replicas is on distinct
+        nodes (requires ``replication <= len(nodes)``).
+        """
+        if num_shards < 1:
+            raise PlacementError("num_shards must be >= 1")
+        if not nodes:
+            raise PlacementError("a placement needs at least one node")
+        names = [node.name for node in nodes]
+        if len(set(names)) != len(names):
+            raise PlacementError(f"duplicate node names in {names}")
+        if not 1 <= replication <= len(nodes):
+            raise PlacementError(
+                f"replication {replication} needs between 1 and "
+                f"{len(nodes)} nodes"
+            )
+        assignments = [
+            [names[(shard + r) % len(names)] for r in range(replication)]
+            for shard in range(num_shards)
+        ]
+        return cls(
+            nodes={node.name: node for node in nodes},
+            assignments=assignments,
+            replication=replication,
+            version=1,
+        )
+
+    def to_json(self) -> str:
+        record = {
+            "format_version": PLACEMENT_FORMAT_VERSION,
+            "version": self.version,
+            "replication": self.replication,
+            "num_shards": self.num_shards,
+            "nodes": {
+                name: node.to_wire()
+                for name, node in sorted(self.nodes.items())
+            },
+            "assignments": self.assignments,
+        }
+        return json.dumps(record, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PlacementMap":
+        try:
+            record = json.loads(text)
+            if record["format_version"] != PLACEMENT_FORMAT_VERSION:
+                raise PlacementError(
+                    f"unsupported placement format_version "
+                    f"{record['format_version']}"
+                )
+            nodes = {
+                str(name): NodeInfo(
+                    name=str(name),
+                    host=str(spec["host"]),
+                    port=int(spec["port"]),
+                )
+                for name, spec in record["nodes"].items()
+            }
+            placement = cls(
+                nodes=nodes,
+                assignments=[
+                    [str(owner) for owner in owners]
+                    for owners in record["assignments"]
+                ],
+                replication=int(record["replication"]),
+                version=int(record["version"]),
+            )
+        except PlacementError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PlacementError(f"malformed placement map: {exc}") from exc
+        if placement.num_shards != int(record["num_shards"]):
+            raise PlacementError(
+                "placement num_shards does not match its assignments"
+            )
+        return placement
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Atomic + durable write (temp file, fsync, rename)."""
+        path = Path(path)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        directory_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(directory_fd)
+        finally:
+            os.close(directory_fd)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "PlacementMap":
+        path = Path(path)
+        if path.is_dir():
+            path = path / PLACEMENT_NAME
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise PlacementError(f"cannot read placement map: {exc}") from exc
+        return cls.from_json(text)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.assignments)
+
+    def owners(self, shard: int) -> List[NodeInfo]:
+        """Replica nodes for ``shard``, primary first."""
+        if not 0 <= shard < self.num_shards:
+            raise PlacementError(
+                f"shard {shard} out of range [0, {self.num_shards})"
+            )
+        return [self.nodes[name] for name in self.assignments[shard]]
+
+    def shards_of(self, name: str) -> List[int]:
+        """Shards the named node is responsible for scanning."""
+        if name not in self.nodes:
+            raise PlacementError(f"unknown node {name!r}")
+        return [
+            shard
+            for shard, owners in enumerate(self.assignments)
+            if name in owners
+        ]
+
+    def loads(self) -> Dict[str, int]:
+        """Replica count per node (the quantity rebalance levels)."""
+        counts = {name: 0 for name in self.nodes}
+        for owners in self.assignments:
+            for owner in owners:
+                counts[owner] += 1
+        return counts
+
+    def validate(self) -> None:
+        """Raise :class:`PlacementError` unless every invariant holds."""
+        if self.replication < 1:
+            raise PlacementError("replication must be >= 1")
+        if self.replication > len(self.nodes):
+            raise PlacementError(
+                f"replication {self.replication} exceeds the "
+                f"{len(self.nodes)}-node fleet"
+            )
+        for shard, owners in enumerate(self.assignments):
+            if len(owners) != self.replication:
+                raise PlacementError(
+                    f"shard {shard} has {len(owners)} owners, "
+                    f"expected {self.replication}"
+                )
+            if len(set(owners)) != len(owners):
+                raise PlacementError(
+                    f"shard {shard} assigns duplicate replicas: {owners}"
+                )
+            for owner in owners:
+                if owner not in self.nodes:
+                    raise PlacementError(
+                        f"shard {shard} assigned to unknown node "
+                        f"{owner!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Membership changes (each bumps ``version``)
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: NodeInfo) -> "PlacementMap":
+        """A node joins: shed replicas onto it until loads level out.
+
+        Returns a new map (``version + 1``).  Only moves *to* the new
+        node — existing replicas never shuffle among old members, so the
+        disruption is exactly the minimum the balance target requires.
+        """
+        if node.name in self.nodes:
+            raise PlacementError(f"node {node.name!r} already placed")
+        nodes = dict(self.nodes)
+        nodes[node.name] = node
+        assignments = [list(owners) for owners in self.assignments]
+        self._level_onto(assignments, nodes, node.name)
+        return PlacementMap(
+            nodes=nodes,
+            assignments=assignments,
+            replication=self.replication,
+            version=self.version + 1,
+        )
+
+    def remove_node(self, name: str) -> "PlacementMap":
+        """A node leaves: its replicas move to the least-loaded survivors.
+
+        Returns a new map (``version + 1``).  Unsatisfiable when the
+        survivors cannot hold ``replication`` distinct replicas per
+        shard.
+        """
+        if name not in self.nodes:
+            raise PlacementError(f"unknown node {name!r}")
+        nodes = {n: info for n, info in self.nodes.items() if n != name}
+        if self.replication > len(nodes):
+            raise PlacementError(
+                f"removing {name!r} leaves {len(nodes)} nodes, fewer "
+                f"than replication {self.replication}"
+            )
+        assignments = [list(owners) for owners in self.assignments]
+        counts = {n: 0 for n in nodes}
+        for owners in assignments:
+            for owner in owners:
+                if owner in counts:
+                    counts[owner] += 1
+        for shard, owners in enumerate(assignments):
+            if name not in owners:
+                continue
+            candidates = sorted(
+                (n for n in nodes if n not in owners),
+                key=lambda n: (counts[n], n),
+            )
+            if not candidates:
+                raise PlacementError(
+                    f"no replacement replica available for shard {shard}"
+                )
+            replacement = candidates[0]
+            owners[owners.index(name)] = replacement
+            counts[replacement] += 1
+        return PlacementMap(
+            nodes=nodes,
+            assignments=assignments,
+            replication=self.replication,
+            version=self.version + 1,
+        )
+
+    @staticmethod
+    def _level_onto(
+        assignments: List[List[str]],
+        nodes: Dict[str, NodeInfo],
+        recipient: str,
+    ) -> None:
+        """Greedy exchange: move replicas from loaded nodes to ``recipient``.
+
+        Stops when the recipient is within one replica of the current
+        maximum load (the balance bound round-robin achieves) or when no
+        movable shard remains (the recipient already co-owns everything
+        the donors hold).  Deterministic: donors and shards are visited
+        in sorted order.
+        """
+        counts = {name: 0 for name in nodes}
+        for owners in assignments:
+            for owner in owners:
+                counts[owner] += 1
+        while True:
+            donors = sorted(
+                (name for name in nodes if name != recipient),
+                key=lambda n: (-counts[n], n),
+            )
+            if not donors or counts[donors[0]] - counts[recipient] <= 1:
+                return
+            moved = False
+            for donor in donors:
+                if counts[donor] - counts[recipient] <= 1:
+                    break
+                for shard, owners in enumerate(assignments):
+                    if donor in owners and recipient not in owners:
+                        owners[owners.index(donor)] = recipient
+                        counts[donor] -= 1
+                        counts[recipient] += 1
+                        moved = True
+                        break
+                if moved:
+                    break
+            if not moved:
+                return

@@ -11,20 +11,38 @@ baselines model — continuous ingest interleaved with online queries:
     batched kernel pass, and sheds load under admission control.
 ``repro.service.client``
     :class:`ServiceClient` — a blocking client returning the same match
-    and report objects as the in-process query service.
+    and report objects as the in-process query service, with connection
+    pooling (:class:`ServiceClientPool`), per-op timeouts, and a bounded
+    :class:`RetryPolicy` (busy → backoff; transport → reconnect, for
+    idempotent ops only; protocol errors → never).
+``repro.service.server``
+    :class:`RequestServer` — the shared socket front (framing, version
+    handshake, shutdown plumbing) under both the daemon and the fleet
+    router.
 ``repro.service.protocol``
-    The length-prefixed JSON wire format both sides speak.
+    The length-prefixed JSON wire format both sides speak, including
+    version negotiation.
 
 CLI: ``repro serve <repo>`` runs the daemon, ``repro query --remote
-HOST:PORT`` queries it.
+HOST:PORT`` queries it; the multi-node layer lives in :mod:`repro.fleet`.
 """
 
-from .client import ServiceClient
+from .client import (
+    NO_RETRY,
+    RetryPolicy,
+    ServiceClient,
+    ServiceClientPool,
+)
 from .daemon import ClusterService, ServiceConfig, ServiceStats
+from .server import RequestServer
 
 __all__ = [
     "ClusterService",
+    "NO_RETRY",
+    "RequestServer",
+    "RetryPolicy",
     "ServiceClient",
+    "ServiceClientPool",
     "ServiceConfig",
     "ServiceStats",
 ]

@@ -30,31 +30,45 @@ ingest interleaved with online nearest-cluster queries:
   queries are shed once the coalescing queue is full.  Load shedding
   beats unbounded queueing in every serving system this models.
 
-The wire protocol is :mod:`repro.service.protocol`; the op table:
+The wire protocol is :mod:`repro.service.protocol` (framing + the
+``hello`` version handshake live in :mod:`repro.service.server`); the
+op table:
 
-========== ============================================= ==============
-op          request fields                                response
-========== ============================================= ==============
-``ping``    —                                             ``generation``
-``info``    —                                             ``info`` dict
-``query``   ``spectra`` (WAL JSON), ``k``                 ``results``
-``query_vectors`` ``dim``/``vec`` (packed b64), ``k``     ``results``
-``ingest``  ``spectra`` (WAL JSON)                        ``report``
-``checkpoint`` —                                          ``generation``
-``shutdown`` —                                            —
-========== ============================================= ==============
+==================== ======================================== ==============
+op                    request fields                           response
+==================== ======================================== ==============
+``ping``              —                                        ``generation``
+``info``              —                                        ``info`` dict
+``metrics``           —                                        ``metrics`` dict
+``manifest``          —                                        ``manifest`` JSON
+``query``             ``spectra`` (WAL JSON), ``k``            ``results``
+``query_vectors``     ``dim``/``vec`` (packed b64), ``k``,     ``results``,
+                      optional ``shards``/``generation``       ``generation``
+``ingest``            ``spectra`` (WAL JSON)                   ``report``
+``checkpoint``        —                                        ``generation``
+``generation_files``  —                                        listing+manifest
+``fetch_chunk``       ``generation,name,offset,length``        ``data`` (b64)
+``push_begin``        ``generation,files,manifest``            resume offsets
+``push_chunk``        ``generation,name,offset,data``          —
+``push_commit``       ``generation``                           ``generation``
+``shutdown``          —                                        —
+==================== ======================================== ==============
+
+The replication ops ship a *published generation* between nodes; see
+:mod:`repro.store.generation` for the staging/verify/install machinery
+and :mod:`repro.fleet` for the placement + router layer above it.
 """
 
 from __future__ import annotations
 
-import socket
 import threading
 import time
+from collections import OrderedDict, deque
 from concurrent.futures import Future
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from queue import Empty, Full, Queue
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -62,9 +76,16 @@ from ..errors import ConfigurationError, ServiceBusy, ServiceError
 from ..execution import ExecutionPool
 from ..spectrum import MassSpectrum
 from ..store import ClusterRepository, QueryService, RepositoryUpdateReport
+from ..store.generation import (
+    GenerationFile,
+    GenerationStager,
+    list_generation_files,
+    read_generation_chunk,
+)
 from ..store.snapshot import RepositorySnapshot
 from ..streaming import encode_spectra
 from . import protocol
+from .server import RequestServer
 
 
 @dataclass(frozen=True)
@@ -94,6 +115,14 @@ class ServiceConfig:
     max_wal_bytes: int = 256 * 1024 * 1024
     #: Forwarded to every :class:`QueryService` (None = manifest auto).
     use_index: Optional[bool] = None
+    #: Superseded snapshot leases kept alive after a swap (most recent
+    #: first).  A retained lease pins its generation on disk and keeps
+    #: serving generation-pinned queries — the fleet router uses this to
+    #: answer at a common generation while individual nodes checkpoint
+    #: past it.  0 retires superseded leases immediately (PR 5 behaviour).
+    retain_generations: int = 2
+    #: Ceiling on one ``fetch_chunk``/``push_chunk`` payload.
+    max_chunk_bytes: int = 8 * 1024 * 1024
 
     def __post_init__(self) -> None:
         if self.checkpoint_interval <= 0:
@@ -108,6 +137,10 @@ class ServiceConfig:
             raise ConfigurationError("max_pending_queries must be >= 1")
         if self.max_wal_bytes < 1:
             raise ConfigurationError("max_wal_bytes must be >= 1")
+        if self.retain_generations < 0:
+            raise ConfigurationError("retain_generations must be >= 0")
+        if self.max_chunk_bytes < 1:
+            raise ConfigurationError("max_chunk_bytes must be >= 1")
 
 
 @dataclass
@@ -123,6 +156,7 @@ class ServiceStats:
     ingest_shed: int = 0
     checkpoints: int = 0
     snapshot_swaps: int = 0
+    generations_installed: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -144,6 +178,7 @@ class ServiceStats:
                 "ingest_shed": self.ingest_shed,
                 "checkpoints": self.checkpoints,
                 "snapshot_swaps": self.snapshot_swaps,
+                "generations_installed": self.generations_installed,
             }
 
     @property
@@ -213,6 +248,49 @@ class _PendingQuery:
     future: Future
 
 
+class _OpLatencies:
+    """Per-op latency rings feeding the ``metrics`` op's p50/p99.
+
+    A bounded deque per op keeps the percentiles recent (a daemon that
+    has been up for a week reports *current* behaviour, not its lifetime
+    average) and the memory constant; the total count is tracked
+    separately so operators still see absolute volume.
+    """
+
+    def __init__(self, capacity: int = 2048) -> None:
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._samples: Dict[str, deque] = {}
+        self._counts: Dict[str, int] = {}
+
+    def record(self, op: str, seconds: float) -> None:
+        with self._lock:
+            ring = self._samples.get(op)
+            if ring is None:
+                ring = deque(maxlen=self._capacity)
+                self._samples[op] = ring
+                self._counts[op] = 0
+            ring.append(seconds)
+            self._counts[op] += 1
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        with self._lock:
+            snapshot = {
+                op: (list(ring), self._counts[op])
+                for op, ring in self._samples.items()
+            }
+        result: Dict[str, Dict[str, float]] = {}
+        for op, (samples, count) in sorted(snapshot.items()):
+            ordered = sorted(samples)
+            last = len(ordered) - 1
+            result[op] = {
+                "count": count,
+                "p50_ms": ordered[last // 2] * 1e3,
+                "p99_ms": ordered[min(last, (last * 99 + 99) // 100)] * 1e3,
+            }
+        return result
+
+
 class ClusterService:
     """The daemon: repository writer + snapshot serving + socket front.
 
@@ -251,12 +329,21 @@ class ClusterService:
         self._admit_lock = threading.Lock()
         self._checkpoint_error: Optional[str] = None
         self._lease: Optional[_SnapshotLease] = None
+        #: Superseded leases still serving generation-pinned reads,
+        #: oldest first; bounded by ``config.retain_generations``.
+        self._retained: "OrderedDict[int, _SnapshotLease]" = OrderedDict()
         self._lease_lock = threading.Lock()
         self._stop = threading.Event()
         self._threads: List[threading.Thread] = []
-        self._listener: Optional[socket.socket] = None
+        self._server: Optional[RequestServer] = None
         self.port: Optional[int] = None
         self._started = False
+        self._op_latencies = _OpLatencies()
+        self._started_at = time.time()
+        self._published_at = time.time()
+        #: In-flight inbound generation transfers, keyed by generation.
+        self._stagers: Dict[int, GenerationStager] = {}
+        self._stager_lock = threading.Lock()
         # Serve the freshest possible state from the first request on:
         # fold any replayed-but-unpublished WAL batches into a
         # generation, then pin it.
@@ -269,7 +356,15 @@ class ClusterService:
     # ------------------------------------------------------------------
 
     def _publish_snapshot(self) -> None:
-        """Open a lease on the last published generation and swap it in."""
+        """Open a lease on the last published generation and swap it in.
+
+        The superseded lease is *retained* (up to
+        ``config.retain_generations`` of them, newest kept longest)
+        rather than retired: a retained lease keeps its generation
+        pinned and keeps answering generation-pinned queries, so
+        fleet-routed reads stay consistent across nodes that checkpoint
+        at different moments.
+        """
         snapshot = self.repository.snapshot()
         service = QueryService(
             snapshot,
@@ -277,17 +372,45 @@ class ClusterService:
             pool=self._pool,
         )
         lease = _SnapshotLease(snapshot, service)
+        to_retire: List[_SnapshotLease] = []
         with self._lease_lock:
             old, self._lease = self._lease, lease
+            if old is not None:
+                if (
+                    self.config.retain_generations > 0
+                    and old.generation != lease.generation
+                ):
+                    self._retained[old.generation] = old
+                    self._retained.move_to_end(old.generation)
+                    while (
+                        len(self._retained) > self.config.retain_generations
+                    ):
+                        _, evicted = self._retained.popitem(last=False)
+                        to_retire.append(evicted)
+                else:
+                    to_retire.append(old)
+        for retired in to_retire:
+            retired.retire()
         if old is not None:
-            old.retire()
             self.stats.bump(snapshot_swaps=1)
+        self._published_at = time.time()
 
-    def _acquire_lease(self) -> _SnapshotLease:
+    def _acquire_lease(
+        self, generation: Optional[int] = None
+    ) -> _SnapshotLease:
         with self._lease_lock:
             if self._lease is None:
                 raise ServiceError("service is closed")
-            return self._lease.acquire()
+            if generation is None or generation == self._lease.generation:
+                return self._lease.acquire()
+            retained = self._retained.get(generation)
+            if retained is not None:
+                return retained.acquire()
+            raise ServiceError(
+                f"generation {generation} is not retained by this node "
+                f"(serving {self._lease.generation}, retained "
+                f"{sorted(self._retained)})"
+            )
 
     @property
     def serving_generation(self) -> int:
@@ -422,7 +545,8 @@ class ClusterService:
             return [[] for _ in range(vectors.shape[0])]
         if not self._started:
             # No dispatcher thread: serve inline (embedded/test use).
-            return self._direct_query(vectors, k)
+            results, _generation = self._direct_query(vectors, k)
+            return results
         pending = _PendingQuery(vectors=vectors, k=k, future=Future())
         with self._admit_lock:
             if self._stop.is_set():
@@ -436,16 +560,53 @@ class ClusterService:
                 ) from None
         return pending.future.result()
 
-    def _direct_query(self, vectors: np.ndarray, k: int) -> List[List]:
-        lease = self._acquire_lease()
+    def query_vectors_at(
+        self,
+        vectors: np.ndarray,
+        k: int = 5,
+        shards: Optional[Sequence[int]] = None,
+        generation: Optional[int] = None,
+    ) -> Tuple[List[List], int]:
+        """Shard-restricted and/or generation-pinned query (the fleet path).
+
+        Returns ``(results, generation_served)``.  Bypasses the
+        coalescer: routed partial queries must not coalesce with
+        unrestricted ones (their shard subsets differ), and the router
+        already batches per node.  ``generation=None`` serves the
+        current snapshot; a specific generation must be the serving one
+        or one still retained (see ``ServiceConfig.retain_generations``).
+        """
+        vectors = np.asarray(vectors, dtype=np.uint64)
+        if vectors.ndim != 2:
+            raise ServiceError("query vectors must be a (n, words) matrix")
+        if vectors.shape[0] == 0 or k < 1:
+            lease = self._acquire_lease(generation)
+            try:
+                served = lease.generation
+            finally:
+                lease.release()
+            return [[] for _ in range(vectors.shape[0])], served
+        return self._direct_query(
+            vectors, k, shards=shards, generation=generation
+        )
+
+    def _direct_query(
+        self,
+        vectors: np.ndarray,
+        k: int,
+        shards: Optional[Sequence[int]] = None,
+        generation: Optional[int] = None,
+    ) -> Tuple[List[List], int]:
+        lease = self._acquire_lease(generation)
         try:
-            results = lease.service.query_vectors(vectors, k)
+            results = lease.service.query_vectors(vectors, k, shards=shards)
+            served = lease.generation
         finally:
             lease.release()
         self.stats.bump(
             queries=1, query_rows=int(vectors.shape[0]), query_passes=1
         )
-        return results
+        return results, served
 
     def _dispatch_loop(self) -> None:
         while True:
@@ -486,7 +647,7 @@ class ClusterService:
                 else np.concatenate([item.vectors for item in batch], axis=0)
             )
             k_max = max(item.k for item in batch)
-            merged = self._direct_query(stacked, k_max)
+            merged, _generation = self._direct_query(stacked, k_max)
         except BaseException as exc:
             for item in batch:
                 if not item.future.set_running_or_notify_cancel():
@@ -527,6 +688,154 @@ class ClusterService:
         }
         return record
 
+    def metrics(self) -> dict:
+        """The operational health record: the router probe's diet.
+
+        Cheaper and more pointed than ``info`` — no shard iteration, no
+        directory walks — so health probes can run every couple of
+        seconds without perturbing the serving path.
+        """
+        now = time.time()
+        with self._lease_lock:
+            retained = sorted(self._retained)
+        return {
+            "generation": self.serving_generation,
+            "generation_age_seconds": max(now - self._published_at, 0.0),
+            "uptime_seconds": max(now - self._started_at, 0.0),
+            "queue_depth": self._queue.qsize(),
+            "wal_pending_bytes": self.repository.wal_bytes(),
+            "wal_pending_batches": self.repository.wal_pending_batches,
+            "retained_generations": retained,
+            "coalesce": {
+                "mean_rows": self.stats.mean_coalesced_rows,
+                "window_ms": self.config.coalesce_window_ms,
+                "max_rows": self.config.coalesce_max_rows,
+            },
+            "counters": self.stats.snapshot(),
+            "ops": self._op_latencies.summary(),
+            "last_checkpoint_error": self._checkpoint_error,
+        }
+
+    # ------------------------------------------------------------------
+    # Replication (generation shipping)
+    # ------------------------------------------------------------------
+
+    def generation_files(self) -> dict:
+        """The serving generation's file listing + manifest, for pulls.
+
+        Served under a lease, so the listing is digested from files the
+        pin guarantees are still on disk, and the manifest JSON is the
+        one that named exactly this generation.
+        """
+        lease = self._acquire_lease()
+        try:
+            generation = lease.generation
+            if generation == 0:
+                raise ServiceError(
+                    "nothing published yet: checkpoint before replicating"
+                )
+            files = list_generation_files(self.directory, generation)
+            manifest_json = lease.snapshot.manifest.to_json()
+        finally:
+            lease.release()
+        return {
+            "generation": generation,
+            "files": [entry.to_wire() for entry in files],
+            "manifest": manifest_json,
+        }
+
+    def fetch_chunk(
+        self, generation: int, name: str, offset: int, length: int
+    ) -> bytes:
+        """One byte range of a generation member (pull transfers)."""
+        if length > self.config.max_chunk_bytes:
+            raise ServiceError(
+                f"chunk length {length} exceeds the "
+                f"{self.config.max_chunk_bytes}-byte ceiling"
+            )
+        return read_generation_chunk(
+            self.directory, generation, name, offset, length
+        )
+
+    def push_begin(
+        self,
+        generation: int,
+        files: Sequence[GenerationFile],
+        manifest_json: str,
+    ) -> Optional[Dict[str, int]]:
+        """Open (or resume) an inbound transfer; returns resume offsets.
+
+        ``None`` means this node is already at or past ``generation`` —
+        the push is a no-op, not an error (replicating an up-to-date
+        follower must be idempotent).  Pending local WAL batches shed
+        the push with :class:`ServiceBusy`: the follower's checkpointer
+        will fold them shortly, and overwriting acknowledged local
+        writes is never acceptable.
+        """
+        if generation <= self.repository.manifest.generation:
+            return None
+        if self.repository.wal_pending_batches > 0:
+            raise ServiceBusy(
+                "node has pending local WAL batches; retry after its "
+                "next checkpoint"
+            )
+        with self._stager_lock:
+            stager = self._stagers.get(generation)
+            if stager is None:
+                stager = GenerationStager(self.directory, generation)
+                self._stagers[generation] = stager
+        return stager.begin(files, manifest_json)
+
+    def push_chunk(
+        self, generation: int, name: str, offset: int, data: bytes
+    ) -> None:
+        """Stage one byte range of an inbound transfer."""
+        if len(data) > self.config.max_chunk_bytes:
+            raise ServiceError(
+                f"chunk of {len(data)} bytes exceeds the "
+                f"{self.config.max_chunk_bytes}-byte ceiling"
+            )
+        with self._stager_lock:
+            stager = self._stagers.get(generation)
+        if stager is None:
+            raise ServiceError(
+                f"no open transfer for generation {generation} "
+                "(push_begin first)"
+            )
+        stager.write_chunk(name, offset, data)
+
+    def push_commit(self, generation: int) -> int:
+        """Verify + install a pushed generation and republish from it.
+
+        The install (checksum verify, rename, manifest swap, WAL reset,
+        repository reopen) runs under the writer lock, so it serialises
+        against concurrent ingest exactly like a checkpoint does; the
+        snapshot republish then swaps the serving lease, and readers
+        mid-query keep the old snapshot until they drain — an install is
+        invisible to in-flight reads, like any other swap.
+        """
+        with self._stager_lock:
+            stager = self._stagers.get(generation)
+        if stager is None:
+            raise ServiceError(
+                f"no open transfer for generation {generation} "
+                "(push_begin first)"
+            )
+        with self._write_lock:
+            installed = stager.commit()
+            old = self.repository
+            old.close()
+            self.repository = ClusterRepository.open(
+                self.directory,
+                execution_backend=self.config.backend,
+                num_workers=self.config.workers,
+            )
+        with self._stager_lock:
+            self._stagers.pop(generation, None)
+        self._publish_snapshot()
+        self.stats.bump(generations_installed=1)
+        return installed
+
     # ------------------------------------------------------------------
     # Socket front
     # ------------------------------------------------------------------
@@ -535,18 +844,16 @@ class ClusterService:
         """Bind the socket and launch the daemon threads (idempotent)."""
         if self._started:
             return self
-        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        listener.bind((self.config.host, self.config.port))
-        listener.listen(128)
-        # A blocked accept() is not reliably woken by close() alone; the
-        # timeout bounds how long stop() waits for the accept thread.
-        listener.settimeout(0.2)
-        self._listener = listener
-        self.port = listener.getsockname()[1]
+        self._server = RequestServer(
+            self.config.host,
+            self.config.port,
+            handle=self._handle,
+            on_shutdown=self.stop,
+            name="repro",
+        )
+        self.port = self._server.start()
         self._started = True
         for name, target in (
-            ("repro-accept", self._accept_loop),
             ("repro-dispatch", self._dispatch_loop),
             ("repro-checkpoint", self._checkpoint_loop),
         ):
@@ -555,102 +862,133 @@ class ClusterService:
             self._threads.append(thread)
         return self
 
-    def _accept_loop(self) -> None:
-        assert self._listener is not None
-        while not self._stop.is_set():
-            try:
-                connection, _address = self._listener.accept()
-            except socket.timeout:
-                continue
-            except OSError:
-                return  # listener closed by stop()
-            # Accepted sockets inherit the listener's timeout mode; the
-            # per-connection protocol is blocking request/response.
-            connection.setblocking(True)
-            thread = threading.Thread(
-                target=self._serve_connection,
-                args=(connection,),
-                name="repro-conn",
-                daemon=True,
-            )
-            thread.start()
-
-    def _serve_connection(self, connection: socket.socket) -> None:
-        with connection:
-            connection.setsockopt(
-                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
-            )
-            while not self._stop.is_set():
-                try:
-                    request = protocol.recv_message(connection)
-                except ServiceError:
-                    return  # framing violation: drop the connection
-                if request is None:
-                    return  # clean client disconnect
-                response = self._handle(request)
-                try:
-                    protocol.send_message(connection, response)
-                except OSError:
-                    return
-                if request.get("op") == "shutdown":
-                    # Response is on the wire; stop from a helper thread
-                    # so this handler can be joined like any other.
-                    threading.Thread(
-                        target=self.stop, name="repro-shutdown"
-                    ).start()
-                    return
-
     def _handle(self, request: dict) -> dict:
         """Dispatch one request dict to a response dict (never raises)."""
         op = request.get("op")
+        started = time.perf_counter()
         try:
-            if op == "ping":
-                return {
-                    "status": "ok",
-                    "generation": self.serving_generation,
-                }
-            if op == "info":
-                return {"status": "ok", "info": self.info()}
-            if op == "query":
-                spectra = protocol.spectra_from_wire(
-                    request.get("spectra", [])
-                )
-                results = self.query(spectra, k=int(request.get("k", 5)))
-                return {
-                    "status": "ok",
-                    "results": [
-                        [asdict(match) for match in matches]
-                        for matches in results
-                    ],
-                }
-            if op == "query_vectors":
-                vectors = protocol.vectors_from_wire(request)
-                results = self.query_vectors(
-                    vectors, k=int(request.get("k", 5))
-                )
-                return {
-                    "status": "ok",
-                    "results": [
-                        [asdict(match) for match in matches]
-                        for matches in results
-                    ],
-                }
-            if op == "ingest":
-                spectra = protocol.spectra_from_wire(
-                    request.get("spectra", [])
-                )
-                report = self.ingest(spectra)
-                return {"status": "ok", "report": asdict(report)}
-            if op == "checkpoint":
-                return {"status": "ok", "generation": self.checkpoint()}
-            if op == "shutdown":
-                return {"status": "ok"}
-            return {"status": "error", "error": f"unknown op {op!r}"}
+            return self._dispatch(op, request)
         except ServiceBusy as exc:
             return {"status": "busy", "error": str(exc)}
         except Exception as exc:  # noqa: BLE001 - one bad request must
             # never take the daemon down; the client gets the message.
             return {"status": "error", "error": f"{type(exc).__name__}: {exc}"}
+        finally:
+            if isinstance(op, str):
+                self._op_latencies.record(op, time.perf_counter() - started)
+
+    def _dispatch(self, op, request: dict) -> dict:
+        if op == "ping":
+            return {
+                "status": "ok",
+                "generation": self.serving_generation,
+            }
+        if op == "info":
+            return {"status": "ok", "info": self.info()}
+        if op == "metrics":
+            return {"status": "ok", "metrics": self.metrics()}
+        if op == "manifest":
+            lease = self._acquire_lease()
+            try:
+                manifest_json = lease.snapshot.manifest.to_json()
+                generation = lease.generation
+            finally:
+                lease.release()
+            return {
+                "status": "ok",
+                "generation": generation,
+                "manifest": manifest_json,
+            }
+        if op == "query":
+            spectra = protocol.spectra_from_wire(
+                request.get("spectra", [])
+            )
+            results = self.query(spectra, k=int(request.get("k", 5)))
+            return {
+                "status": "ok",
+                "results": [
+                    [asdict(match) for match in matches]
+                    for matches in results
+                ],
+            }
+        if op == "query_vectors":
+            vectors = protocol.vectors_from_wire(request)
+            k = int(request.get("k", 5))
+            shards = request.get("shards")
+            generation = request.get("generation")
+            if shards is None and generation is None:
+                results = self.query_vectors(vectors, k=k)
+                served = self.serving_generation  # advisory: coalesced
+            else:
+                results, served = self.query_vectors_at(
+                    vectors,
+                    k=k,
+                    shards=(
+                        None
+                        if shards is None
+                        else [int(s) for s in shards]
+                    ),
+                    generation=(
+                        None if generation is None else int(generation)
+                    ),
+                )
+            return {
+                "status": "ok",
+                "generation": served,
+                "results": [
+                    [asdict(match) for match in matches]
+                    for matches in results
+                ],
+            }
+        if op == "ingest":
+            spectra = protocol.spectra_from_wire(
+                request.get("spectra", [])
+            )
+            report = self.ingest(spectra)
+            return {"status": "ok", "report": asdict(report)}
+        if op == "checkpoint":
+            return {"status": "ok", "generation": self.checkpoint()}
+        if op == "generation_files":
+            return {"status": "ok", **self.generation_files()}
+        if op == "fetch_chunk":
+            data = self.fetch_chunk(
+                int(request["generation"]),
+                str(request["name"]),
+                int(request.get("offset", 0)),
+                int(request["length"]),
+            )
+            return {"status": "ok", "data": protocol.bytes_to_wire(data)}
+        if op == "push_begin":
+            files = [
+                GenerationFile.from_wire(entry)
+                for entry in request.get("files", [])
+            ]
+            offsets = self.push_begin(
+                int(request["generation"]),
+                files,
+                str(request["manifest"]),
+            )
+            if offsets is None:
+                return {"status": "ok", "already_current": True}
+            return {
+                "status": "ok",
+                "already_current": False,
+                "offsets": offsets,
+            }
+        if op == "push_chunk":
+            self.push_chunk(
+                int(request["generation"]),
+                str(request["name"]),
+                int(request.get("offset", 0)),
+                protocol.bytes_from_wire(request.get("data", "")),
+            )
+            return {"status": "ok"}
+        if op == "push_commit":
+            installed = self.push_commit(int(request["generation"]))
+            return {"status": "ok", "generation": installed}
+        if op == "shutdown":
+            return {"status": "ok"}
+        return {"status": "error", "error": f"unknown op {op!r}"}
 
     def serve_forever(self) -> None:
         """Block until :meth:`stop` (or a client ``shutdown`` op)."""
@@ -663,11 +1001,8 @@ class ClusterService:
             if self._stop.is_set():
                 return
             self._stop.set()
-        if self._listener is not None:
-            try:
-                self._listener.close()
-            except OSError:
-                pass
+        if self._server is not None:
+            self._server.stop()
         if self._started:
             self._queue.put(None)  # wake the dispatcher for shutdown
         current = threading.current_thread()
@@ -676,10 +1011,18 @@ class ClusterService:
                 thread.join(timeout=10.0)
         self._threads.clear()
         self._drain_queue()
+        with self._stager_lock:
+            # Partial transfers stay on disk for resume after restart;
+            # staging dirs are invisible to generation sweeps.
+            self._stagers.clear()
         with self._lease_lock:
             lease, self._lease = self._lease, None
+            retained = list(self._retained.values())
+            self._retained.clear()
         if lease is not None:
             lease.retire()
+        for old in retained:
+            old.retire()
         # The writer lock waits out any in-flight ingest before the
         # terminal sweep + close; later ingests fail on the closed
         # repository instead of being acknowledged post-shutdown.

@@ -41,8 +41,18 @@ from ..store.wal import _spectrum_from_json, _spectrum_to_json
 #: Protocol magic: rejects stray HTTP/TLS/etc. traffic immediately.
 MAGIC = b"RPRO"
 
-#: Wire protocol version (bumped on incompatible payload changes).
-PROTOCOL_VERSION = 1
+#: Wire protocol version this build prefers.  Version 2 added the
+#: ``hello`` handshake, shard-restricted / generation-pinned queries,
+#: ``metrics``, and the generation-shipping replication ops; its framing
+#: and payload conventions are identical to version 1, so both remain
+#: accepted on the wire.
+PROTOCOL_VERSION = 2
+
+#: Frame versions this build can decode.  Servers answer each request in
+#: the requester's frame version, so a v1 peer keeps working against a
+#: v2 daemon; anything outside this set is rejected with a versioned
+#: error message instead of a decode failure.
+SUPPORTED_PROTOCOLS = frozenset({1, 2})
 
 #: Header layout: magic, version, payload byte length.
 _HEADER = struct.Struct(">4sHI")
@@ -52,20 +62,27 @@ _HEADER = struct.Struct(">4sHI")
 MAX_FRAME_BYTES = 256 * 1024 * 1024
 
 
-def encode_frame(message: dict) -> bytes:
-    """Serialise one message to its framed wire bytes."""
+def encode_frame(message: dict, version: int = PROTOCOL_VERSION) -> bytes:
+    """Serialise one message to its framed wire bytes.
+
+    ``version`` stamps the frame header; servers pass the requester's
+    version so responses are readable by older peers (the payload
+    conventions are shared across every supported version).
+    """
     payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
     if len(payload) > MAX_FRAME_BYTES:
         raise ServiceError(
             f"frame payload of {len(payload)} bytes exceeds the "
             f"{MAX_FRAME_BYTES}-byte protocol limit"
         )
-    return _HEADER.pack(MAGIC, PROTOCOL_VERSION, len(payload)) + payload
+    return _HEADER.pack(MAGIC, version, len(payload)) + payload
 
 
-def send_message(sock, message: dict) -> None:
+def send_message(
+    sock, message: dict, version: int = PROTOCOL_VERSION
+) -> None:
     """Frame and send one message on a connected socket."""
-    sock.sendall(encode_frame(message))
+    sock.sendall(encode_frame(message, version=version))
 
 
 def _recv_exactly(sock, count: int) -> bytes:
@@ -83,19 +100,30 @@ def _recv_exactly(sock, count: int) -> bytes:
     return b"".join(chunks)
 
 
-def recv_message(sock) -> dict | None:
-    """Receive one framed message; ``None`` on clean end-of-stream."""
+def version_mismatch_error(version: int) -> str:
+    """The one clear sentence both sides use for an unsupported version."""
+    supported = "/".join(str(v) for v in sorted(SUPPORTED_PROTOCOLS))
+    return (
+        f"unsupported protocol version {version} "
+        f"(this build speaks {supported})"
+    )
+
+
+def recv_frame(sock):
+    """Receive one frame without rejecting unsupported versions.
+
+    Returns ``None`` on clean end-of-stream, else ``(version, message)``
+    where ``message`` is ``None`` when the frame's version is outside
+    :data:`SUPPORTED_PROTOCOLS` — the payload bytes are drained but not
+    decoded, so a server can answer with a versioned error instead of a
+    decode failure and keep the connection state sane.
+    """
     header = _recv_exactly(sock, _HEADER.size)
     if not header:
         return None
     magic, version, length = _HEADER.unpack(header)
     if magic != MAGIC:
         raise ServiceError("bad frame magic (not a repro service peer?)")
-    if version != PROTOCOL_VERSION:
-        raise ServiceError(
-            f"unsupported protocol version {version} "
-            f"(this build speaks {PROTOCOL_VERSION})"
-        )
     if length > MAX_FRAME_BYTES:
         raise ServiceError(
             f"frame of {length} bytes exceeds the protocol limit"
@@ -103,12 +131,30 @@ def recv_message(sock) -> dict | None:
     payload = _recv_exactly(sock, length) if length else b""
     if length and not payload:
         raise ServiceError("connection closed mid-frame")
+    if version not in SUPPORTED_PROTOCOLS:
+        return version, None
     try:
         message = json.loads(payload.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise ServiceError(f"undecodable frame payload: {exc}") from exc
     if not isinstance(message, dict):
         raise ServiceError("frame payload must be a JSON object")
+    return version, message
+
+
+def recv_message(sock) -> dict | None:
+    """Receive one framed message; ``None`` on clean end-of-stream.
+
+    The strict client-side receive: an unsupported frame version raises
+    (a client cannot answer in kind the way :func:`recv_frame` lets a
+    server do).
+    """
+    frame = recv_frame(sock)
+    if frame is None:
+        return None
+    version, message = frame
+    if message is None:
+        raise ServiceError(version_mismatch_error(version))
     return message
 
 
@@ -148,3 +194,16 @@ def vectors_from_wire(payload: dict) -> np.ndarray:
     if words < 1 or len(raw) % (8 * words):
         raise ServiceError("vector payload length does not match dim")
     return np.frombuffer(raw, dtype="<u8").reshape(-1, words).astype(np.uint64)
+
+
+def bytes_to_wire(data: bytes) -> str:
+    """Raw bytes → base64 text (generation file chunks)."""
+    return base64.b64encode(data).decode("ascii")
+
+
+def bytes_from_wire(text: str) -> bytes:
+    """Inverse of :func:`bytes_to_wire`."""
+    try:
+        return base64.b64decode(text, validate=True)
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(f"malformed chunk payload: {exc}") from exc

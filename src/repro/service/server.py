@@ -1,0 +1,202 @@
+"""The socket front shared by the cluster daemon and the fleet router.
+
+:class:`RequestServer` owns exactly the transport concerns — listening,
+per-connection threads, framing, the ``hello`` version handshake, and
+the ``shutdown`` op's stop callback — and delegates every other request
+to a ``handle(request) -> response`` callable.  Both
+:class:`~repro.service.ClusterService` and
+:class:`~repro.fleet.RouterDaemon` are that callable plus a request
+vocabulary; neither reimplements the wire.
+
+Version negotiation lives here so every server answers it uniformly:
+
+* each response is framed at the *requester's* frame version, so a v1
+  client keeps working against a v2 server unchanged;
+* a frame whose version this build cannot decode is answered with a
+  clear ``unsupported protocol version N`` error (framed at our best
+  version) and the connection is closed — never a decode failure;
+* ``hello`` requests announce the peer's preferred version and are
+  answered with ours; both sides then speak ``min(theirs, ours)``.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Callable, List, Optional
+
+from .. import __version__
+from ..errors import ServiceError
+from . import protocol
+
+
+class RequestServer:
+    """A length-prefixed JSON request/response listener.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; port 0 binds an ephemeral port (read :attr:`port`
+        after :meth:`start`).
+    handle:
+        ``request dict -> response dict``; must never raise (servers
+        wrap their dispatch in a catch-all).  ``hello`` requests are
+        answered here and never reach it.
+    on_shutdown:
+        Called (on a fresh thread, after the response is on the wire)
+        when a client sends the ``shutdown`` op.
+    name:
+        Thread-name prefix and the ``server`` field of hello responses.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        handle: Callable[[dict], dict],
+        on_shutdown: Optional[Callable[[], None]] = None,
+        name: str = "repro",
+    ) -> None:
+        self._host = host
+        self._requested_port = port
+        self._handle = handle
+        self._on_shutdown = on_shutdown
+        self._name = name
+        self._stop = threading.Event()
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self.port: Optional[int] = None
+
+    def start(self) -> int:
+        """Bind and launch the accept thread; returns the bound port."""
+        if self._listener is not None:
+            return self.port  # idempotent
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._requested_port))
+        listener.listen(128)
+        # A blocked accept() is not reliably woken by close() alone; the
+        # timeout bounds how long stop() waits for the accept thread.
+        listener.settimeout(0.2)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        thread = threading.Thread(
+            target=self._accept_loop,
+            name=f"{self._name}-accept",
+            daemon=True,
+        )
+        thread.start()
+        self._threads.append(thread)
+        return self.port
+
+    def stop(self) -> None:
+        """Close the listener and join the accept thread (idempotent)."""
+        self._stop.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        current = threading.current_thread()
+        for thread in self._threads:
+            if thread is not current:
+                thread.join(timeout=10.0)
+        self._threads.clear()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stop.is_set():
+            try:
+                connection, _address = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed by stop()
+            # Accepted sockets inherit the listener's timeout mode; the
+            # per-connection protocol is blocking request/response.
+            connection.setblocking(True)
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(connection,),
+                name=f"{self._name}-conn",
+                daemon=True,
+            )
+            thread.start()
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        with connection:
+            connection.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+            while not self._stop.is_set():
+                try:
+                    frame = protocol.recv_frame(connection)
+                except ServiceError:
+                    return  # framing violation: drop the connection
+                if frame is None:
+                    return  # clean client disconnect
+                version, request = frame
+                if request is None:
+                    # A frame version this build cannot decode: answer
+                    # with the versioned sentence (framed at our best —
+                    # the header layout is fixed across versions, so any
+                    # peer can at least read the error) and hang up.
+                    try:
+                        protocol.send_message(
+                            connection,
+                            {
+                                "status": "error",
+                                "error": protocol.version_mismatch_error(
+                                    version
+                                ),
+                            },
+                        )
+                    except OSError:
+                        pass
+                    return
+                response = self._respond(version, request)
+                try:
+                    # Answer in the requester's frame version: a v1 peer
+                    # must be able to decode what it gets back.
+                    protocol.send_message(
+                        connection, response, version=version
+                    )
+                except OSError:
+                    return
+                if request.get("op") == "shutdown":
+                    # Response is on the wire; stop from a helper thread
+                    # so this handler can be joined like any other.
+                    if self._on_shutdown is not None:
+                        threading.Thread(
+                            target=self._on_shutdown,
+                            name=f"{self._name}-shutdown",
+                        ).start()
+                    return
+
+    def _respond(self, version: int, request: dict) -> dict:
+        if request.get("op") == "hello":
+            announced = request.get("protocol", version)
+            try:
+                announced = int(announced)
+            except (TypeError, ValueError):
+                return {
+                    "status": "error",
+                    "error": "hello 'protocol' must be an integer",
+                }
+            if min(announced, protocol.PROTOCOL_VERSION) not in (
+                protocol.SUPPORTED_PROTOCOLS
+            ):
+                return {
+                    "status": "error",
+                    "error": protocol.version_mismatch_error(announced),
+                }
+            return {
+                "status": "ok",
+                "protocol": protocol.PROTOCOL_VERSION,
+                "server": f"{self._name}/{__version__}",
+            }
+        return self._handle(request)

@@ -34,8 +34,14 @@ a durable substrate.  This package provides it:
     checkpoint generation and serve it (memory-mapped, read-only,
     zero-lock) while the writer ingests and checkpoints past it;
     generations retire only once unpinned.
+``repro.store.generation``
+    Generation shipping: digest-verified listings of a published
+    generation's files, chunked byte-range reads, and a resumable
+    staging/verify/install path (:class:`GenerationStager`) that the
+    fleet replicator drives over the wire.
 """
 
+from .generation import GenerationFile, GenerationStager, list_generation_files
 from .index import BitSliceMedoidIndex, batched_topk
 from .ingest import StreamingIngestor
 from .manifest import MANIFEST_VERSION, RepositoryManifest
@@ -56,7 +62,10 @@ from .wal import WalRecord, WriteAheadLog
 
 __all__ = [
     "BitSliceMedoidIndex",
+    "GenerationFile",
+    "GenerationStager",
     "batched_topk",
+    "list_generation_files",
     "StreamingIngestor",
     "MANIFEST_VERSION",
     "RepositoryManifest",

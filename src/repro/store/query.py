@@ -404,11 +404,21 @@ class QueryService:
         return query_vectors
 
     def query_vectors(
-        self, query_vectors: np.ndarray, k: int = 5
+        self,
+        query_vectors: np.ndarray,
+        k: int = 5,
+        shards: Optional[Sequence[int]] = None,
     ) -> List[List[ClusterMatch]]:
         """Top-k nearest clusters for pre-encoded packed query vectors.
 
         ``k < 1`` yields empty match lists, matching the reference path.
+
+        ``shards`` restricts the scan to that shard subset and returns
+        the *exact* top-k over it.  Because the global merge orders by
+        the total key ``(distance, shard, local label)``, merging the
+        per-subset results of a shard partition by the same key and
+        trimming to k reproduces the unrestricted result byte-for-byte —
+        the scatter-gather contract the fleet router is built on.
         """
         query_vectors = self._validated(query_vectors)
         num_queries = query_vectors.shape[0]
@@ -417,7 +427,27 @@ class QueryService:
         if k < 1:
             return [[] for _ in range(num_queries)]
         self._refresh_indexes()
-        populated = [index for index in self._indexes if index.local_labels]
+        if shards is not None:
+            wanted = {int(shard_id) for shard_id in shards}
+            out_of_range = sorted(
+                shard_id
+                for shard_id in wanted
+                if shard_id < 0 or shard_id >= len(self._indexes)
+            )
+            if out_of_range:
+                raise ValueError(
+                    f"shard ids out of range: {out_of_range} "
+                    f"(repository has {len(self._indexes)} shards)"
+                )
+            populated = [
+                index
+                for index in self._indexes
+                if index.local_labels and index.shard_id in wanted
+            ]
+        else:
+            populated = [
+                index for index in self._indexes if index.local_labels
+            ]
         if not populated:
             return [[] for _ in range(num_queries)]
         inline = (

@@ -1,0 +1,130 @@
+"""Fixtures for the chaos tier: real daemons in real processes.
+
+Unlike the in-process fleet tests, these spawn ``python -m repro serve``
+subprocesses and kill them with SIGKILL — no atexit handlers, no
+graceful stop — to prove the WAL + generation-rename durability story
+against actual process death, and the router's failover against an
+actually vanished peer.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import SyntheticConfig, generate_dataset
+from repro.hdc import EncoderConfig
+from repro.store import ClusterRepository, RepositoryConfig
+
+SRC_DIR = str(Path(__file__).resolve().parents[2] / "src")
+
+_BANNER = re.compile(r"on 127\.0\.0\.1:(\d+) \(generation (\d+)")
+
+
+@pytest.fixture(scope="session")
+def chaos_encoder():
+    return EncoderConfig(dim=1024, mz_bins=8_000, intensity_levels=32)
+
+
+@pytest.fixture(scope="session")
+def chaos_dataset():
+    return generate_dataset(
+        SyntheticConfig(
+            num_peptides=12,
+            replicates_per_peptide=8,
+            peptides_per_mass_group=1,
+            seed=47,
+        )
+    )
+
+
+@pytest.fixture()
+def chaos_repo(tmp_path, chaos_encoder, chaos_dataset):
+    """A checkpointed three-shard repository holding half the dataset."""
+    repository = ClusterRepository.create(
+        tmp_path / "repo",
+        RepositoryConfig(
+            num_shards=3,
+            shard_width=16,
+            encoder=chaos_encoder,
+            cluster_threshold=0.36,
+        ),
+    )
+    repository.add_batch(chaos_dataset.spectra[: len(chaos_dataset) // 2])
+    repository.checkpoint()
+    repository.close()
+    return tmp_path / "repo"
+
+
+class ServeProcess:
+    """One ``repro serve`` subprocess; the port is parsed from its banner."""
+
+    def __init__(self, repo_dir, *extra_args):
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-u",
+                "-m",
+                "repro",
+                "serve",
+                str(repo_dir),
+                "--port",
+                "0",
+                *extra_args,
+            ],
+            env={
+                **os.environ,
+                "PYTHONPATH": os.pathsep.join(
+                    p
+                    for p in (SRC_DIR, os.environ.get("PYTHONPATH"))
+                    if p
+                ),
+            },
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        self.port, self.generation = self._await_banner()
+
+    def _await_banner(self):
+        deadline = time.monotonic() + 30.0
+        lines = []
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                break
+            lines.append(line)
+            match = _BANNER.search(line)
+            if match:
+                return int(match.group(1)), int(match.group(2))
+        self.kill()
+        raise RuntimeError(
+            "serve subprocess never printed its banner:\n" + "".join(lines)
+        )
+
+    def kill(self):
+        """SIGKILL — the whole point of this tier."""
+        self.proc.kill()
+        self.proc.wait(timeout=10)
+        self.proc.stdout.close()
+
+
+@pytest.fixture()
+def spawn_serve():
+    processes = []
+
+    def spawn(repo_dir, *extra_args):
+        process = ServeProcess(repo_dir, *extra_args)
+        processes.append(process)
+        return process
+
+    yield spawn
+    for process in processes:
+        if process.proc.poll() is None:
+            process.kill()

@@ -1,0 +1,100 @@
+"""Shared fixtures for the multi-node fleet tests.
+
+A "fleet" here is N real :class:`~repro.service.ClusterService` daemons
+on ephemeral localhost ports, each serving its own copy of the same
+checkpointed repository, plus a :class:`~repro.fleet.PlacementMap`
+striping the shards across them.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.datasets import SyntheticConfig, generate_dataset
+from repro.fleet import NodeInfo, PlacementMap
+from repro.hdc import EncoderConfig
+from repro.service import ClusterService, ServiceConfig
+from repro.store import ClusterRepository, RepositoryConfig
+
+
+@pytest.fixture(scope="session")
+def fleet_encoder():
+    return EncoderConfig(dim=1024, mz_bins=8_000, intensity_levels=32)
+
+
+@pytest.fixture(scope="session")
+def fleet_dataset():
+    return generate_dataset(
+        SyntheticConfig(
+            num_peptides=12,
+            replicates_per_peptide=8,
+            peptides_per_mass_group=1,
+            seed=47,
+        )
+    )
+
+
+@pytest.fixture()
+def populated_repo(tmp_path, fleet_encoder, fleet_dataset):
+    """A checkpointed three-shard repository holding half the dataset."""
+    repository = ClusterRepository.create(
+        tmp_path / "repo",
+        RepositoryConfig(
+            num_shards=3,
+            shard_width=16,
+            encoder=fleet_encoder,
+            cluster_threshold=0.36,
+        ),
+    )
+    repository.add_batch(fleet_dataset.spectra[: len(fleet_dataset) // 2])
+    repository.checkpoint()
+    repository.close()
+    return tmp_path / "repo"
+
+
+def make_node_service(directory, **overrides):
+    defaults = dict(checkpoint_interval=0.2, coalesce_window_ms=1.0)
+    defaults.update(overrides)
+    return ClusterService(directory, ServiceConfig(**defaults))
+
+
+class Fleet:
+    """N started daemons over replicas of one repository + a placement."""
+
+    def __init__(self, base_dir, source_repo, num_nodes, replication):
+        self.directories = []
+        self.services = []
+        nodes = []
+        for index in range(num_nodes):
+            directory = base_dir / f"node{index}"
+            shutil.copytree(source_repo, directory)
+            service = make_node_service(directory).start()
+            self.directories.append(directory)
+            self.services.append(service)
+            nodes.append(
+                NodeInfo(f"node{index}", "127.0.0.1", service.port)
+            )
+        num_shards = self.services[0].repository.manifest.num_shards
+        self.placement = PlacementMap.create(
+            nodes, num_shards=num_shards, replication=replication
+        )
+
+    def stop(self) -> None:
+        for service in self.services:
+            service.stop()
+
+
+@pytest.fixture()
+def make_fleet(tmp_path, populated_repo):
+    fleets = []
+
+    def build(num_nodes=2, replication=2):
+        fleet = Fleet(tmp_path, populated_repo, num_nodes, replication)
+        fleets.append(fleet)
+        return fleet
+
+    yield build
+    for fleet in fleets:
+        fleet.stop()

@@ -1,0 +1,126 @@
+"""Placement-map invariants: balance, replication, rebalance, round trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.fleet import NodeInfo, PlacementMap
+
+
+def nodes(count):
+    return [NodeInfo(f"n{i}", "127.0.0.1", 9100 + i) for i in range(count)]
+
+
+def spread(placement):
+    loads = placement.loads().values()
+    return max(loads) - min(loads)
+
+
+class TestCreate:
+    def test_round_robin_is_balanced_with_distinct_replicas(self):
+        placement = PlacementMap.create(
+            nodes(4), num_shards=10, replication=3
+        )
+        placement.validate()
+        assert spread(placement) <= 1
+        assert sum(placement.loads().values()) == 30
+        for owners in placement.assignments:
+            assert len(set(owners)) == 3
+
+    def test_every_shard_has_a_primary_and_owners_resolve(self):
+        placement = PlacementMap.create(nodes(3), num_shards=5, replication=2)
+        for shard in range(5):
+            owners = placement.owners(shard)
+            assert len(owners) == 2
+            assert all(isinstance(node, NodeInfo) for node in owners)
+
+    def test_replication_cannot_exceed_fleet_size(self):
+        with pytest.raises(PlacementError, match="replication"):
+            PlacementMap.create(nodes(2), num_shards=4, replication=3)
+
+    def test_duplicate_node_names_rejected(self):
+        doubled = nodes(2) + [NodeInfo("n0", "127.0.0.1", 9999)]
+        with pytest.raises(PlacementError, match="duplicate"):
+            PlacementMap.create(doubled, num_shards=4, replication=1)
+
+
+class TestRebalance:
+    def test_add_node_levels_load_and_bumps_version(self):
+        placement = PlacementMap.create(
+            nodes(3), num_shards=9, replication=2
+        )
+        grown = placement.add_node(NodeInfo("n3", "127.0.0.1", 9103))
+        grown.validate()
+        assert grown.version == placement.version + 1
+        assert spread(grown) <= 1
+        assert "n3" in grown.nodes
+        # The original map is untouched (mutations return new maps).
+        assert "n3" not in placement.nodes
+
+    def test_add_node_moves_only_toward_the_new_node(self):
+        placement = PlacementMap.create(
+            nodes(3), num_shards=9, replication=2
+        )
+        grown = placement.add_node(NodeInfo("n3", "127.0.0.1", 9103))
+        for before, after in zip(placement.assignments, grown.assignments):
+            changed = [
+                (b, a) for b, a in zip(before, after) if b != a
+            ]
+            # Any change replaces an old owner with exactly the new node.
+            assert all(a == "n3" for _b, a in changed)
+
+    def test_remove_node_reassigns_to_survivors(self):
+        placement = PlacementMap.create(
+            nodes(4), num_shards=8, replication=2
+        )
+        shrunk = placement.remove_node("n1")
+        shrunk.validate()
+        assert shrunk.version == placement.version + 1
+        assert "n1" not in shrunk.nodes
+        for owners in shrunk.assignments:
+            assert "n1" not in owners
+            assert len(set(owners)) == 2
+        assert spread(shrunk) <= 1
+
+    def test_remove_below_replication_is_unsatisfiable(self):
+        placement = PlacementMap.create(
+            nodes(2), num_shards=4, replication=2
+        )
+        with pytest.raises(PlacementError, match="fewer than replication"):
+            placement.remove_node("n0")
+
+
+class TestSerialisation:
+    def test_json_round_trip(self, tmp_path):
+        placement = PlacementMap.create(
+            nodes(3), num_shards=6, replication=2
+        )
+        grown = placement.add_node(NodeInfo("n3", "10.0.0.4", 9200))
+        path = tmp_path / "placement.json"
+        grown.save(path)
+        loaded = PlacementMap.load(path)
+        assert loaded.version == grown.version
+        assert loaded.replication == grown.replication
+        assert loaded.assignments == grown.assignments
+        assert loaded.nodes == grown.nodes
+
+    def test_malformed_documents_are_rejected(self):
+        with pytest.raises(PlacementError, match="malformed"):
+            PlacementMap.from_json("{\"nodes\": 3}")
+        placement = PlacementMap.create(nodes(2), num_shards=4, replication=2)
+        text = placement.to_json().replace("\"n0\",", "\"ghost\",")
+        with pytest.raises(PlacementError, match="unknown node"):
+            PlacementMap.from_json(text)
+
+    def test_shards_of_maps_back_from_assignments(self):
+        placement = PlacementMap.create(
+            nodes(3), num_shards=6, replication=2
+        )
+        for name in placement.nodes:
+            for shard in placement.shards_of(name):
+                assert name in placement.assignments[shard]
+        total = sum(
+            len(placement.shards_of(name)) for name in placement.nodes
+        )
+        assert total == 6 * 2

@@ -1,0 +1,195 @@
+"""Scatter-gather routing: byte-identity, failover, generation re-pin.
+
+The acceptance bar from the fleet tier's design: a routed
+``query_vectors`` across ≥2 nodes returns **byte-identical** results to
+a single node over the same data — including while one replica is down
+(failover) and while a node concurrently checkpoints past the fleet's
+common generation (retained-lease re-pin).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FleetError, ServiceError
+from repro.fleet import PlacementMap, RouterConfig, RouterDaemon
+from repro.service import ServiceClient
+from repro.store import QueryService, RepositorySnapshot
+from repro.streaming import encode_spectra
+
+
+def make_router(placement, **overrides):
+    defaults = dict(probe_interval=0, probe_timeout=1.0)
+    defaults.update(overrides)
+    return RouterDaemon(placement, RouterConfig(**defaults))
+
+
+@pytest.fixture()
+def query_vectors(populated_repo, fleet_dataset, fleet_encoder):
+    """Pre-encoded query vectors (the routed op's payload)."""
+    from repro.hdc import IDLevelEncoder
+    from repro.store.manifest import RepositoryManifest
+
+    manifest = RepositoryManifest.load(populated_repo)
+    half = len(fleet_dataset) // 2
+    batch = encode_spectra(
+        fleet_dataset.spectra[half : half + 6],
+        manifest.preprocessing,
+        IDLevelEncoder(manifest.encoder),
+    )
+    return batch.vectors
+
+
+def single_node_expected(repo_dir, vectors, k=4):
+    with RepositorySnapshot.open(repo_dir) as snapshot:
+        with QueryService(snapshot) as service:
+            return service.query_vectors(vectors, k=k)
+
+
+class TestShardRestrictedQueries:
+    def test_query_service_shard_subset_union_recovers_full_topk(
+        self, populated_repo, query_vectors
+    ):
+        """The router's merge premise, proven at the store layer."""
+        expected = single_node_expected(populated_repo, query_vectors)
+        with RepositorySnapshot.open(populated_repo) as snapshot:
+            with QueryService(snapshot) as service:
+                partials = [
+                    service.query_vectors(query_vectors, k=4, shards=[s])
+                    for s in range(3)
+                ]
+        merged = []
+        for row in range(query_vectors.shape[0]):
+            pool = [m for partial in partials for m in partial[row]]
+            pool.sort(key=lambda m: (m.distance, m.shard_id, m.local_label))
+            merged.append(pool[:4])
+        assert merged == expected
+
+    def test_out_of_range_shards_are_rejected(
+        self, populated_repo, query_vectors
+    ):
+        with RepositorySnapshot.open(populated_repo) as snapshot:
+            with QueryService(snapshot) as service:
+                with pytest.raises(ValueError, match="out of range"):
+                    service.query_vectors(query_vectors, k=2, shards=[7])
+
+
+class TestRoutedByteIdentity:
+    def test_routed_equals_single_node(
+        self, make_fleet, populated_repo, query_vectors
+    ):
+        fleet = make_fleet(num_nodes=3, replication=2)
+        expected = single_node_expected(populated_repo, query_vectors)
+        with make_router(fleet.placement) as router:
+            assert router.query_vectors(query_vectors, k=4) == expected
+
+    def test_routed_over_the_wire_equals_single_node(
+        self, make_fleet, populated_repo, query_vectors
+    ):
+        fleet = make_fleet(num_nodes=2, replication=2)
+        expected = single_node_expected(populated_repo, query_vectors)
+        with make_router(fleet.placement) as router:
+            router.start()
+            with ServiceClient(port=router.port) as client:
+                assert client.query_vectors(query_vectors, k=4) == expected
+                status = client.call({"op": "fleet_status"})["fleet"]
+                assert status["num_shards"] == 3
+                assert len(status["nodes"]) == 2
+                assert all(
+                    node["healthy"]
+                    for node in status["nodes"].values()
+                )
+
+    def test_routed_spectrum_queries_match_node_queries(
+        self, make_fleet, fleet_dataset
+    ):
+        fleet = make_fleet(num_nodes=2, replication=2)
+        half = len(fleet_dataset) // 2
+        queries = fleet_dataset.spectra[half : half + 5]
+        expected = fleet.services[0].query(queries, k=3)
+        with make_router(fleet.placement) as router:
+            assert router.query(queries, k=3) == expected
+
+
+class TestFailover:
+    def test_dead_replica_fails_over_byte_identically(
+        self, make_fleet, populated_repo, query_vectors
+    ):
+        fleet = make_fleet(num_nodes=2, replication=2)
+        expected = single_node_expected(populated_repo, query_vectors)
+        with make_router(fleet.placement) as router:
+            assert router.query_vectors(query_vectors, k=4) == expected
+            # Kill node0 (primary of at least one shard): the same
+            # request must fail over inside the call and answer
+            # byte-identically.
+            fleet.services[0].stop()
+            assert router.query_vectors(query_vectors, k=4) == expected
+            assert not router._is_healthy("node0")
+            # Every later query plans straight onto the survivor.
+            assert router.query_vectors(query_vectors, k=4) == expected
+
+    def test_unreplicated_shard_with_dead_owner_is_an_error(
+        self, make_fleet, query_vectors
+    ):
+        fleet = make_fleet(num_nodes=2, replication=1)
+        with make_router(fleet.placement) as router:
+            fleet.services[1].stop()
+            with pytest.raises(FleetError, match="no live replica"):
+                router.query_vectors(query_vectors, k=4)
+
+    def test_probe_marks_down_and_recovering_nodes(self, make_fleet):
+        fleet = make_fleet(num_nodes=2, replication=2)
+        with make_router(fleet.placement) as router:
+            assert router.probe_once() == {"node0": True, "node1": True}
+            fleet.services[1].stop()
+            health = router.probe_once()
+            assert health["node1"] is False
+            status = router.fleet_status()
+            assert status["nodes"]["node1"]["healthy"] is False
+            assert status["nodes"]["node1"]["last_error"]
+
+
+class TestGenerationAlignment:
+    def test_concurrent_checkpoint_repins_at_common_generation(
+        self, make_fleet, populated_repo, query_vectors, fleet_dataset
+    ):
+        """One node checkpoints mid-fleet; answers stay byte-identical."""
+        fleet = make_fleet(num_nodes=2, replication=2)
+        expected = single_node_expected(populated_repo, query_vectors)
+        with make_router(fleet.placement) as router:
+            results, generation = router.query_vectors_traced(
+                query_vectors, k=4
+            )
+            assert (results, generation) == (expected, 1)
+            # node0 ingests and checkpoints: now serving generation 2,
+            # retaining generation 1; node1 still serves generation 1.
+            fleet.services[0].ingest(fleet_dataset.spectra[-8:])
+            fleet.services[0].checkpoint()
+            assert fleet.services[0].serving_generation == 2
+            assert fleet.services[1].serving_generation == 1
+            # The fan-out straddles generations; the router re-pins the
+            # newer node at the fleet minimum and the answer is still
+            # the generation-1 answer, byte for byte.
+            results, generation = router.query_vectors_traced(
+                query_vectors, k=4
+            )
+            assert generation == 1
+            assert results == expected
+
+    def test_generation_pinned_query_on_node_serves_retained_lease(
+        self, make_fleet, query_vectors, fleet_dataset
+    ):
+        fleet = make_fleet(num_nodes=1, replication=1)
+        service = fleet.services[0]
+        before, served = service.query_vectors_at(query_vectors, k=4)
+        assert served == 1
+        service.ingest(fleet_dataset.spectra[-8:])
+        service.checkpoint()
+        pinned, served = service.query_vectors_at(
+            query_vectors, k=4, generation=1
+        )
+        assert served == 1
+        assert pinned == before
+        with pytest.raises(ServiceError, match="not retained"):
+            service.query_vectors_at(query_vectors, k=4, generation=99)
