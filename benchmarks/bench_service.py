@@ -324,6 +324,96 @@ def _run(root, smoke):
     return "\n".join(sections), headline
 
 
+def _run_integrity(root, smoke):
+    """Scrub-overhead smoke: what does verification cost at open time?
+
+    A verified open is exactly an unverified open plus one
+    ``verify_generation`` pass, so the addition is timed directly — a
+    tight loop over the verification step has millisecond-stable
+    samples, where end-to-end open latency jitters by tens of
+    milliseconds on a busy CI host and would drown the signal.  The
+    serving default is ``verify="sampled"`` (stat every file, digest the
+    small sidecars), so the assertion pins *that* policy: the sampled
+    pass must stay within 10% of the median unverified open, plus a 2ms
+    absolute floor so a tiny smoke repository is not judged on scheduler
+    noise.  ``full`` is reported for scale but unasserted: it rehashes
+    every byte by design and is priced by the background scrubber
+    instead.
+    """
+    from repro.store.manifest import RepositoryManifest
+    from repro.store.integrity import verify_generation
+
+    rng = np.random.default_rng(424242)
+    count = 512 if smoke else 20_000
+    repeats = 15 if smoke else 40
+    repo_dir, _ = _build_repository(root, rng, count, "integrity")
+    integrity = RepositoryManifest.load(repo_dir).integrity
+
+    opens = []
+    for _ in range(repeats + 1):
+        start = time.perf_counter()
+        with RepositorySnapshot.open(repo_dir, verify="off") as snapshot:
+            assert snapshot.manifest.generation >= 1
+        opens.append(time.perf_counter() - start)
+    open_off = float(np.median(opens[1:]))  # [0] warmed the page cache
+
+    verify_cost = {}
+    for policy in ("sampled", "full"):
+        times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            verify_generation(repo_dir, 1, integrity, policy=policy)
+            times.append(time.perf_counter() - start)
+        verify_cost[policy] = float(np.median(times))
+
+    budget = open_off * 0.10 + 0.002
+    assert verify_cost["sampled"] <= budget, (
+        f"sampled verification adds {verify_cost['sampled'] * 1e3:.2f}ms "
+        f"to a {open_off * 1e3:.2f}ms open — over the 10% budget "
+        f"({budget * 1e3:.2f}ms)"
+    )
+
+    def overhead(policy):
+        return verify_cost[policy] / open_off * 100.0
+
+    rows = [["off", f"{open_off * 1e3:.2f}", "-", "-"]] + [
+        [policy,
+         f"{(open_off + verify_cost[policy]) * 1e3:.2f}",
+         f"{verify_cost[policy] * 1e3:.2f}",
+         f"+{overhead(policy):.1f}%"]
+        for policy in ("sampled", "full")
+    ]
+    sections = [
+        banner(
+            "Integrity benchmark: verified snapshot-open overhead"
+            + (" (smoke mode)" if smoke else "")
+        ),
+        f"repository: {count:,} singleton clusters over 4 shards, "
+        f"dim {DIM}; medians of {repeats} runs",
+        "",
+        format_table(
+            ["verify policy", "open ms", "verify adds ms", "vs off"], rows
+        ),
+        "",
+        f"budget: sampled verification <= 10% of the unverified open "
+        f"+ 2ms ({budget * 1e3:.2f}ms) -- held",
+    ]
+    headline = {
+        "benchmark": "integrity",
+        "repository": {"clusters": count, "shards": 4, "dim": DIM},
+        "repeats": repeats,
+        "open_off_ms": round(open_off * 1e3, 3),
+        "verify_adds_ms": {
+            policy: round(cost * 1e3, 3)
+            for policy, cost in verify_cost.items()
+        },
+        "sampled_overhead_pct": round(overhead("sampled"), 2),
+        "full_overhead_pct": round(overhead("full"), 2),
+        "budget_ms": round(budget * 1e3, 3),
+    }
+    return "\n".join(sections), headline
+
+
 def bench_service(emit_report, tmp_path_factory):
     smoke = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
     text, headline = _run(tmp_path_factory.mktemp("service"), smoke)
@@ -332,6 +422,18 @@ def bench_service(emit_report, tmp_path_factory):
         from bench_json import write_bench_json
 
         write_bench_json("service", headline)
+
+
+def bench_integrity(emit_report, tmp_path_factory):
+    smoke = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+    text, headline = _run_integrity(
+        tmp_path_factory.mktemp("integrity"), smoke
+    )
+    emit_report("integrity", text)
+    if not smoke:
+        from bench_json import write_bench_json
+
+        write_bench_json("integrity", headline)
 
 
 if __name__ == "__main__":
@@ -347,11 +449,24 @@ if __name__ == "__main__":
     arguments = parser.parse_args()
     with tempfile.TemporaryDirectory(prefix="bench-service-") as scratch:
         report, headline = _run(Path(scratch), arguments.smoke)
+    with tempfile.TemporaryDirectory(prefix="bench-integrity-") as scratch:
+        integrity_report, integrity_headline = _run_integrity(
+            Path(scratch), arguments.smoke
+        )
     print(report)
+    print()
+    print(integrity_report)
     if not arguments.smoke:
         from bench_json import write_bench_json
 
         results = Path(__file__).parent / "results"
         results.mkdir(exist_ok=True)
         (results / "service.txt").write_text(report + "\n", encoding="utf-8")
+        (results / "integrity.txt").write_text(
+            integrity_report + "\n", encoding="utf-8"
+        )
         print(f"headline numbers -> {write_bench_json('service', headline)}")
+        print(
+            "integrity numbers -> "
+            f"{write_bench_json('integrity', integrity_headline)}"
+        )

@@ -29,6 +29,14 @@ Subcommands
     Run the cluster-query daemon on a repository: snapshot-isolated
     queries with request coalescing, background checkpointing, and
     socket ingest, all concurrent.
+``scrub``
+    Verify every byte of a repository's published generation against
+    the manifest's integrity records; optionally heal corrupt files
+    from a replica (``--repair-from``).  Exit 0 clean, 1 corrupt.
+
+Global flags: ``--log-level``/``--log-json`` configure structured
+logging for every subcommand (scrub, repair and quarantine events carry
+shard + generation fields).
 """
 
 from __future__ import annotations
@@ -53,6 +61,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
+    )
+    parser.add_argument(
+        "--log-level", default="warning",
+        choices=("debug", "info", "warning", "error"),
+        help="structured-log threshold on stderr (default warning)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit logs as one JSON object per line (for collectors)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -315,6 +332,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--retain-generations", type=int, default=2,
         help="superseded snapshot leases kept serving generation-pinned "
              "reads after a checkpoint (fleet consistency; default 2)",
+    )
+    serve.add_argument(
+        "--verify", default="sampled", choices=("full", "sampled", "off"),
+        help="integrity policy for repository/snapshot opens "
+             "(default sampled)",
+    )
+    serve.add_argument(
+        "--scrub-interval", type=float, default=0.0,
+        help="seconds between background scrub passes over the serving "
+             "generation; 0 disables the scrubber (default 0)",
+    )
+    serve.add_argument(
+        "--scrub-rate", type=float, default=None,
+        help="scrub read-rate ceiling in bytes/second (default unpaced)",
+    )
+    serve.add_argument(
+        "--repair-peer", action="append", default=[], metavar="HOST:PORT",
+        help="replica to heal corrupt files from (repeat per peer, "
+             "tried in order)",
+    )
+    serve.add_argument(
+        "--partial-sweep-age", type=float, default=3600.0,
+        help="orphaned .partial staging dirs older than this many "
+             "seconds are swept during retirement (default 3600)",
+    )
+
+    scrub = subparsers.add_parser(
+        "scrub",
+        help="verify a repository's published generation byte-for-byte",
+    )
+    scrub.add_argument(
+        "repository", type=Path, help="repository directory"
+    )
+    scrub.add_argument(
+        "--rate", type=float, default=None,
+        help="read-rate ceiling in bytes/second (default unpaced)",
+    )
+    scrub.add_argument(
+        "--repair-from", default=None, metavar="HOST:PORT",
+        help="heal corrupt files from this running replica, then "
+             "re-verify",
+    )
+    scrub.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable scrub report",
     )
 
     fleet = subparsers.add_parser(
@@ -973,6 +1035,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_wal_bytes=args.max_wal_bytes,
         use_index={"auto": None, "on": True, "off": False}[args.index],
         retain_generations=args.retain_generations,
+        verify=args.verify,
+        scrub_interval=args.scrub_interval,
+        scrub_bytes_per_second=args.scrub_rate,
+        repair_peers=tuple(args.repair_peer),
+        partial_sweep_age_seconds=args.partial_sweep_age,
     )
     service = ClusterService(args.repository, config)
     try:
@@ -989,6 +1056,61 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         service.stop()
     return 0
+
+
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    import json
+
+    from .store.integrity import GenerationScrubber
+    from .store.manifest import RepositoryManifest
+    from .store.snapshot import _write_pin
+
+    directory = Path(args.repository)
+    manifest = RepositoryManifest.load(directory)
+    generation = manifest.generation
+    if generation < 1:
+        print("nothing published yet: nothing to scrub")
+        return 0
+    if not manifest.integrity:
+        print(
+            f"generation {generation} predates integrity records; "
+            "checkpoint once to record checksums",
+            file=sys.stderr,
+        )
+        return 0
+    # Pin the generation so a concurrent daemon's sweep cannot retire
+    # it out from under the scan.
+    pin = _write_pin(directory, generation)
+    try:
+        scrubber = GenerationScrubber(bytes_per_second=args.rate)
+        report = scrubber.scrub(directory, generation, manifest.integrity)
+        if not report.clean and args.repair_from:
+            from .fleet import Replicator
+            from .service import ServiceClient
+
+            host, port = _parse_address(args.repair_from, "--repair-from")
+            with ServiceClient(host=host, port=port) as client:
+                Replicator().heal(
+                    client, directory, generation, report.corrupt_names()
+                )
+            report = scrubber.scrub(
+                directory, generation, manifest.integrity
+            )
+    finally:
+        pin.unlink(missing_ok=True)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        state = "clean" if report.clean else "CORRUPT"
+        print(
+            f"generation {generation}: {state} — "
+            f"{report.files_checked} files, "
+            f"{report.bytes_checked} bytes in "
+            f"{report.duration_seconds:.2f}s"
+        )
+        for error in report.errors:
+            print(f"  {error}", file=sys.stderr)
+    return 0 if report.clean else 1
 
 
 def _parse_node_spec(spec: str):
@@ -1175,6 +1297,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    from .logging import setup_logging
+
+    setup_logging(level=args.log_level, json_output=args.log_json)
     handlers = {
         "cluster": _cmd_cluster,
         "info": _cmd_info,
@@ -1185,6 +1310,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "query": _cmd_query,
         "repo-info": _cmd_repo_info,
         "serve": _cmd_serve,
+        "scrub": _cmd_scrub,
         "fleet": _cmd_fleet,
         "route": _cmd_route,
     }

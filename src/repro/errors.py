@@ -55,6 +55,39 @@ class ServiceBusy(ServiceError):
     """The service shed this request under admission control; retry later."""
 
 
+class IntegrityError(SpecHDError):
+    """On-disk bytes of a generation artifact do not match the manifest.
+
+    Raised by open-time verification and by the scrubber when a recorded
+    file is missing, truncated, or fails its SHA-256 check.  Carries
+    enough structure (``name``, ``generation``, ``shard``, ``missing``)
+    for a daemon to quarantine the affected shard and repair it from a
+    replica.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        name: str = "",
+        generation: int = 0,
+        shard: "int | None" = None,
+        missing: bool = False,
+    ) -> None:
+        self.name = name
+        self.generation = generation
+        self.shard = shard
+        self.missing = missing
+        where = []
+        if name:
+            where.append(f"file={name}")
+        if shard is not None:
+            where.append(f"shard={shard}")
+        if generation:
+            where.append(f"generation={generation}")
+        suffix = f" ({', '.join(where)})" if where else ""
+        super().__init__(f"{message}{suffix}")
+
+
 class FleetError(SpecHDError):
     """A multi-node fleet operation failed (placement, replication, routing)."""
 

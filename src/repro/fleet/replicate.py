@@ -28,16 +28,21 @@ ship eventually errors instead of looping forever.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Optional, Union
+from typing import List, Optional, Sequence, Union
 
 from ..errors import ReplicationError, ServiceError
+from ..logging import get_logger
+from ..store import fsio
 from ..store.generation import (
     GenerationStager,
+    file_digest,
     list_generation_files,
     read_generation_chunk,
 )
 from ..store.manifest import MANIFEST_NAME, RepositoryManifest
 from ..service.client import ServiceClient
+
+log = get_logger("replicate")
 
 
 class Replicator:
@@ -103,16 +108,28 @@ class Replicator:
                         offset += len(data)
                 return stager.commit()
             except (ReplicationError, ServiceError) as exc:
-                if "restart the transfer" not in str(exc):
+                message = str(exc)
+                if (
+                    "restart the transfer" not in message
+                    and "retry the transfer" not in message
+                ):
                     raise
-                # The source swept this generation mid-transfer; loop
-                # and ship whatever it serves now.  The stale partial
-                # stays on disk — harmless, and begin() wipes it if a
-                # different transfer ever reuses the number.
+                # Two recoverable cases share this loop: the source
+                # swept this generation mid-transfer ("restart"), so we
+                # ship whatever it serves now; or a staged file failed
+                # its checksum and was discarded ("retry"), so the next
+                # attempt resumes everything else and refetches just the
+                # discarded file.  The stale partial stays on disk —
+                # harmless, and begin() wipes it if a different transfer
+                # ever reuses the number.
                 last_error = exc
+                log.warning(
+                    "pull attempt failed; retrying",
+                    extra={"generation": generation, "error": message},
+                )
         raise ReplicationError(
-            f"source kept superseding its generation during "
-            f"{self.max_restarts} transfer attempts: {last_error}"
+            f"transfer kept failing recoverably during "
+            f"{self.max_restarts} attempts: {last_error}"
         )
 
     # ------------------------------------------------------------------
@@ -157,6 +174,98 @@ class Replicator:
                 target.push_chunk(generation, entry.name, offset, data)
                 offset += len(data)
         return target.push_commit(generation)
+
+    # ------------------------------------------------------------------
+    # Heal: refetch named members of an *installed* generation
+    # ------------------------------------------------------------------
+
+    def heal(
+        self,
+        source: ServiceClient,
+        directory: Union[str, Path],
+        generation: int,
+        names: Sequence[str],
+    ) -> List[str]:
+        """Replace corrupt members of an installed generation from a peer.
+
+        Unlike :meth:`pull`, which ships a *newer* generation into a
+        staging directory, heal repairs files of the generation the
+        local manifest already names: each listed member is refetched
+        whole, digested against the **local** manifest's integrity
+        record (the peer is untrusted — a corrupt replica must not
+        overwrite anything), then atomically renamed over the damaged
+        file.  Readers holding the old mmap keep their bytes; the caller
+        reopens and republishes to serve the healed copy.
+
+        Returns the healed names.  Raises :class:`ReplicationError` when
+        the peer serves a different generation, truncates a file, or
+        supplies bytes that do not match the local record.
+        """
+        from ..store.repository import SEGMENTS_DIR
+
+        directory = Path(directory)
+        manifest = RepositoryManifest.load(directory)
+        if manifest.generation != generation:
+            raise ReplicationError(
+                f"local manifest names generation {manifest.generation}, "
+                f"not {generation}; heal repairs the installed generation "
+                "only"
+            )
+        generation_dir = (
+            directory / SEGMENTS_DIR / f"gen-{generation:06d}"
+        )
+        healed: List[str] = []
+        for name in sorted(names):
+            record = manifest.integrity.get(name)
+            if record is None:
+                raise ReplicationError(
+                    f"{name} has no integrity record in the local "
+                    f"manifest; cannot verify a healed copy"
+                )
+            size = int(record["size"])
+            expected = str(record["sha256"])
+            # The heal-* prefix keeps the temp file invisible to
+            # generation sweeps (they glob gen-*) and to the member
+            # pattern, so a crash mid-heal leaves only inert litter.
+            temporary = (
+                generation_dir.parent / f"heal-{generation:06d}-{name}.tmp"
+            )
+            handle = fsio.fs_open(temporary, "wb")
+            try:
+                offset = 0
+                while offset < size:
+                    data = source.fetch_chunk(
+                        generation,
+                        name,
+                        offset,
+                        min(self.chunk_bytes, size - offset),
+                    )
+                    if not data:
+                        raise ReplicationError(
+                            f"peer returned no bytes for {name} at offset "
+                            f"{offset} (expected {size} bytes)"
+                        )
+                    fsio.fs_write(handle, data)
+                    offset += len(data)
+                fsio.fs_fsync(handle)
+            finally:
+                handle.close()
+            digest = file_digest(temporary)
+            if digest != expected:
+                temporary.unlink()
+                raise ReplicationError(
+                    f"peer copy of {name} digests to {digest}, local "
+                    f"manifest records {expected}; peer may be corrupt "
+                    "too — discarded"
+                )
+            fsio.fs_replace(temporary, generation_dir / name)
+            fsio.fs_fsync_path(generation_dir)
+            healed.append(name)
+            log.info(
+                "healed generation member from peer",
+                extra={"file": name, "generation": generation},
+            )
+        return healed
 
     @staticmethod
     def _local_generation(directory: Path) -> int:

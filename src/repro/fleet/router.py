@@ -43,6 +43,7 @@ import numpy as np
 
 from ..errors import ConfigurationError, FleetError, ServiceError
 from ..hdc import IDLevelEncoder
+from ..logging import get_logger
 from ..spectrum import MassSpectrum
 from ..store.manifest import RepositoryManifest
 from ..store.query import ClusterMatch
@@ -51,6 +52,8 @@ from ..service import protocol
 from ..service.client import NO_RETRY, RetryPolicy, ServiceClientPool
 from ..service.server import RequestServer
 from .placement import PlacementMap
+
+log = get_logger("router")
 
 
 @dataclass(frozen=True)
@@ -365,11 +368,24 @@ class RouterDaemon:
                         served, rows = future.result()
                     except Exception as exc:  # noqa: BLE001
                         message = str(exc)
-                        if "is not retained" not in message:
+                        if (
+                            "is not retained" not in message
+                            and "quarantined" not in message
+                        ):
                             # Real node failure → flag for the planner.
-                            # A missing retained lease is not ill
-                            # health; just try the shard elsewhere.
+                            # A missing retained lease or a quarantined
+                            # shard is not ill health — the node is up,
+                            # it just must not answer for this shard;
+                            # try it elsewhere.
                             self._mark(name, healthy=False, error=message)
+                        log.warning(
+                            "failing shards over to another replica",
+                            extra={
+                                "node": name,
+                                "shards": shards,
+                                "error": message,
+                            },
+                        )
                         for shard in shards:
                             excluded[shard] = excluded.get(
                                 shard, frozenset()

@@ -1,0 +1,112 @@
+"""Structured logging for the serving stack.
+
+One configuration point (:func:`setup_logging`) shared by the daemon,
+router, replicator and scrubber.  Two formats:
+
+* **text** (default): ``2026-08-08 12:00:00,123 INFO repro.scrub:
+  message key=value ...`` — human-oriented, extras appended as
+  ``key=value`` pairs;
+* **json** (``--log-json``): one JSON object per line with ``ts``,
+  ``level``, ``logger``, ``message`` and any extra fields — for log
+  shippers.
+
+Events carry structure through the stdlib's ``extra=`` mechanism::
+
+    log = get_logger("scrub")
+    log.warning("quarantined shard", extra={"shard": 2, "generation": 7})
+
+Library code only ever calls :func:`get_logger`; installing handlers is
+the application's (CLI's, test's) choice.  Without :func:`setup_logging`
+the stdlib's last-resort handler applies (warnings and errors to
+stderr), so an embedded daemon is quiet but never silent about damage.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO, Optional
+
+#: Root logger name for everything in this package.
+ROOT_LOGGER = "repro"
+
+#: LogRecord attributes that are plumbing, not user-supplied fields.
+_RESERVED = frozenset(
+    vars(
+        logging.LogRecord("", 0, "", 0, "", (), None)
+    ).keys()
+) | {"message", "asctime", "taskName"}
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    return logging.getLogger(
+        f"{ROOT_LOGGER}.{name}" if name else ROOT_LOGGER
+    )
+
+
+def _extra_fields(record: logging.LogRecord) -> dict:
+    return {
+        key: value
+        for key, value in record.__dict__.items()
+        if key not in _RESERVED and not key.startswith("_")
+    }
+
+
+class TextFormatter(logging.Formatter):
+    """Human-readable lines with ``key=value`` extras appended."""
+
+    def __init__(self) -> None:
+        super().__init__("%(asctime)s %(levelname)s %(name)s: %(message)s")
+
+    def format(self, record: logging.LogRecord) -> str:
+        line = super().format(record)
+        extras = _extra_fields(record)
+        if extras:
+            line += " " + " ".join(
+                f"{key}={extras[key]}" for key in sorted(extras)
+            )
+        return line
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line; extras become top-level fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": self.formatTime(record),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in sorted(_extra_fields(record).items()):
+            payload.setdefault(key, value)
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str, sort_keys=False)
+
+
+def setup_logging(
+    level: str = "info",
+    json_output: bool = False,
+    stream: Optional[IO] = None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger tree; returns its root.
+
+    Idempotent: previously installed ``repro`` handlers are replaced,
+    not stacked, so tests and re-entrant CLIs can call it freely.
+    """
+    numeric = logging.getLevelName(level.upper())
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+        handler.close()
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_output else TextFormatter())
+    root.addHandler(handler)
+    root.setLevel(numeric)
+    root.propagate = False
+    return root

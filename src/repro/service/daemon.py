@@ -72,8 +72,14 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..errors import ConfigurationError, ServiceBusy, ServiceError
+from ..errors import (
+    ConfigurationError,
+    IntegrityError,
+    ServiceBusy,
+    ServiceError,
+)
 from ..execution import ExecutionPool
+from ..logging import get_logger
 from ..spectrum import MassSpectrum
 from ..store import ClusterRepository, QueryService, RepositoryUpdateReport
 from ..store.generation import (
@@ -82,10 +88,18 @@ from ..store.generation import (
     list_generation_files,
     read_generation_chunk,
 )
+from ..store.integrity import (
+    GenerationScrubber,
+    ScrubReport,
+    check_verify_policy,
+    verify_generation,
+)
 from ..store.snapshot import RepositorySnapshot
 from ..streaming import encode_spectra
 from . import protocol
 from .server import RequestServer
+
+log = get_logger("service")
 
 
 @dataclass(frozen=True)
@@ -123,6 +137,20 @@ class ServiceConfig:
     retain_generations: int = 2
     #: Ceiling on one ``fetch_chunk``/``push_chunk`` payload.
     max_chunk_bytes: int = 8 * 1024 * 1024
+    #: Integrity policy for repository and snapshot opens
+    #: (``full``/``sampled``/``off``; see :mod:`repro.store.integrity`).
+    verify: str = "sampled"
+    #: Seconds between background scrub passes; 0 disables the scrubber.
+    scrub_interval: float = 0.0
+    #: Scrub read-rate ceiling in bytes/second (None = unpaced).
+    scrub_bytes_per_second: Optional[float] = None
+    #: ``host:port`` replicas to heal corrupt files from, tried in order.
+    repair_peers: Tuple[str, ...] = ()
+    #: Orphaned ``gen-NNNNNN.partial/`` staging directories older than
+    #: this (newest contained mtime) are swept during generation
+    #: retirement.  An in-progress pull keeps refreshing its files, so
+    #: the age threshold never collects it.
+    partial_sweep_age_seconds: float = 3600.0
 
     def __post_init__(self) -> None:
         if self.checkpoint_interval <= 0:
@@ -141,6 +169,23 @@ class ServiceConfig:
             raise ConfigurationError("retain_generations must be >= 0")
         if self.max_chunk_bytes < 1:
             raise ConfigurationError("max_chunk_bytes must be >= 1")
+        check_verify_policy(self.verify)
+        if self.scrub_interval < 0:
+            raise ConfigurationError("scrub_interval must be >= 0")
+        if (
+            self.scrub_bytes_per_second is not None
+            and self.scrub_bytes_per_second <= 0
+        ):
+            raise ConfigurationError("scrub_bytes_per_second must be > 0")
+        if self.partial_sweep_age_seconds < 0:
+            raise ConfigurationError(
+                "partial_sweep_age_seconds must be >= 0"
+            )
+        for peer in self.repair_peers:
+            if ":" not in peer:
+                raise ConfigurationError(
+                    f"repair peer {peer!r} must be host:port"
+                )
 
 
 @dataclass
@@ -157,6 +202,11 @@ class ServiceStats:
     checkpoints: int = 0
     snapshot_swaps: int = 0
     generations_installed: int = 0
+    scrub_passes: int = 0
+    scrub_bytes: int = 0
+    corruptions_found: int = 0
+    shards_quarantined: int = 0
+    shards_healed: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -179,6 +229,11 @@ class ServiceStats:
                 "checkpoints": self.checkpoints,
                 "snapshot_swaps": self.snapshot_swaps,
                 "generations_installed": self.generations_installed,
+                "scrub_passes": self.scrub_passes,
+                "scrub_bytes": self.scrub_bytes,
+                "corruptions_found": self.corruptions_found,
+                "shards_quarantined": self.shards_quarantined,
+                "shards_healed": self.shards_healed,
             }
 
     @property
@@ -312,8 +367,15 @@ class ClusterService:
             self.directory,
             execution_backend=config.backend,
             num_workers=config.workers,
+            verify=config.verify,
         )
         self._write_lock = threading.Lock()
+        #: Shards withheld from the query path pending repair:
+        #: ``{shard_id: reason}``.  The router treats a quarantined-shard
+        #: refusal like a lease miss — fail over to a replica, don't mark
+        #: the node unhealthy.
+        self._quarantined: Dict[int, str] = {}
+        self._quarantine_lock = threading.Lock()
         self._pool = ExecutionPool(config.backend, config.workers)
         self._pool.warm_up()
         # Per-connection-thread encoder clones: the shared item memory is
@@ -421,6 +483,74 @@ class ClusterService:
             return self._lease.generation
 
     # ------------------------------------------------------------------
+    # Quarantine
+    # ------------------------------------------------------------------
+
+    @property
+    def quarantined_shards(self) -> List[int]:
+        """Shard ids currently withheld from the query path."""
+        with self._quarantine_lock:
+            return sorted(self._quarantined)
+
+    def _quarantine(self, shard_id: int, reason: str) -> bool:
+        """Withhold one shard from queries; True when newly quarantined."""
+        with self._quarantine_lock:
+            fresh = shard_id not in self._quarantined
+            self._quarantined[shard_id] = reason
+        if fresh:
+            self.stats.bump(shards_quarantined=1)
+            log.warning(
+                "quarantined shard",
+                extra={
+                    "shard": shard_id,
+                    "generation": self.serving_generation,
+                    "reason": reason,
+                },
+            )
+        return fresh
+
+    def _unquarantine(self, shard_ids: Sequence[int]) -> None:
+        healed = []
+        with self._quarantine_lock:
+            for shard_id in shard_ids:
+                if self._quarantined.pop(shard_id, None) is not None:
+                    healed.append(shard_id)
+        if healed:
+            self.stats.bump(shards_healed=len(healed))
+            log.info(
+                "un-quarantined shards after repair",
+                extra={
+                    "shards": healed,
+                    "generation": self.serving_generation,
+                },
+            )
+
+    def _check_quarantine(self, shards: Optional[Sequence[int]]) -> None:
+        """Refuse queries that would read a quarantined shard.
+
+        Integrity beats availability here: the stack's whole contract is
+        byte-identical answers, so a possibly-corrupt shard must not
+        answer at all — the router's failover serves it from a replica
+        (the ``quarantined`` marker in the message tells the router this
+        is a per-shard refusal, not node death).
+        """
+        with self._quarantine_lock:
+            if not self._quarantined:
+                return
+            requested = (
+                range(self.repository.manifest.num_shards)
+                if shards is None
+                else [int(s) for s in shards]
+            )
+            for shard_id in requested:
+                reason = self._quarantined.get(shard_id)
+                if reason is not None:
+                    raise ServiceError(
+                        f"shard {shard_id} is quarantined pending repair: "
+                        f"{reason}"
+                    )
+
+    # ------------------------------------------------------------------
     # Encoder plumbing
     # ------------------------------------------------------------------
 
@@ -487,16 +617,19 @@ class ClusterService:
         return generation
 
     def _checkpoint_loop(self) -> None:
-        import sys
-
         while not self._stop.wait(self.config.checkpoint_interval):
             try:
                 self.checkpoint(force=False)
                 # Generations whose last reader drained since the
                 # previous pass are reclaimed even when no new
-                # checkpoint happened.
+                # checkpoint happened; orphaned replication staging
+                # directories past the age threshold go with them.
                 with self._write_lock:
-                    self.repository.sweep()
+                    self.repository.sweep(
+                        partial_max_age_seconds=(
+                            self.config.partial_sweep_age_seconds
+                        )
+                    )
                 self._checkpoint_error = None
             except Exception as exc:
                 # Keep the daemon alive, but never silently: a failing
@@ -505,11 +638,175 @@ class ClusterService:
                 if self._stop.is_set():
                     return
                 self._checkpoint_error = f"{type(exc).__name__}: {exc}"
-                print(
-                    f"checkpoint failed (will retry): "
-                    f"{self._checkpoint_error}",
-                    file=sys.stderr,
+                log.error(
+                    "checkpoint failed (will retry)",
+                    extra={"error": self._checkpoint_error},
                 )
+
+    # ------------------------------------------------------------------
+    # Scrub + self-healing
+    # ------------------------------------------------------------------
+
+    def _scrub_loop(self) -> None:
+        while not self._stop.wait(self.config.scrub_interval):
+            try:
+                self.scrub_once()
+            except Exception as exc:
+                if self._stop.is_set():
+                    return
+                log.error(
+                    "scrub pass failed (will retry)",
+                    extra={"error": f"{type(exc).__name__}: {exc}"},
+                )
+
+    def scrub_once(self) -> Optional[ScrubReport]:
+        """One full scrub of the serving generation; heal what it finds.
+
+        Digests every file of the serving generation against the
+        manifest's integrity records (paced by
+        ``config.scrub_bytes_per_second``).  Mismatches quarantine the
+        implicated shards — catalog damage implicates all of them — and
+        trigger a repair from ``config.repair_peers``; a successful
+        repair re-verifies, reopens, republishes and un-quarantines.
+        Returns the scrub report (``None`` before the first checkpoint).
+
+        The serving lease is held across scrub *and* repair, so the
+        generation's files cannot be swept mid-pass even if a concurrent
+        checkpoint publishes past them.
+        """
+        lease = self._acquire_lease()
+        try:
+            generation = lease.generation
+            if generation == 0:
+                return None
+            integrity = lease.snapshot.manifest.integrity
+            scrubber = GenerationScrubber(
+                bytes_per_second=self.config.scrub_bytes_per_second,
+                should_stop=self._stop.is_set,
+            )
+            report = scrubber.scrub(self.directory, generation, integrity)
+            self.stats.bump(
+                scrub_passes=1,
+                scrub_bytes=report.bytes_checked,
+                corruptions_found=len(report.errors),
+            )
+            if report.clean:
+                log.debug(
+                    "scrub pass clean",
+                    extra={
+                        "generation": generation,
+                        "files": report.files_checked,
+                        "bytes": report.bytes_checked,
+                    },
+                )
+                return report
+            shard_ids = self._implicated_shards(report)
+            for error in report.errors:
+                log.error(
+                    "scrub found corruption",
+                    extra={
+                        "file": error.name,
+                        "shard": error.shard,
+                        "generation": generation,
+                        "error": str(error),
+                    },
+                )
+            for shard_id in shard_ids:
+                self._quarantine(
+                    shard_id,
+                    f"scrub found corrupt files "
+                    f"{report.corrupt_names()} in generation {generation}",
+                )
+            if self._repair(generation, integrity, report.corrupt_names()):
+                self._unquarantine(shard_ids)
+            return report
+        finally:
+            lease.release()
+
+    def _implicated_shards(self, report: ScrubReport) -> List[int]:
+        """Shards a damage report withholds from queries.
+
+        Per-shard artifacts implicate their shard; catalog damage maps
+        shard-local labels to global ones for *every* shard, so it
+        implicates all of them.
+        """
+        if any(error.shard is None for error in report.errors):
+            return list(range(self.repository.manifest.num_shards))
+        return report.corrupt_shards()
+
+    def _repair(
+        self,
+        generation: int,
+        integrity: Dict[str, Dict[str, object]],
+        names: List[str],
+    ) -> bool:
+        """Refetch corrupt files from a repair peer; True on success.
+
+        Tries each configured peer in order: fetch the damaged members
+        of ``generation`` through the replicator, re-verify them against
+        the local manifest's own integrity records (``full``), then
+        reopen the repository and republish the serving snapshot so
+        queries read the healed bytes.  Failure leaves the quarantine in
+        place — the next scrub pass retries.
+        """
+        if not names:
+            return False
+        if not self.config.repair_peers:
+            log.warning(
+                "no repair peers configured; shards stay quarantined",
+                extra={"generation": generation, "files": names},
+            )
+            return False
+        from ..fleet.replicate import Replicator  # avoids an import cycle
+        from .client import ServiceClient
+
+        healed = False
+        for peer in self.config.repair_peers:
+            host, _, port = peer.rpartition(":")
+            try:
+                with ServiceClient(host=host, port=int(port)) as client:
+                    Replicator().heal(
+                        client, self.directory, generation, names
+                    )
+                subset = {name: integrity[name] for name in names}
+                verify_generation(
+                    self.directory, generation, subset, policy="full"
+                )
+                healed = True
+                log.info(
+                    "healed corrupt files from peer",
+                    extra={
+                        "peer": peer,
+                        "generation": generation,
+                        "files": names,
+                    },
+                )
+                break
+            except Exception as exc:
+                log.warning(
+                    "repair attempt failed",
+                    extra={
+                        "peer": peer,
+                        "generation": generation,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    },
+                )
+        if not healed:
+            return False
+        # Serve the healed bytes: reopen (mmaps the repaired files,
+        # replaying any pending WAL deterministically) and republish,
+        # exactly like a pushed-generation install.
+        with self._write_lock:
+            old = self.repository
+            old.close()
+            self.repository = ClusterRepository.open(
+                self.directory,
+                execution_backend=self.config.backend,
+                num_workers=self.config.workers,
+                verify=self.config.verify,
+            )
+        self._publish_snapshot()
+        return True
 
     # ------------------------------------------------------------------
     # Query (the coalesced snapshot path)
@@ -597,6 +894,7 @@ class ClusterService:
         shards: Optional[Sequence[int]] = None,
         generation: Optional[int] = None,
     ) -> Tuple[List[List], int]:
+        self._check_quarantine(shards)
         lease = self._acquire_lease(generation)
         try:
             results = lease.service.query_vectors(vectors, k, shards=shards)
@@ -714,6 +1012,7 @@ class ClusterService:
             "counters": self.stats.snapshot(),
             "ops": self._op_latencies.summary(),
             "last_checkpoint_error": self._checkpoint_error,
+            "quarantined_shards": self.quarantined_shards,
         }
 
     # ------------------------------------------------------------------
@@ -829,6 +1128,7 @@ class ClusterService:
                 self.directory,
                 execution_backend=self.config.backend,
                 num_workers=self.config.workers,
+                verify=self.config.verify,
             )
         with self._stager_lock:
             self._stagers.pop(generation, None)
@@ -853,10 +1153,13 @@ class ClusterService:
         )
         self.port = self._server.start()
         self._started = True
-        for name, target in (
+        loops = [
             ("repro-dispatch", self._dispatch_loop),
             ("repro-checkpoint", self._checkpoint_loop),
-        ):
+        ]
+        if self.config.scrub_interval > 0:
+            loops.append(("repro-scrub", self._scrub_loop))
+        for name, target in loops:
             thread = threading.Thread(target=target, name=name, daemon=True)
             thread.start()
             self._threads.append(thread)
@@ -948,6 +1251,12 @@ class ClusterService:
             return {"status": "ok", "report": asdict(report)}
         if op == "checkpoint":
             return {"status": "ok", "generation": self.checkpoint()}
+        if op == "scrub":
+            report = self.scrub_once()
+            return {
+                "status": "ok",
+                "report": None if report is None else report.to_json(),
+            }
         if op == "generation_files":
             return {"status": "ok", **self.generation_files()}
         if op == "fetch_chunk":

@@ -39,11 +39,27 @@ a durable substrate.  This package provides it:
     generation's files, chunked byte-range reads, and a resumable
     staging/verify/install path (:class:`GenerationStager`) that the
     fleet replicator drives over the wire.
+``repro.store.integrity``
+    At-rest integrity: checkpoint-recorded per-file SHA-256 + size,
+    open-time verification policies (``full``/``sampled``/``off``) and
+    the paced :class:`GenerationScrubber` behind the daemon's scrub
+    thread and ``repro scrub``.
+``repro.store.fsio``
+    The narrow file-I/O seam under every durability path — trivial
+    pass-throughs in production, swappable hooks for the deterministic
+    fault injection in :mod:`repro.testing.faults`.
 """
 
 from .generation import GenerationFile, GenerationStager, list_generation_files
 from .index import BitSliceMedoidIndex, batched_topk
 from .ingest import StreamingIngestor
+from .integrity import (
+    VERIFY_POLICIES,
+    GenerationScrubber,
+    ScrubReport,
+    integrity_records,
+    verify_generation,
+)
 from .manifest import MANIFEST_VERSION, RepositoryManifest
 from .repository import (
     ClusterRepository,
@@ -67,6 +83,11 @@ __all__ = [
     "batched_topk",
     "list_generation_files",
     "StreamingIngestor",
+    "VERIFY_POLICIES",
+    "GenerationScrubber",
+    "ScrubReport",
+    "integrity_records",
+    "verify_generation",
     "MANIFEST_VERSION",
     "RepositoryManifest",
     "ClusterRepository",

@@ -1,0 +1,109 @@
+"""The narrow file-I/O seam under the store's durability paths.
+
+Every byte the WAL, manifest, checkpoint and generation stager put on
+(or read off) disk flows through the half-dozen functions here.  In
+production they are trivial pass-throughs to :mod:`os` and ``open``;
+their value is that :mod:`repro.testing.faults` can swap in a hook
+object and deterministically injure exactly one write, fsync, rename or
+read — torn writes, bit flips, short reads, ENOSPC, fsync failure — to
+prove the recovery machinery above this seam actually works.
+
+The seam is deliberately tiny and low-level (paths and handles, not
+records or manifests): fault injection below the durability logic is
+what makes the tests honest, because the code under test cannot tell an
+injected fault from a real one.
+
+Hooks are process-global.  :func:`install_hooks` returns the previous
+hook object so tests can nest and restore; library code never installs
+hooks.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import IO, Any
+
+
+class PassthroughHooks:
+    """Default hooks: the real filesystem, nothing else.
+
+    Fault injectors subclass this and override selected methods; every
+    override receives enough context (the path, or a handle whose
+    ``name`` is the path) to match on file and call count.
+    """
+
+    def open(self, path: Any, mode: str, **kwargs: Any) -> IO:
+        return open(path, mode, **kwargs)
+
+    def write(self, handle: IO, data: bytes) -> int:
+        return handle.write(data)
+
+    def read(self, handle: IO, size: int) -> bytes:
+        return handle.read(size)
+
+    def fsync(self, handle: IO) -> None:
+        os.fsync(handle.fileno())
+
+    def fsync_fd(self, descriptor: int, path: Any) -> None:
+        os.fsync(descriptor)
+
+    def replace(self, source: Any, target: Any) -> None:
+        os.replace(source, target)
+
+    def rename(self, source: Any, target: Any) -> None:
+        os.rename(source, target)
+
+
+_hooks: PassthroughHooks = PassthroughHooks()
+
+
+def install_hooks(hooks: PassthroughHooks) -> PassthroughHooks:
+    """Install ``hooks`` globally; returns the previous hook object."""
+    global _hooks
+    previous = _hooks
+    _hooks = hooks
+    return previous
+
+
+def reset_hooks() -> None:
+    """Restore the passthrough hooks (idempotent)."""
+    install_hooks(PassthroughHooks())
+
+
+def fs_open(path: Any, mode: str, **kwargs: Any) -> IO:
+    """``open`` through the seam."""
+    return _hooks.open(path, mode, **kwargs)
+
+
+def fs_write(handle: IO, data: bytes) -> int:
+    """``handle.write`` through the seam."""
+    return _hooks.write(handle, data)
+
+
+def fs_read(handle: IO, size: int) -> bytes:
+    """``handle.read`` through the seam."""
+    return _hooks.read(handle, size)
+
+
+def fs_fsync(handle: IO) -> None:
+    """``os.fsync(handle.fileno())`` through the seam."""
+    _hooks.fsync(handle)
+
+
+def fs_fsync_path(path: Any) -> None:
+    """Open-fsync-close one path (file or directory) through the seam."""
+    descriptor = os.open(path, os.O_RDONLY)
+    try:
+        _hooks.fsync_fd(descriptor, path)
+    finally:
+        os.close(descriptor)
+
+
+def fs_replace(source: Any, target: Any) -> None:
+    """``os.replace`` through the seam."""
+    _hooks.replace(source, target)
+
+
+def fs_rename(source: Any, target: Any) -> None:
+    """``os.rename`` through the seam."""
+    _hooks.rename(source, target)

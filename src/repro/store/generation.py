@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import re
 import shutil
 from dataclasses import dataclass
@@ -31,6 +30,7 @@ from pathlib import Path
 from typing import Dict, List, Sequence, Union
 
 from ..errors import ReplicationError
+from . import fsio
 from .manifest import MANIFEST_NAME, RepositoryManifest
 from .snapshot import _write_pin
 
@@ -83,10 +83,15 @@ def is_member_name(name: str) -> bool:
 
 
 def file_digest(path: Union[str, Path]) -> str:
-    """SHA-256 hex digest of one file, streamed."""
+    """SHA-256 hex digest of one file, streamed.
+
+    Reads go through the fsio seam, so an injected short read produces a
+    wrong digest here exactly as a failing disk would — and the callers'
+    mismatch handling is what gets exercised.
+    """
     digest = hashlib.sha256()
     with open(path, "rb") as handle:
-        for block in iter(lambda: handle.read(1 << 20), b""):
+        for block in iter(lambda: fsio.fs_read(handle, 1 << 20), b""):
             digest.update(block)
     return digest.hexdigest()
 
@@ -154,7 +159,7 @@ def read_generation_chunk(
     try:
         with open(path, "rb") as handle:
             handle.seek(offset)
-            return handle.read(length)
+            return fsio.fs_read(handle, length)
     except FileNotFoundError as exc:
         raise ReplicationError(
             f"generation {generation} member {name} is no longer on disk "
@@ -163,11 +168,7 @@ def read_generation_chunk(
 
 
 def _fsync_path(path: Path) -> None:
-    descriptor = os.open(path, os.O_RDONLY)
-    try:
-        os.fsync(descriptor)
-    finally:
-        os.close(descriptor)
+    fsio.fs_fsync_path(path)
 
 
 class GenerationStager:
@@ -242,6 +243,28 @@ class GenerationStager:
             self._files[entry.name] = entry
         if not self._files:
             raise ReplicationError("generation transfer lists no files")
+        # The manifest carries the checkpoint-time integrity records of
+        # this generation; a listing that disagrees means the *source's*
+        # bytes decayed after its checkpoint.  Refuse before any bytes
+        # ship — replication must never spread at-rest corruption.
+        if manifest.integrity:
+            for name, record in manifest.integrity.items():
+                entry = self._files.get(name)
+                if entry is None:
+                    raise ReplicationError(
+                        f"transfer listing omits {name!r}, which the "
+                        "manifest's integrity records name; refusing an "
+                        "incomplete generation"
+                    )
+                if (
+                    entry.sha256 != str(record["sha256"])
+                    or entry.size != int(record["size"])
+                ):
+                    raise ReplicationError(
+                        f"source listing for {name!r} disagrees with its "
+                        "manifest integrity record (source corrupt at "
+                        "rest?); refusing the transfer"
+                    )
         self._manifest_json = manifest_json
         descriptor = {
             "generation": self.generation,
@@ -298,9 +321,9 @@ class GenerationStager:
         if not path.exists():
             path.touch()
         # "r+b" keeps bytes before the offset (resume semantics).
-        with open(path, "r+b") as handle:
+        with fsio.fs_open(path, "r+b") as handle:
             handle.seek(offset)
-            handle.write(data)
+            fsio.fs_write(handle, data)
 
     # ------------------------------------------------------------------
     # Install
@@ -353,7 +376,7 @@ class GenerationStager:
             final = _generation_dir(self.directory, self.generation)
             if final.exists():
                 shutil.rmtree(final)  # leftover from a crashed install
-            os.rename(self._stage, final)
+            fsio.fs_rename(self._stage, final)
             _fsync_path(final)
             _fsync_path(final.parent)
             manifest = RepositoryManifest.from_json(
@@ -361,9 +384,9 @@ class GenerationStager:
             )
             manifest.save(self.directory)
             wal_path = self.directory / WAL_NAME
-            with open(wal_path, "wb") as handle:
+            with fsio.fs_open(wal_path, "wb") as handle:
                 handle.flush()
-                os.fsync(handle.fileno())
+                fsio.fs_fsync(handle)
         finally:
             if self._pin_path is not None:
                 self._pin_path.unlink(missing_ok=True)

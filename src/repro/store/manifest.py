@@ -12,7 +12,6 @@ and therefore the previous consistent checkpoint — intact.
 from __future__ import annotations
 
 import json
-import os
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, Union
@@ -20,6 +19,7 @@ from typing import Dict, Union
 from ..errors import ParseError
 from ..hdc import EncoderConfig
 from ..spectrum import BucketingConfig, PreprocessingConfig
+from . import fsio
 from .index import DEFAULT_MIN_MEDOIDS, DEFAULT_PROBE_BITS
 
 
@@ -56,6 +56,12 @@ class RepositoryManifest:
     num_spectra: int = 0
     num_clusters: int = 0
     shard_counts: Dict[str, int] = field(default_factory=dict)
+    #: Per-file ``{name: {"sha256": hex, "size": bytes}}`` of the current
+    #: generation's artifacts, recorded by checkpoint and verified on
+    #: open (see :mod:`repro.store.integrity`).  Empty for generation 0
+    #: and for manifests written before integrity records existed —
+    #: verification is vacuous then, keeping old repositories readable.
+    integrity: Dict[str, Dict[str, object]] = field(default_factory=dict)
     format_version: int = MANIFEST_VERSION
 
     def to_json(self) -> str:
@@ -99,6 +105,13 @@ class RepositoryManifest:
                     str(key): int(value)
                     for key, value in record.get("shard_counts", {}).items()
                 },
+                integrity={
+                    str(name): {
+                        "sha256": str(entry["sha256"]),
+                        "size": int(entry["size"]),
+                    }
+                    for name, entry in record.get("integrity", {}).items()
+                },
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ParseError(f"invalid manifest field: {exc}", source) from exc
@@ -113,16 +126,14 @@ class RepositoryManifest:
         directory = Path(directory)
         target = directory / MANIFEST_NAME
         temporary = directory / (MANIFEST_NAME + ".tmp")
-        with open(temporary, "w", encoding="utf-8") as handle:
-            handle.write(self.to_json() + "\n")
+        # Binary mode: the fsio seam is byte-oriented, so injected
+        # bit flips and torn writes operate on the real payload.
+        with fsio.fs_open(temporary, "wb") as handle:
+            fsio.fs_write(handle, (self.to_json() + "\n").encode("utf-8"))
             handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(temporary, target)
-        directory_fd = os.open(directory, os.O_RDONLY)
-        try:
-            os.fsync(directory_fd)
-        finally:
-            os.close(directory_fd)
+            fsio.fs_fsync(handle)
+        fsio.fs_replace(temporary, target)
+        fsio.fs_fsync_path(directory)
 
     @classmethod
     def load(cls, directory: Union[str, Path]) -> "RepositoryManifest":

@@ -30,7 +30,6 @@ identical to an uninterrupted run.
 
 from __future__ import annotations
 
-import os
 import shutil
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -49,10 +48,16 @@ from ..spectrum import (
     bucket_key,
     preprocess_spectrum,
 )
+from . import fsio
 from .index import (
     DEFAULT_MIN_MEDOIDS,
     DEFAULT_PROBE_BITS,
     BitSliceMedoidIndex,
+)
+from .integrity import (
+    check_verify_policy,
+    integrity_records,
+    verify_generation,
 )
 from .manifest import MANIFEST_NAME, RepositoryManifest
 from .snapshot import RepositorySnapshot, sweep_generations
@@ -150,6 +155,9 @@ class ClusterRepository:
         self.encoder = encoder
         self.execution_backend = execution_backend
         self.num_workers = num_workers
+        #: Verification policy snapshots opened via :meth:`snapshot`
+        #: inherit (set by :meth:`open` from its ``verify`` argument).
+        self.verify_policy = "sampled"
         self._shards = shards
         self._wal = WriteAheadLog(directory / WAL_NAME)
         self._row_shard: List[int] = []
@@ -225,6 +233,7 @@ class ClusterRepository:
         execution_backend: str = "serial",
         num_workers: Optional[int] = None,
         recover_wal: bool = True,
+        verify: str = "sampled",
     ) -> "ClusterRepository":
         """Open a repository: load the checkpoint, replay the WAL.
 
@@ -234,9 +243,23 @@ class ClusterRepository:
         repository must never truncate a record the daemon is mid-append
         on).  Writers must keep the default: an append after a torn tail
         would merge records.
+
+        ``verify`` checks the generation's files against the manifest's
+        integrity records before anything is loaded (``full`` digests
+        everything, ``sampled`` — the default — stat-checks everything
+        and digests a sample, ``off`` skips).  A mismatch raises
+        :class:`~repro.errors.IntegrityError` naming the file and shard;
+        nothing is mmap'd from damaged bytes.
         """
         directory = Path(directory)
+        check_verify_policy(verify)
         manifest = RepositoryManifest.load(directory)
+        verify_generation(
+            directory,
+            manifest.generation,
+            manifest.integrity,
+            policy=verify,
+        )
         # One encoder (therefore one item memory) shared by every shard.
         encoder = IDLevelEncoder(manifest.encoder)
         shards: List[IncrementalClusterStore] = []
@@ -278,6 +301,7 @@ class ClusterRepository:
             execution_backend=execution_backend,
             num_workers=num_workers,
         )
+        repository.verify_policy = verify
         loaded_indexes: Dict[int, BitSliceMedoidIndex] = {}
         if manifest.generation > 0:
             repository._load_catalog(generation_dir)
@@ -307,7 +331,7 @@ class ClusterRepository:
     def _generation_dir(directory: Path, generation: int) -> Path:
         return directory / SEGMENTS_DIR / f"gen-{generation:06d}"
 
-    def snapshot(self) -> RepositorySnapshot:
+    def snapshot(self, verify: Optional[str] = None) -> RepositorySnapshot:
         """Pin and open the last *published* generation for reading.
 
         The snapshot shares this repository's encoder (one item memory
@@ -315,9 +339,14 @@ class ClusterRepository:
         :meth:`checkpoint` last wrote, and keeps seeing it while this
         repository ingests and checkpoints past it.  Batches applied
         since that checkpoint are invisible to the snapshot — checkpoint
-        first if the read must include them.
+        first if the read must include them.  ``verify`` defaults to the
+        policy this repository was opened with.
         """
-        return RepositorySnapshot.open(self.directory, encoder=self.encoder)
+        return RepositorySnapshot.open(
+            self.directory,
+            encoder=self.encoder,
+            verify=self.verify_policy if verify is None else verify,
+        )
 
     def close(self) -> None:
         """Release OS resources (the WAL's append handle); idempotent.
@@ -481,8 +510,9 @@ class ClusterRepository:
             )
         if self._poisoned:
             raise SpecHDError(
-                "repository state is inconsistent after a failed apply; "
-                "reopen the directory to recover from the journal"
+                "repository state is inconsistent after a failed apply or "
+                "checkpoint; reopen the directory to recover from the "
+                "journal"
             )
 
     def _apply_guarded(self, apply, *args) -> RepositoryUpdateReport:
@@ -797,28 +827,34 @@ class ClusterRepository:
         # generation must be on disk before the manifest names it: fsync
         # every segment file and the directory entries.
         for segment in generation_dir.iterdir():
-            descriptor = os.open(segment, os.O_RDONLY)
-            try:
-                os.fsync(descriptor)
-            finally:
-                os.close(descriptor)
+            fsio.fs_fsync_path(segment)
         for entry_dir in (generation_dir, generation_dir.parent):
-            descriptor = os.open(entry_dir, os.O_RDONLY)
-            try:
-                os.fsync(descriptor)
-            finally:
-                os.close(descriptor)
+            fsio.fs_fsync_path(entry_dir)
+        # Digest the durable bytes: the manifest records what is actually
+        # on disk, so open-time verification and the scrubber check
+        # against exactly what this checkpoint published.
+        integrity = integrity_records(generation_dir)
 
-        self.manifest.generation = generation
-        self.manifest.applied_seq = self._applied_seq
-        self.manifest.num_spectra = len(self)
-        self.manifest.num_clusters = self.num_clusters
-        self.manifest.shard_counts = {
-            str(shard_id): len(shard)
-            for shard_id, shard in enumerate(self._shards)
-        }
-        self.manifest.save(self.directory)
-        self._wal.reset()
+        # Publish.  From the first manifest mutation onward, in-memory
+        # state and disk can disagree if a write fails (ENOSPC, fsync
+        # error): poison so every later mutation forces a reopen — which
+        # finds the *old* manifest plus the intact WAL and replays it,
+        # reproducing this state exactly.
+        try:
+            self.manifest.generation = generation
+            self.manifest.applied_seq = self._applied_seq
+            self.manifest.num_spectra = len(self)
+            self.manifest.num_clusters = self.num_clusters
+            self.manifest.shard_counts = {
+                str(shard_id): len(shard)
+                for shard_id, shard in enumerate(self._shards)
+            }
+            self.manifest.integrity = integrity
+            self.manifest.save(self.directory)
+            self._wal.reset()
+        except BaseException:
+            self._poisoned = True
+            raise
         self._wal_pending = 0
         self._query_indexes = query_indexes
         self._query_index_version = self.version
@@ -831,14 +867,24 @@ class ClusterRepository:
         sweep_generations(self.directory, generation)
         return generation
 
-    def sweep(self) -> List[int]:
+    def sweep(
+        self, partial_max_age_seconds: Optional[float] = None
+    ) -> List[int]:
         """Retire unpinned superseded generations; returns those removed.
 
         Checkpoints sweep automatically; this explicit hook lets a
         long-running service reclaim a generation as soon as its last
         snapshot closes instead of waiting for the next checkpoint.
+        ``partial_max_age_seconds`` additionally collects orphaned
+        ``gen-NNNNNN.partial/`` staging directories older than that age
+        (a replicator crash leaves them behind); in-progress pulls keep
+        their staging files' mtimes fresh and are never touched.
         """
-        return sweep_generations(self.directory, self.manifest.generation)
+        return sweep_generations(
+            self.directory,
+            self.manifest.generation,
+            partial_max_age_seconds=partial_max_age_seconds,
+        )
 
     def _save_query_indexes(
         self, generation_dir: Path

@@ -42,7 +42,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from ..errors import ConfigurationError, SpecHDError
+from ..errors import ConfigurationError, IntegrityError, SpecHDError
 from ..hdc import IDLevelEncoder
 from ..incremental import IncrementalClusterStore
 from .index import BitSliceMedoidIndex
@@ -139,8 +139,29 @@ def generations_on_disk(directory: Union[str, Path]) -> List[int]:
     return sorted(found)
 
 
+def _newest_mtime(entry: Path) -> float:
+    """The freshest mtime among a directory and its direct children.
+
+    A resuming replicator appends to staged *files* without touching the
+    directory entry, so the directory mtime alone would misjudge an
+    active pull as stale.
+    """
+    newest = entry.stat().st_mtime
+    try:
+        for child in entry.iterdir():
+            try:
+                newest = max(newest, child.stat().st_mtime)
+            except OSError:
+                continue
+    except OSError:
+        pass
+    return newest
+
+
 def sweep_generations(
-    directory: Union[str, Path], current_generation: int
+    directory: Union[str, Path],
+    current_generation: int,
+    partial_max_age_seconds: Optional[float] = None,
 ) -> List[int]:
     """Delete unpinned generations below ``current_generation``.
 
@@ -149,6 +170,13 @@ def sweep_generations(
     generations removed (sorted).  Safe to call at any time — the writer
     runs it after every checkpoint, and a service can run it after a
     long-lived snapshot finally closes.
+
+    ``partial_max_age_seconds`` additionally removes orphaned
+    ``gen-NNNNNN.partial/`` staging directories (left behind when a
+    replicator died mid-pull) whose newest file is older than the given
+    age.  ``None`` (the default, and what checkpoint uses) never touches
+    them — the age threshold is what keeps an *in-progress* pull, which
+    continually refreshes its staged files, safe from the sweep.
     """
     directory = Path(directory)
     pinned = pinned_generations(directory)
@@ -158,7 +186,15 @@ def sweep_generations(
     segments_dir = directory / SEGMENTS_DIR
     if not segments_dir.is_dir():
         return removed
+    now = time.time()
     for entry in segments_dir.glob("gen-*"):
+        if entry.name.endswith(".partial") and entry.is_dir():
+            if (
+                partial_max_age_seconds is not None
+                and now - _newest_mtime(entry) > partial_max_age_seconds
+            ):
+                shutil.rmtree(entry, ignore_errors=True)
+            continue
         try:
             generation = int(entry.name.split("-", 1)[1])
         except ValueError:
@@ -217,6 +253,7 @@ class RepositorySnapshot:
         cls,
         directory: Union[str, Path],
         encoder: Optional[IDLevelEncoder] = None,
+        verify: str = "sampled",
     ) -> "RepositorySnapshot":
         """Pin and open the repository's current published generation.
 
@@ -228,8 +265,19 @@ class RepositorySnapshot:
         written *before* the generation files are read, and if the
         generation was retired between reading the manifest and pinning
         it, the open retries against the fresh manifest.
+
+        ``verify`` checks the pinned generation's files against the
+        manifest's integrity records before anything is mmap'd (see
+        :mod:`repro.store.integrity`).  A *missing* recorded file during
+        verification is indistinguishable from sweep churn and retries
+        like any other churn; a size or digest mismatch raises
+        :class:`~repro.errors.IntegrityError` immediately — retrying
+        cannot make corrupt bytes valid.
         """
+        from .integrity import check_verify_policy, verify_generation
+
         directory = Path(directory)
+        check_verify_policy(verify)
         last_error: Optional[BaseException] = None
         for _ in range(_PIN_ATTEMPTS):
             manifest = RepositoryManifest.load(directory)
@@ -242,9 +290,25 @@ class RepositorySnapshot:
             if manifest.generation > 0:
                 pin_path = _write_pin(directory, manifest.generation)
             try:
+                verify_generation(
+                    directory,
+                    manifest.generation,
+                    manifest.integrity,
+                    policy=verify,
+                )
                 return cls._load_generation(
                     directory, manifest, encoder, pin_path
                 )
+            except IntegrityError as exc:
+                if pin_path is not None:
+                    pin_path.unlink(missing_ok=True)
+                if not exc.missing:
+                    raise
+                # A recorded file vanished: the generation was swept
+                # between the manifest read and the pin write.  Churn,
+                # not damage — retry against the fresh manifest.
+                last_error = exc
+                continue
             except (FileNotFoundError, OSError) as exc:
                 # The generation was swept between the manifest read and
                 # the pin write; drop the useless pin and re-read.

@@ -37,6 +37,7 @@ import numpy as np
 
 from ..errors import ParseError
 from ..spectrum import MassSpectrum
+from . import fsio
 
 #: Record kinds a WAL may contain.
 RECORD_KINDS = ("spectra", "encoded")
@@ -188,9 +189,14 @@ class WriteAheadLog:
             self.recover()
             handle = self._append_handle()
         handle.seek(0, os.SEEK_END)
-        handle.write(line)
+        # On ENOSPC / EIO mid-append the batch was never acknowledged and
+        # the sequence number never consumed; whatever partial bytes
+        # landed are a torn tail that the next append's boundary probe
+        # (or the next open's recover()) truncates — the journal
+        # self-heals without operator action.
+        fsio.fs_write(handle, line)
         handle.flush()
-        os.fsync(handle.fileno())
+        fsio.fs_fsync(handle)
 
     def _append_handle(self):
         if self._handle is None or self._handle.closed:

@@ -1,0 +1,260 @@
+"""Deterministic fault injection over the :mod:`repro.store.fsio` seam.
+
+A :class:`FaultInjector` is a context manager that installs hooks under
+the store's durability paths and injures the Nth matching call — and
+only it — with one of five fault kinds:
+
+``torn_write``
+    A seeded prefix of the data reaches the file, then the write raises
+    (what a crash or ENOSPC mid-``write(2)`` leaves behind).
+``bit_flip``
+    The write *succeeds* but one seeded bit of the payload is inverted —
+    silent media corruption at write time.
+``short_read``
+    The read returns a seeded prefix of the real bytes, silently.
+``enospc``
+    The call raises ``OSError(ENOSPC)`` (writes land a torn prefix
+    first, as a real full disk would).
+``fsync_fail``
+    The fsync raises ``OSError(EIO)`` — the bytes may or may not be
+    durable, which is exactly the ambiguity the checkpoint ordering must
+    survive.
+
+Faults are matched by operation (``open``/``write``/``read``/``fsync``/
+``replace``/``rename``), an optional path substring, and a 1-based
+``nth`` occurrence counter; everything random (tear points, bit
+positions, read cuts) comes from one ``random.Random(seed)``, so a
+failing test replays byte-identically from its spec + seed.  Every fired
+fault is appended to :attr:`FaultInjector.fired` for assertions.
+
+:func:`flip_bit` complements the hook-based faults: it corrupts one
+seeded bit of a file *at rest*, for artifacts written by code that does
+not flow through the seam (numpy's ``savez`` writes segment payloads
+directly).
+"""
+
+from __future__ import annotations
+
+import errno
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Any, List, Optional, Tuple, Union
+
+from ..store import fsio
+
+#: Operations a fault spec may target.
+FAULT_OPS = ("open", "write", "read", "fsync", "replace", "rename")
+
+#: Fault kinds the injector understands.
+FAULT_KINDS = (
+    "torn_write",
+    "bit_flip",
+    "short_read",
+    "enospc",
+    "fsync_fail",
+    "error",
+)
+
+
+class InjectedFault(OSError):
+    """An error deliberately raised by the fault injector.
+
+    Subclasses :class:`OSError` so the code under test cannot tell it
+    from the real thing — that is the point.
+    """
+
+
+@dataclass
+class FaultSpec:
+    """One fault to inject: which call, and how to injure it.
+
+    ``nth`` counts *matching* calls (same op, path contains ``path``),
+    1-based.  ``count`` fires the fault on that many consecutive
+    matching calls (default one), for "the disk stays full" scenarios.
+    """
+
+    op: str
+    kind: str
+    nth: int = 1
+    path: str = ""
+    count: int = 1
+    #: Matching calls seen so far (internal).
+    seen: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.op not in FAULT_OPS:
+            raise ValueError(f"unknown fault op {self.op!r}")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.nth < 1 or self.count < 1:
+            raise ValueError("nth and count must be >= 1")
+
+    def matches(self, op: str, path: str) -> bool:
+        """Count a call; True when this spec fires on it."""
+        if op != self.op or self.path not in path:
+            return False
+        self.seen += 1
+        return self.nth <= self.seen < self.nth + self.count
+
+
+def _path_of(handle_or_path: Any) -> str:
+    if isinstance(handle_or_path, (str, Path)):
+        return str(handle_or_path)
+    return str(getattr(handle_or_path, "name", ""))
+
+
+class _FaultHooks(fsio.PassthroughHooks):
+    def __init__(self, injector: "FaultInjector") -> None:
+        self._injector = injector
+
+    def open(self, path: Any, mode: str, **kwargs: Any) -> IO:
+        spec = self._injector._match("open", _path_of(path))
+        if spec is not None:
+            raise self._injector._error(spec, _path_of(path))
+        return super().open(path, mode, **kwargs)
+
+    def write(self, handle: IO, data: bytes) -> int:
+        path = _path_of(handle)
+        spec = self._injector._match("write", path)
+        if spec is None:
+            return super().write(handle, data)
+        rng = self._injector.rng
+        if spec.kind == "bit_flip":
+            # The write "succeeds": silent corruption on the way down.
+            position = rng.randrange(len(data) * 8) if data else 0
+            damaged = bytearray(data)
+            if data:
+                damaged[position // 8] ^= 1 << (position % 8)
+            self._injector._record(spec, path, bit=position)
+            return super().write(handle, bytes(damaged))
+        # torn_write / enospc / error: a prefix may land, then we raise.
+        prefix = rng.randrange(len(data)) if data else 0
+        if prefix:
+            super().write(handle, data[:prefix])
+            handle.flush()
+        self._injector._record(spec, path, torn_at=prefix)
+        raise self._injector._error(spec, path)
+
+    def read(self, handle: IO, size: int) -> bytes:
+        path = _path_of(handle)
+        spec = self._injector._match("read", path)
+        if spec is None:
+            return super().read(handle, size)
+        if spec.kind == "short_read":
+            data = super().read(handle, size)
+            cut = self._injector.rng.randrange(len(data)) if data else 0
+            self._injector._record(spec, path, cut=cut)
+            return data[:cut]
+        self._injector._record(spec, path)
+        raise self._injector._error(spec, path)
+
+    def fsync(self, handle: IO) -> None:
+        path = _path_of(handle)
+        spec = self._injector._match("fsync", path)
+        if spec is not None:
+            self._injector._record(spec, path)
+            raise self._injector._error(spec, path)
+        super().fsync(handle)
+
+    def fsync_fd(self, descriptor: int, path: Any) -> None:
+        spec = self._injector._match("fsync", _path_of(path))
+        if spec is not None:
+            self._injector._record(spec, _path_of(path))
+            raise self._injector._error(spec, _path_of(path))
+        super().fsync_fd(descriptor, path)
+
+    def replace(self, source: Any, target: Any) -> None:
+        spec = self._injector._match("replace", _path_of(target))
+        if spec is not None:
+            self._injector._record(spec, _path_of(target))
+            raise self._injector._error(spec, _path_of(target))
+        super().replace(source, target)
+
+    def rename(self, source: Any, target: Any) -> None:
+        spec = self._injector._match("rename", _path_of(target))
+        if spec is not None:
+            self._injector._record(spec, _path_of(target))
+            raise self._injector._error(spec, _path_of(target))
+        super().rename(source, target)
+
+
+class FaultInjector:
+    """Install fault hooks for the duration of a ``with`` block.
+
+    >>> with FaultInjector(FaultSpec("fsync", "fsync_fail",
+    ...                              path="manifest"), seed=7) as faults:
+    ...     ...  # code under test
+    >>> faults.fired
+    [{'op': 'fsync', 'kind': 'fsync_fail', 'path': '...', 'n': 1}]
+
+    Deterministic: the same specs + seed fire the same faults with the
+    same tear points / bit positions, every run.
+    """
+
+    def __init__(self, *specs: FaultSpec, seed: int = 0) -> None:
+        self.specs = list(specs)
+        self.seed = seed
+        self.rng = random.Random(seed)
+        #: Log of fired faults, in order, for assertions.
+        self.fired: List[dict] = []
+        self._previous: Optional[fsio.PassthroughHooks] = None
+
+    def __enter__(self) -> "FaultInjector":
+        self._previous = fsio.install_hooks(_FaultHooks(self))
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        if self._previous is not None:
+            fsio.install_hooks(self._previous)
+            self._previous = None
+
+    def _match(self, op: str, path: str) -> Optional[FaultSpec]:
+        for spec in self.specs:
+            if spec.matches(op, path):
+                return spec
+        return None
+
+    def _record(self, spec: FaultSpec, path: str, **detail: Any) -> None:
+        entry = {
+            "op": spec.op,
+            "kind": spec.kind,
+            "path": path,
+            "n": spec.seen,
+        }
+        entry.update(detail)
+        self.fired.append(entry)
+
+    def _error(self, spec: FaultSpec, path: str) -> InjectedFault:
+        if spec.kind == "enospc":
+            return InjectedFault(
+                errno.ENOSPC, "no space left on device (injected)", path
+            )
+        return InjectedFault(
+            errno.EIO, f"injected {spec.kind} ({spec.op})", path
+        )
+
+
+def flip_bit(
+    path: Union[str, Path],
+    seed: int = 0,
+    bit: Optional[int] = None,
+) -> Tuple[int, int]:
+    """Invert one bit of a file at rest; returns ``(byte_offset, mask)``.
+
+    The bit is chosen by ``random.Random(seed)`` unless ``bit`` pins it
+    explicitly — either way the damage is replayable.  This simulates
+    media corruption of artifacts that never cross the fsio seam (numpy
+    segment payloads, at-rest decay of old generations).
+    """
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise ValueError(f"cannot flip a bit of empty file {path}")
+    position = (
+        bit if bit is not None else random.Random(seed).randrange(len(data) * 8)
+    )
+    offset, mask = position // 8, 1 << (position % 8)
+    data[offset] ^= mask
+    path.write_bytes(bytes(data))
+    return offset, mask

@@ -1,0 +1,76 @@
+"""Shared fixtures for the fault-injection tier.
+
+Every test here damages a repository on purpose — through the
+:mod:`repro.store.fsio` seam (:class:`repro.testing.FaultInjector`) or
+at rest (:func:`repro.testing.flip_bit`) — and asserts the damage is
+detected at open, caught by the scrubber, or healed from a replica.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.datasets import SyntheticConfig, generate_dataset
+from repro.hdc import EncoderConfig
+from repro.store import ClusterRepository, RepositoryConfig, fsio
+
+
+@pytest.fixture(autouse=True)
+def _pristine_fsio_hooks():
+    """No test may leak fault hooks into the next one."""
+    yield
+    fsio.reset_hooks()
+
+
+@pytest.fixture(scope="session")
+def faults_encoder():
+    return EncoderConfig(dim=512, mz_bins=4_000, intensity_levels=16)
+
+
+@pytest.fixture(scope="session")
+def faults_dataset():
+    return generate_dataset(
+        SyntheticConfig(
+            num_peptides=10,
+            replicates_per_peptide=6,
+            peptides_per_mass_group=1,
+            seed=53,
+        )
+    )
+
+
+@pytest.fixture()
+def checkpointed_repo(tmp_path, faults_encoder, faults_dataset):
+    """A checkpointed three-shard repository (integrity records on)."""
+    directory = tmp_path / "repo"
+    repository = ClusterRepository.create(
+        directory,
+        RepositoryConfig(
+            num_shards=3,
+            shard_width=16,
+            encoder=faults_encoder,
+            cluster_threshold=0.36,
+        ),
+    )
+    repository.add_batch(
+        faults_dataset.spectra[: len(faults_dataset) // 2]
+    )
+    repository.checkpoint()
+    repository.close()
+    return directory
+
+
+@pytest.fixture()
+def copy_repo(tmp_path):
+    """Copy a repository directory; each copy gets a fresh name."""
+    counter = {"n": 0}
+
+    def copy(source):
+        counter["n"] += 1
+        target = tmp_path / f"copy{counter['n']}"
+        shutil.copytree(source, target)
+        return target
+
+    return copy

@@ -1,0 +1,119 @@
+"""Checkpoint and WAL durability under injected write/fsync failures.
+
+The contract: a checkpoint that dies partway (full disk, fsync error)
+poisons the in-memory repository — no further mutations — while the
+on-disk state stays at the previous generation with the WAL intact, so
+a reopen replays to byte-identical state and the next checkpoint
+succeeds.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.errors import SpecHDError
+from repro.store import ClusterRepository, QueryService, RepositorySnapshot
+from repro.store.generation import list_generation_files
+from repro.store.manifest import RepositoryManifest
+from repro.testing import FaultInjector, FaultSpec
+
+
+def answers(repo_dir, spectra, k=4):
+    with RepositorySnapshot.open(repo_dir, verify="full") as snapshot:
+        with QueryService(snapshot) as service:
+            return service.query(spectra, k=k)
+
+
+class TestCheckpointPoisoning:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            FaultSpec("write", "enospc", path="manifest.json"),
+            FaultSpec("fsync", "fsync_fail", path="manifest.json"),
+            FaultSpec("replace", "error", path="manifest.json"),
+        ],
+        ids=["enospc-write", "fsync-fail", "replace-fail"],
+    )
+    def test_failed_manifest_swap_poisons_and_replays_identically(
+        self, tmp_path, checkpointed_repo, faults_dataset, spec
+    ):
+        extra = faults_dataset.spectra[-6:]
+        repository = ClusterRepository.open(checkpointed_repo)
+        repository.add_batch(extra)
+        # Control: an identical repository (journal included, appends
+        # are fsynced) whose checkpoint is allowed to succeed.
+        control = tmp_path / "control"
+        shutil.copytree(checkpointed_repo, control)
+
+        with FaultInjector(spec, seed=8) as faults:
+            with pytest.raises(OSError):
+                repository.checkpoint()
+        assert faults.fired
+        # In-memory state is poisoned: mutations must go through reopen.
+        with pytest.raises(SpecHDError, match="inconsistent"):
+            repository.add_batch(extra)
+        repository.close()
+        # On disk nothing moved: still generation 1, batch still
+        # journaled.
+        assert RepositoryManifest.load(checkpointed_repo).generation == 1
+
+        with ClusterRepository.open(control) as reference:
+            assert reference.wal_pending_batches == 1
+            assert reference.checkpoint() == 2
+        with ClusterRepository.open(checkpointed_repo) as reopened:
+            assert reopened.manifest.generation == 1
+            assert reopened.wal_pending_batches == 1
+            assert reopened.checkpoint() == 2
+        # The replayed checkpoint is byte-identical to the unfaulted
+        # one — same digests for every generation file.
+        assert list_generation_files(
+            checkpointed_repo, 2
+        ) == list_generation_files(control, 2)
+        queries = faults_dataset.spectra[:6]
+        assert answers(checkpointed_repo, queries) == answers(
+            control, queries
+        )
+
+    def test_enospc_while_writing_generation_leaves_old_state_serving(
+        self, checkpointed_repo, faults_dataset
+    ):
+        """A failure *before* the manifest swap (directory fsync of the
+        new generation) must also poison and preserve generation 1."""
+        repository = ClusterRepository.open(checkpointed_repo)
+        repository.add_batch(faults_dataset.spectra[-6:])
+        with FaultInjector(
+            FaultSpec("fsync", "fsync_fail", path="gen-000002")
+        ):
+            with pytest.raises(OSError):
+                repository.checkpoint()
+        repository.close()
+        assert RepositoryManifest.load(checkpointed_repo).generation == 1
+        with ClusterRepository.open(checkpointed_repo) as reopened:
+            assert reopened.wal_pending_batches == 1
+            assert reopened.checkpoint() == 2
+
+
+class TestWalAppendFaults:
+    def test_enospc_during_append_fails_the_batch_only(
+        self, checkpointed_repo, faults_dataset
+    ):
+        extra = faults_dataset.spectra[-6:]
+        repository = ClusterRepository.open(checkpointed_repo)
+        with FaultInjector(
+            FaultSpec("write", "enospc", path="wal.log")
+        ) as faults:
+            with pytest.raises(OSError):
+                repository.add_batch(extra)
+        assert faults.fired[0].get("torn_at") is not None
+        # The failed append consumed no durable state: nothing pending.
+        assert repository.wal_pending_batches == 0
+        repository.close()
+        # Reopen probes past the torn tail and carries on: the batch
+        # was never acknowledged, so it is simply absent.
+        with ClusterRepository.open(checkpointed_repo) as reopened:
+            assert reopened.wal_pending_batches == 0
+            assert reopened.manifest.generation == 1
+            reopened.add_batch(extra)
+            assert reopened.checkpoint() == 2

@@ -1,0 +1,138 @@
+"""The fault injector itself: determinism, matching, restoration."""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro.store import fsio
+from repro.testing import FaultInjector, FaultSpec, InjectedFault, flip_bit
+
+
+def write_through_seam(path, payloads):
+    handle = fsio.fs_open(path, "wb")
+    try:
+        for payload in payloads:
+            fsio.fs_write(handle, payload)
+    finally:
+        handle.close()
+
+
+class TestFaultSpec:
+    def test_unknown_op_and_kind_are_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault op"):
+            FaultSpec("unlink", "torn_write")
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("write", "gamma_ray")
+
+    def test_nth_counts_only_matching_calls(self, tmp_path):
+        spec = FaultSpec("write", "error", nth=2, path="victim")
+        with FaultInjector(spec) as faults:
+            # Writes to another file never advance the counter.
+            write_through_seam(tmp_path / "other", [b"a", b"b", b"c"])
+            handle = fsio.fs_open(tmp_path / "victim", "wb")
+            try:
+                fsio.fs_write(handle, b"first")  # match 1: spared
+                with pytest.raises(InjectedFault):
+                    fsio.fs_write(handle, b"second")  # match 2: fired
+            finally:
+                handle.close()
+        assert [entry["n"] for entry in faults.fired] == [2]
+
+    def test_count_fires_consecutive_matches(self, tmp_path):
+        spec = FaultSpec("fsync", "fsync_fail", nth=1, count=2)
+        with FaultInjector(spec) as faults:
+            handle = fsio.fs_open(tmp_path / "f", "wb")
+            try:
+                fsio.fs_write(handle, b"x")
+                for _ in range(2):
+                    with pytest.raises(InjectedFault):
+                        fsio.fs_fsync(handle)
+                fsio.fs_fsync(handle)  # third call passes through
+            finally:
+                handle.close()
+        assert len(faults.fired) == 2
+
+
+class TestDeterminism:
+    def run_torn_write(self, path, seed):
+        with FaultInjector(
+            FaultSpec("write", "torn_write"), seed=seed
+        ) as faults:
+            with pytest.raises(InjectedFault):
+                write_through_seam(path, [b"A" * 4096])
+        return faults.fired[0]["torn_at"], path.stat().st_size
+
+    def test_same_seed_tears_at_the_same_byte(self, tmp_path):
+        first = self.run_torn_write(tmp_path / "a", seed=11)
+        second = self.run_torn_write(tmp_path / "b", seed=11)
+        assert first == second
+        torn_at, size = first
+        assert size == torn_at  # exactly the recorded prefix landed
+
+    def test_different_seed_tears_elsewhere(self, tmp_path):
+        first = self.run_torn_write(tmp_path / "a", seed=1)
+        second = self.run_torn_write(tmp_path / "b", seed=2)
+        assert first != second
+
+    def test_bit_flip_is_silent_and_seeded(self, tmp_path):
+        def flip(path, seed):
+            with FaultInjector(
+                FaultSpec("write", "bit_flip"), seed=seed
+            ) as faults:
+                write_through_seam(path, [b"\x00" * 256])
+            return faults.fired[0]["bit"], path.read_bytes()
+
+        bit_a, data_a = flip(tmp_path / "a", seed=5)
+        bit_b, data_b = flip(tmp_path / "b", seed=5)
+        assert bit_a == bit_b
+        assert data_a == data_b
+        assert data_a.count(b"\x00") == 255  # exactly one byte damaged
+
+    def test_flip_bit_at_rest_is_replayable(self, tmp_path):
+        for name in ("a", "b"):
+            (tmp_path / name).write_bytes(bytes(range(64)))
+        assert flip_bit(tmp_path / "a", seed=9) == flip_bit(
+            tmp_path / "b", seed=9
+        )
+        assert (tmp_path / "a").read_bytes() == (
+            tmp_path / "b"
+        ).read_bytes()
+        assert (tmp_path / "a").read_bytes() != bytes(range(64))
+
+    def test_short_read_returns_seeded_prefix(self, tmp_path):
+        (tmp_path / "f").write_bytes(b"payload-bytes")
+        with FaultInjector(
+            FaultSpec("read", "short_read"), seed=3
+        ) as faults:
+            handle = fsio.fs_open(tmp_path / "f", "rb")
+            try:
+                data = fsio.fs_read(handle, 64)
+            finally:
+                handle.close()
+        assert data == b"payload-bytes"[: faults.fired[0]["cut"]]
+
+
+class TestErrnoAndRestore:
+    def test_enospc_carries_the_real_errno(self, tmp_path):
+        with FaultInjector(FaultSpec("write", "enospc")):
+            with pytest.raises(OSError) as excinfo:
+                write_through_seam(tmp_path / "f", [b"data"])
+        assert excinfo.value.errno == errno.ENOSPC
+
+    def test_hooks_are_restored_after_the_block(self, tmp_path):
+        before = fsio._hooks
+        with FaultInjector(FaultSpec("write", "error")):
+            assert fsio._hooks is not before
+        assert fsio._hooks is before
+        # And the seam passes writes through again.
+        write_through_seam(tmp_path / "f", [b"clean"])
+        assert (tmp_path / "f").read_bytes() == b"clean"
+
+    def test_hooks_are_restored_when_the_block_raises(self):
+        before = fsio._hooks
+        with pytest.raises(RuntimeError):
+            with FaultInjector(FaultSpec("write", "error")):
+                raise RuntimeError("test")
+        assert fsio._hooks is before

@@ -1,0 +1,160 @@
+"""Replicator behaviour under injected staging faults.
+
+PR 7's replication tests build partial/corrupt staging states by hand;
+these drive the same recovery paths through the fault shim instead —
+the failure happens where it would in production, mid-transfer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReplicationError
+from repro.fleet import Replicator
+from repro.service import ClusterService, ServiceClient, ServiceConfig
+from repro.store.generation import (
+    GenerationStager,
+    file_digest,
+    list_generation_files,
+)
+from repro.store.manifest import RepositoryManifest
+from repro.testing import FaultInjector, FaultSpec, InjectedFault, flip_bit
+
+
+@pytest.fixture()
+def source_service(checkpointed_repo):
+    service = ClusterService(
+        checkpointed_repo, ServiceConfig(checkpoint_interval=30.0)
+    ).start()
+    yield service
+    service.stop()
+
+
+class TestPullResume:
+    def test_midtransfer_crash_resumes_at_byte_offset(
+        self, tmp_path, checkpointed_repo, source_service
+    ):
+        target = tmp_path / "follower"
+        files = list_generation_files(checkpointed_repo, 1)
+        total = sum(entry.size for entry in files)
+        chunk = 256
+        # Let the first file stage completely, then the "disk" dies on
+        # the next staged write and stays dead.
+        nth = -(-files[0].size // chunk) + 1
+        with ServiceClient(port=source_service.port) as client:
+            with FaultInjector(
+                FaultSpec(
+                    "write", "error", nth=nth, path=".partial", count=10_000
+                ),
+                seed=13,
+            ):
+                with pytest.raises(InjectedFault):
+                    Replicator(chunk_bytes=chunk).pull(client, target)
+        # The stager reports real byte progress for the resume...
+        manifest_json = RepositoryManifest.load(
+            checkpointed_repo
+        ).to_json()
+        offsets = GenerationStager(target, 1).begin(files, manifest_json)
+        staged = sum(offsets.values())
+        assert 0 < staged < total
+        assert any(
+            offsets[entry.name] == entry.size for entry in files
+        ), "at least one file should have fully staged before the crash"
+        # ...and the next pull ships only the remainder, verifying
+        # byte-identical on install.
+        with ServiceClient(port=source_service.port) as client:
+            assert Replicator(chunk_bytes=chunk).pull(client, target) == 1
+        assert list_generation_files(target, 1) == files
+
+    def test_bitflipped_chunk_is_discarded_and_refetched(
+        self, tmp_path, checkpointed_repo, source_service
+    ):
+        """A silently corrupted staged write fails the commit-time
+        digest, the stager discards that file, and the pull's own retry
+        refetches it — one call, clean install."""
+        target = tmp_path / "follower"
+        files = list_generation_files(checkpointed_repo, 1)
+        with ServiceClient(port=source_service.port) as client:
+            with FaultInjector(
+                FaultSpec("write", "bit_flip", nth=2, path=".partial"),
+                seed=17,
+            ) as faults:
+                assert (
+                    Replicator(chunk_bytes=1024).pull(client, target) == 1
+                )
+        assert [entry["kind"] for entry in faults.fired] == ["bit_flip"]
+        gen_dir = target / "segments" / "gen-000001"
+        for entry in files:
+            assert file_digest(gen_dir / entry.name) == entry.sha256
+
+    def test_unrecoverable_corruption_exhausts_retries(
+        self, tmp_path, checkpointed_repo, source_service
+    ):
+        """If every attempt corrupts a staged chunk, the pull gives up
+        with the last error instead of looping forever."""
+        target = tmp_path / "follower"
+        with ServiceClient(port=source_service.port) as client:
+            with FaultInjector(
+                FaultSpec(
+                    "write", "bit_flip", nth=1, path=".partial", count=10_000
+                ),
+                seed=19,
+            ):
+                with pytest.raises(
+                    ReplicationError, match="kept failing recoverably"
+                ):
+                    Replicator(
+                        chunk_bytes=1024, max_restarts=2
+                    ).pull(client, target)
+
+
+class TestSourceIntegrityGuards:
+    def test_stager_refuses_listings_that_contradict_the_manifest(
+        self, tmp_path, checkpointed_repo, copy_repo
+    ):
+        """A source corrupt at rest advertises digests that disagree
+        with its own manifest integrity records; begin() must refuse
+        before any bytes move."""
+        source = copy_repo(checkpointed_repo)
+        victim = "shard-0000.npz"
+        flip_bit(
+            source / "segments" / "gen-000001" / victim, seed=23
+        )
+        files = list_generation_files(source, 1)  # digests the damage
+        manifest_json = RepositoryManifest.load(source).to_json()
+        target = tmp_path / "follower"
+        target.mkdir()
+        with pytest.raises(
+            ReplicationError, match="disagrees with its manifest"
+        ):
+            GenerationStager(target, 1).begin(files, manifest_json)
+
+    def test_heal_rejects_bytes_that_contradict_the_local_manifest(
+        self, checkpointed_repo, copy_repo, source_service
+    ):
+        """Healing verifies against the *local* manifest: peer bytes
+        that digest differently must be discarded, not installed."""
+        local = copy_repo(checkpointed_repo)
+        victim = "shard-0000.npz"
+        # Simulate a peer whose copy diverges from what this node's
+        # manifest recorded: rewrite the local record to a digest the
+        # (pristine) peer can never satisfy.
+        manifest = RepositoryManifest.load(local)
+        manifest.integrity[victim] = {
+            "sha256": "0" * 64,
+            "size": int(manifest.integrity[victim]["size"]),
+        }
+        manifest.save(local)
+        original = (
+            local / "segments" / "gen-000001" / victim
+        ).read_bytes()
+        with ServiceClient(port=source_service.port) as client:
+            with pytest.raises(
+                ReplicationError, match="peer may be corrupt"
+            ):
+                Replicator().heal(client, local, 1, [victim])
+        # Nothing was installed and no temp litter remains.
+        assert (
+            local / "segments" / "gen-000001" / victim
+        ).read_bytes() == original
+        assert not list((local / "segments").glob("heal-*"))

@@ -1,0 +1,287 @@
+"""Scrub detection, quarantine semantics, and replica self-healing.
+
+The acceptance bar: on a two-replica fleet, a corrupt shard is detected
+by scrub, quarantined (served from the peer via the router's failover,
+without the node being marked unhealthy), healed from the peer through
+the replicator, re-verified and un-quarantined — with routed answers
+byte-identical before, during and after the repair.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.fleet import NodeInfo, PlacementMap, RouterDaemon
+from repro.service import ClusterService, ServiceConfig
+from repro.store import QueryService, RepositorySnapshot
+from repro.store.generation import file_digest
+from repro.store.integrity import GenerationScrubber, shard_of_member
+from repro.store.manifest import RepositoryManifest
+from repro.testing import flip_bit
+
+
+def member_path(repo_dir, name, generation=1):
+    return repo_dir / "segments" / f"gen-{generation:06d}" / name
+
+
+def expected_matches(repo_dir, spectra, k=4):
+    with RepositorySnapshot.open(repo_dir, verify="off") as snapshot:
+        with QueryService(snapshot) as service:
+            return service.query(spectra, k=k)
+
+
+class TestScrubber:
+    def test_clean_generation_scrubs_clean(self, checkpointed_repo):
+        manifest = RepositoryManifest.load(checkpointed_repo)
+        report = GenerationScrubber().scrub(
+            checkpointed_repo, 1, manifest.integrity
+        )
+        assert report.clean
+        assert report.complete
+        assert report.files_checked == len(manifest.integrity)
+        assert report.bytes_checked == sum(
+            int(record["size"]) for record in manifest.integrity.values()
+        )
+
+    def test_scrub_maps_all_damage_in_one_pass(
+        self, checkpointed_repo, copy_repo
+    ):
+        damaged = copy_repo(checkpointed_repo)
+        manifest = RepositoryManifest.load(damaged)
+        victims = ["shard-0000.npz", "shard-0001.state.json"]
+        for seed, name in enumerate(victims):
+            flip_bit(member_path(damaged, name), seed=seed)
+        report = GenerationScrubber().scrub(damaged, 1, manifest.integrity)
+        assert not report.clean
+        assert report.corrupt_names() == sorted(victims)
+        assert report.corrupt_shards() == [0, 1]
+        record = report.to_json()
+        assert record["clean"] is False
+        assert record["corrupt_files"] == sorted(victims)
+
+    def test_paced_scrub_still_reads_everything(self, checkpointed_repo):
+        manifest = RepositoryManifest.load(checkpointed_repo)
+        total = sum(
+            int(record["size"]) for record in manifest.integrity.values()
+        )
+        # Fast enough that pacing stays a formality for a tiny repo.
+        report = GenerationScrubber(bytes_per_second=512 * 1024 * 1024).scrub(
+            checkpointed_repo, 1, manifest.integrity
+        )
+        assert report.clean
+        assert report.bytes_checked == total
+
+
+class TestDaemonQuarantine:
+    def test_scrub_quarantines_and_queries_refuse(
+        self, checkpointed_repo, faults_dataset
+    ):
+        service = ClusterService(
+            checkpointed_repo,
+            ServiceConfig(checkpoint_interval=30.0),
+        )
+        try:
+            flip_bit(
+                member_path(checkpointed_repo, "shard-0000.npz"), seed=5
+            )
+            report = service.scrub_once()
+            assert not report.clean
+            assert service.quarantined_shards == [0]
+            counters = service.stats.snapshot()
+            assert counters["scrub_passes"] == 1
+            assert counters["corruptions_found"] == 1
+            assert counters["shards_quarantined"] == 1
+            assert service.metrics()["quarantined_shards"] == [0]
+            # Unrestricted queries would touch shard 0: refused, and the
+            # refusal names the quarantine so routers fail over.
+            spectra = faults_dataset.spectra[:4]
+            with pytest.raises(ServiceError, match="quarantined"):
+                service.query(spectra, k=4)
+            # Shard-restricted queries away from the damage still work.
+            vectors = service._encode(spectra).vectors
+            results, served = service.query_vectors_at(
+                vectors, k=4, shards=[1, 2]
+            )
+            assert served == 1
+            assert len(results) == len(vectors)
+        finally:
+            service.stop()
+
+    def test_catalog_damage_quarantines_every_shard(
+        self, checkpointed_repo
+    ):
+        service = ClusterService(
+            checkpointed_repo,
+            ServiceConfig(checkpoint_interval=30.0),
+        )
+        try:
+            flip_bit(member_path(checkpointed_repo, "catalog.npz"), seed=6)
+            report = service.scrub_once()
+            assert report.corrupt_shards() == []  # catalog has no shard
+            assert service.quarantined_shards == [0, 1, 2]
+        finally:
+            service.stop()
+
+
+class TestReplicaHealing:
+    @pytest.fixture()
+    def two_node_fleet(self, tmp_path, checkpointed_repo):
+        """node1 (clean peer, started) + node0 (repairs from node1)."""
+        dirs = {}
+        for name in ("node0", "node1"):
+            dirs[name] = tmp_path / name
+            shutil.copytree(checkpointed_repo, dirs[name])
+        node1 = ClusterService(
+            dirs["node1"], ServiceConfig(checkpoint_interval=30.0)
+        ).start()
+        node0 = ClusterService(
+            dirs["node0"],
+            ServiceConfig(
+                checkpoint_interval=30.0,
+                repair_peers=(f"127.0.0.1:{node1.port}",),
+            ),
+        ).start()
+        try:
+            yield dirs, node0, node1
+        finally:
+            node0.stop()
+            node1.stop()
+
+    def test_quarantined_shard_heals_from_peer_byte_identically(
+        self, two_node_fleet, checkpointed_repo, faults_dataset
+    ):
+        dirs, node0, node1 = two_node_fleet
+        placement = PlacementMap.create(
+            [
+                NodeInfo("node0", "127.0.0.1", node0.port),
+                NodeInfo("node1", "127.0.0.1", node1.port),
+            ],
+            num_shards=3,
+            replication=2,
+        )
+        queries = faults_dataset.spectra[:6]
+        baseline = expected_matches(checkpointed_repo, queries)
+        victim = "shard-0000.npz"
+        expected_digest = RepositoryManifest.load(dirs["node0"]).integrity[
+            victim
+        ]["sha256"]
+        with RouterDaemon(placement) as router:
+            # Before: both replicas answer; routed answers match a
+            # single-node scan of the pristine repository.
+            assert router.query(queries, k=4) == baseline
+
+            flip_bit(member_path(dirs["node0"], victim), seed=7)
+            report = node0.scrub_once()
+
+            # The scrub found the damage, quarantined shard 0, healed it
+            # from node1, re-verified and lifted the quarantine.
+            assert report.corrupt_names() == [victim]
+            assert node0.quarantined_shards == []
+            counters = node0.stats.snapshot()
+            assert counters["shards_quarantined"] == 1
+            assert counters["shards_healed"] == 1
+            assert (
+                file_digest(member_path(dirs["node0"], victim))
+                == expected_digest
+            )
+
+            # After: routed answers unchanged, node0 still healthy and
+            # answering for shard 0 directly.
+            assert router.query(queries, k=4) == baseline
+            assert all(
+                state.healthy for state in router._states.values()
+            )
+        vectors = node0._encode(queries).vectors
+        direct, _served = node0.query_vectors_at(vectors, k=4, shards=None)
+        assert direct == expected_matches(dirs["node1"], queries)
+
+    def test_quarantine_fails_over_without_marking_node_unhealthy(
+        self, tmp_path, checkpointed_repo, faults_dataset
+    ):
+        """No repair peers: the shard stays quarantined and the router
+        serves it from the replica — during-repair answers are still
+        byte-identical."""
+        dirs = {}
+        for name in ("node0", "node1"):
+            dirs[name] = tmp_path / name
+            shutil.copytree(checkpointed_repo, dirs[name])
+        node0 = ClusterService(
+            dirs["node0"], ServiceConfig(checkpoint_interval=30.0)
+        ).start()
+        node1 = ClusterService(
+            dirs["node1"], ServiceConfig(checkpoint_interval=30.0)
+        ).start()
+        try:
+            placement = PlacementMap.create(
+                [
+                    NodeInfo("node0", "127.0.0.1", node0.port),
+                    NodeInfo("node1", "127.0.0.1", node1.port),
+                ],
+                num_shards=3,
+                replication=2,
+            )
+            queries = faults_dataset.spectra[:6]
+            baseline = expected_matches(checkpointed_repo, queries)
+            flip_bit(member_path(dirs["node0"], "shard-0000.npz"), seed=9)
+            report = node0.scrub_once()
+            assert not report.clean
+            assert node0.quarantined_shards == [0]
+            with RouterDaemon(placement) as router:
+                assert router.query(queries, k=4) == baseline
+                # Quarantine is a per-shard refusal, not node death.
+                assert router._states["node0"].healthy
+        finally:
+            node0.stop()
+            node1.stop()
+
+
+class TestScrubCli:
+    def test_scrub_cli_exit_codes_and_json(
+        self, checkpointed_repo, copy_repo, capsys
+    ):
+        import json
+
+        from repro.cli import main
+
+        assert main(["scrub", str(checkpointed_repo), "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["clean"] is True
+        damaged = copy_repo(checkpointed_repo)
+        flip_bit(member_path(damaged, "shard-0001.npz"), seed=10)
+        assert main(["scrub", str(damaged)]) == 1
+        captured = capsys.readouterr()
+        assert "CORRUPT" in captured.out
+        assert "shard-0001.npz" in captured.err
+
+    def test_scrub_cli_repairs_from_a_running_replica(
+        self, checkpointed_repo, copy_repo
+    ):
+        from repro.cli import main
+
+        damaged = copy_repo(checkpointed_repo)
+        flip_bit(member_path(damaged, "shard-0002.npz"), seed=11)
+        peer = ClusterService(
+            checkpointed_repo, ServiceConfig(checkpoint_interval=30.0)
+        ).start()
+        try:
+            assert (
+                main(
+                    [
+                        "scrub",
+                        str(damaged),
+                        "--repair-from",
+                        f"127.0.0.1:{peer.port}",
+                    ]
+                )
+                == 0
+            )
+        finally:
+            peer.stop()
+        manifest = RepositoryManifest.load(damaged)
+        assert (
+            file_digest(member_path(damaged, "shard-0002.npz"))
+            == manifest.integrity["shard-0002.npz"]["sha256"]
+        )
