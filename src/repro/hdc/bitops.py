@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import EncodingError
+from . import kernels as _kernels
 
 #: Bits per storage word.
 WORD_BITS = 64
@@ -108,18 +109,57 @@ def _popcount_swar_inplace(x: np.ndarray) -> np.ndarray:
     return x
 
 
+def _popcount_swar_numpy(words: np.ndarray) -> np.ndarray:
+    """The numpy tier of :func:`popcount_swar` (the reference kernel)."""
+    x = np.array(words, dtype=np.uint64, copy=True)
+    if x.size == 0:
+        return x
+    return _popcount_swar_inplace(x)
+
+
 def popcount_swar(words: np.ndarray) -> np.ndarray:
     """Per-element popcount via branch-free SWAR arithmetic (uint64 out).
 
     Identical counts to :func:`popcount` but computed with ~6 vectorised
     ALU passes instead of a 16-bit table gather — considerably faster on
     the large XOR intermediates of the blocked Hamming kernels, where the
-    random-access lookups of the table version dominate.
+    random-access lookups of the table version dominate.  Dispatches to
+    the active kernel tier (:mod:`repro.hdc.kernels`); every tier is
+    byte-identical to the numpy reference.
     """
-    x = np.array(words, dtype=np.uint64, copy=True)
-    if x.size == 0:
-        return x
-    return _popcount_swar_inplace(x)
+    return _kernels.active_backend().popcount_swar(words)
+
+
+def _hamming_pairs_numpy(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """Row-wise Hamming distances of two same-shape packed matrices."""
+    return _popcount_swar_inplace(np.bitwise_xor(first, second)).sum(
+        axis=-1, dtype=np.int64
+    )
+
+
+def xor_popcount_rows(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """Hamming distance along the last axis of broadcast packed arrays.
+
+    ``first`` and ``second`` broadcast against each other with a shared
+    trailing ``words`` axis; the result is the int64 per-row distance of
+    shape ``broadcast(first, second).shape[:-1]``.  This is the fused
+    XOR + popcount + reduce every index verification path uses —
+    dispatched through the kernel registry so the numba tier never
+    materialises the XOR intermediate.
+    """
+    first = np.asarray(first, dtype=np.uint64)
+    second = np.asarray(second, dtype=np.uint64)
+    backend = _kernels.active_backend()
+    if backend.name == "numpy":
+        xor = np.bitwise_xor(first, second)
+        return _popcount_swar_inplace(xor).sum(axis=-1, dtype=np.int64)
+    a, b = np.broadcast_arrays(first, second)
+    words = a.shape[-1] if a.ndim else 0
+    flat_first = np.ascontiguousarray(a.reshape(-1, words))
+    flat_second = np.ascontiguousarray(b.reshape(-1, words))
+    return backend.hamming_pairs(flat_first, flat_second).reshape(
+        a.shape[:-1]
+    )
 
 
 def expand_bits(packed: np.ndarray, dim: int) -> np.ndarray:
@@ -188,11 +228,21 @@ def csa_accumulate(rows: np.ndarray, capacity: int) -> np.ndarray:
     rows = np.ascontiguousarray(rows, dtype=np.uint64)
     if rows.ndim != 3:
         raise EncodingError("csa_accumulate expects a (c, m, words) array")
-    c, m, words = rows.shape
+    c = rows.shape[0]
     if capacity < c:
         raise EncodingError(f"capacity {capacity} < row count {c}")
     planes_count = max(1, int(capacity).bit_length())
-    planes = np.zeros((planes_count, m, words), dtype=np.uint64)
+    planes = np.zeros(
+        (planes_count,) + rows.shape[1:], dtype=np.uint64
+    )
+    _kernels.active_backend().csa_fill(rows, planes)
+    return planes
+
+
+def _csa_fill_numpy(rows: np.ndarray, planes: np.ndarray) -> None:
+    """The numpy tier of :func:`csa_accumulate`: fill zeroed ``planes``."""
+    c, m, words = rows.shape
+    planes_count = planes.shape[0]
     t1 = np.empty((m, words), dtype=np.uint64)
     t2 = np.empty((m, words), dtype=np.uint64)
     carry_a = np.empty((m, words), dtype=np.uint64)
@@ -232,7 +282,6 @@ def csa_accumulate(rows: np.ndarray, capacity: int) -> np.ndarray:
         j += 2
     if j < c:
         ripple(0, rows[j])
-    return planes
 
 
 def planes_greater_than(
@@ -332,9 +381,18 @@ def counts_from_planes(
     if (1 << planes.shape[0]) - 1 > np.iinfo(dtype).max:
         raise EncodingError(f"{np.dtype(dtype).name} cannot hold plane counts")
     counts = np.zeros((planes.shape[1], lanes), dtype=dtype)
-    for level in range(planes.shape[0]):
-        counts += unpack_bits(planes[level], lanes).astype(dtype) << dtype(level)
+    _kernels.active_backend().counts_fill(
+        np.ascontiguousarray(planes), counts
+    )
     return counts
+
+
+def _counts_fill_numpy(planes: np.ndarray, out: np.ndarray) -> None:
+    """The numpy tier of :func:`counts_from_planes`: fill zeroed ``out``."""
+    lanes = out.shape[1]
+    dtype = out.dtype.type
+    for level in range(planes.shape[0]):
+        out += unpack_bits(planes[level], lanes).astype(dtype) << dtype(level)
 
 
 def hamming_distance(first: np.ndarray, second: np.ndarray) -> np.ndarray:

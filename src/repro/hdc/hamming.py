@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import EncodingError
+from . import kernels as _kernels
 from .bitops import popcount, popcount_swar
 
 #: The FPGA stores distances as 16-bit fixed point; with D_hv <= 65535 the
@@ -162,6 +163,12 @@ def hamming_cross(
     cache discipline as the pairwise kernels) even when one side is a
     large medoid matrix — this is the kernel the repository's batched
     shard scans are built on.
+
+    Dispatches through the kernel registry
+    (:mod:`repro.hdc.kernels`): on the numba tier the XOR is popcounted
+    in-register with no intermediate tile at all.  Every tier returns
+    byte-identical distances; an explicit ``block_rows`` pins the numpy
+    tiling path (it is a numpy cache knob, meaningless to fused loops).
     """
     queries = np.asarray(queries, dtype=np.uint64)
     refs = np.asarray(refs, dtype=np.uint64)
@@ -171,6 +178,23 @@ def hamming_cross(
         raise EncodingError(
             "word-count mismatch between query and reference matrices"
         )
+    num_queries, words = queries.shape
+    num_refs = refs.shape[0]
+    if num_queries == 0 or num_refs == 0 or words == 0:
+        return np.zeros((num_queries, num_refs), dtype=np.int64)
+    if block_rows is None:
+        backend = _kernels.active_backend()
+        if backend.name != "numpy":
+            return backend.hamming_cross(queries, refs)
+    return _hamming_cross_numpy(queries, refs, block_rows)
+
+
+def _hamming_cross_numpy(
+    queries: np.ndarray,
+    refs: np.ndarray,
+    block_rows: int | None = None,
+) -> np.ndarray:
+    """The numpy tier of :func:`hamming_cross` (the reference kernel)."""
     num_queries, words = queries.shape
     num_refs = refs.shape[0]
     distances = np.zeros((num_queries, num_refs), dtype=np.int64)

@@ -1,0 +1,80 @@
+"""The cupy kernel tier: GPU ``hamming_cross``, CPU everything else.
+
+Only the cross-distance scan is worth a device round-trip — it is the
+one kernel whose arithmetic intensity grows with both operand sizes.
+The XOR + ``__popcll`` + reduce runs as one fused elementwise kernel
+per query tile; results come back as the same int64 matrix the CPU
+tiers produce (Hamming distances are integers, so transport is exact).
+The other kernels delegate to the best available CPU tier: their
+inputs are small or latency-bound and would lose to transfer overhead.
+
+Importing this module raises unless cupy imports *and* a CUDA device
+answers — the registry records the reason and auto-selection moves on
+to numba/numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import cupy as cp
+
+from . import KernelBackend
+
+if cp.cuda.runtime.getDeviceCount() < 1:  # pragma: no cover - GPU only
+    raise RuntimeError("cupy imports but no CUDA device is present")
+
+#: Byte budget of one (queries, refs, words) XOR tile on the device.
+_GPU_TILE_BYTES = 1 << 28
+
+_popc64 = cp.ElementwiseKernel(
+    "uint64 x", "uint64 y", "y = __popcll(x)", "repro_popc64"
+)
+
+
+def _cpu_backend() -> KernelBackend:
+    """Best CPU tier for the delegated kernels (numba if it builds)."""
+    try:
+        from . import numba_tier
+
+        return numba_tier.build_backend()
+    except Exception:  # noqa: BLE001 - numba optional
+        from . import numpy_tier
+
+        return numpy_tier.build_backend()
+
+
+def _hamming_cross_gpu(queries: np.ndarray, refs: np.ndarray) -> np.ndarray:
+    num_queries, words = queries.shape
+    num_refs = refs.shape[0]
+    refs_dev = cp.asarray(refs)
+    out = np.empty((num_queries, num_refs), dtype=np.int64)
+    tile = max(1, _GPU_TILE_BYTES // max(1, num_refs * words * 8))
+    for lo in range(0, num_queries, tile):
+        hi = min(lo + tile, num_queries)
+        block = cp.asarray(queries[lo:hi])
+        xor = cp.bitwise_xor(block[:, None, :], refs_dev[None, :, :])
+        counts = _popc64(xor).sum(axis=-1, dtype=cp.int64)
+        out[lo:hi] = cp.asnumpy(counts)
+    return out
+
+
+def _warm(cpu: KernelBackend) -> None:
+    probe = np.arange(4, dtype=np.uint64).reshape(2, 2)
+    _hamming_cross_gpu(probe, probe)
+    cpu.warm()
+
+
+def build_backend() -> KernelBackend:
+    """Assemble the GPU backend (raises without cupy or a device)."""
+    cpu = _cpu_backend()
+    return KernelBackend(
+        name="cupy",
+        version=cp.__version__,
+        popcount_swar=cpu.popcount_swar,
+        hamming_cross=_hamming_cross_gpu,
+        hamming_pairs=cpu.hamming_pairs,
+        csa_fill=cpu.csa_fill,
+        counts_fill=cpu.counts_fill,
+        warm=lambda: _warm(cpu),
+    )

@@ -1,0 +1,173 @@
+"""The numba kernel tier: JIT-compiled fused scan and encode loops.
+
+The numpy tier pays for its generality in memory traffic: the cross
+kernel materialises an XOR tile then makes ~7 vectorised passes of SWAR
+popcount over it, and the CSA fold walks whole ``(m, words)`` matrices
+once per adder stage.  The loops here fuse those passes — each XOR is
+popcounted in-register the cycle it is produced, each lane's carry-save
+stack lives in a tiny local array — and ``prange`` tiles the outer loop
+across cores (the same shape as falcon's numba kernels feeding its
+binary indexes).
+
+Importing this module without numba installed raises ``ImportError``;
+the registry catches it and records the tier unavailable.  Every kernel
+is byte-identical to the numpy reference: distances and counts are
+integers, and both tiers compute the same integers — the equivalence
+sweep in ``tests/hdc/test_kernel_tiers.py`` pins this.
+
+``cache=True`` persists compiled machine code next to this file, so a
+process that warmed once leaves warm artifacts for the next one;
+:func:`repro.hdc.kernels.warm_up` still force-compiles per process (the
+``ExecutionPool`` ``processes`` backend runs it in every worker's
+initializer so no query ever pays compile latency).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import numba as nb
+from numba import njit, prange
+
+from . import KernelBackend
+
+# SWAR popcount constants (Hacker's Delight §5-1), typed uint64 so the
+# JIT never widens through signed/float promotion.
+_M1 = np.uint64(0x5555_5555_5555_5555)
+_M2 = np.uint64(0x3333_3333_3333_3333)
+_M4 = np.uint64(0x0F0F_0F0F_0F0F_0F0F)
+_H01 = np.uint64(0x0101_0101_0101_0101)
+_S1 = np.uint64(1)
+_S2 = np.uint64(2)
+_S4 = np.uint64(4)
+_S56 = np.uint64(56)
+_ZERO = np.uint64(0)
+_ONE = np.uint64(1)
+
+
+@njit(inline="always")
+def _popcnt64(v):
+    v = v - ((v >> _S1) & _M1)
+    v = (v & _M2) + ((v >> _S2) & _M2)
+    v = (v + (v >> _S4)) & _M4
+    return (v * _H01) >> _S56
+
+
+@njit(cache=True, parallel=True)
+def _popcount_fill(flat, out):
+    for i in prange(flat.shape[0]):
+        out[i] = _popcnt64(flat[i])
+
+
+@njit(cache=True, parallel=True)
+def _hamming_cross_fill(queries, refs, out):
+    num_queries, words = queries.shape
+    num_refs = refs.shape[0]
+    for i in prange(num_queries):
+        for j in range(num_refs):
+            acc = _ZERO
+            for w in range(words):
+                acc += _popcnt64(queries[i, w] ^ refs[j, w])
+            out[i, j] = np.int64(acc)
+
+
+@njit(cache=True, parallel=True)
+def _hamming_pairs_fill(first, second, out):
+    count, words = first.shape
+    for i in prange(count):
+        acc = _ZERO
+        for w in range(words):
+            acc += _popcnt64(first[i, w] ^ second[i, w])
+        out[i] = np.int64(acc)
+
+
+@njit(cache=True, parallel=True)
+def _csa_fill(rows, planes):
+    # Bit-sliced increment per packed word: adding row bits into the
+    # plane stack with full carry propagation leaves the planes holding
+    # the exact binary representation of each bit position's count —
+    # the same invariant the numpy Harley–Seal fold restores after its
+    # ripple step, hence byte-identical output.
+    c = rows.shape[0]
+    m = rows.shape[1]
+    words = rows.shape[2]
+    depth = planes.shape[0]
+    for g in prange(m):
+        stack = np.empty(depth, dtype=np.uint64)
+        for w in range(words):
+            for k in range(depth):
+                stack[k] = _ZERO
+            for row in range(c):
+                carry = rows[row, g, w]
+                k = 0
+                while carry != _ZERO and k < depth:
+                    held = stack[k] & carry
+                    stack[k] = stack[k] ^ carry
+                    carry = held
+                    k += 1
+            for k in range(depth):
+                planes[k, g, w] = stack[k]
+
+
+@njit(cache=True, parallel=True)
+def _counts_fill(planes, out):
+    depth = planes.shape[0]
+    m = planes.shape[1]
+    lanes = out.shape[1]
+    for g in prange(m):
+        for lane in range(lanes):
+            word = lane // 64
+            bit = np.uint64(lane % 64)
+            count = np.int64(0)
+            for k in range(depth):
+                count += np.int64((planes[k, g, word] >> bit) & _ONE) << k
+            out[g, lane] = count
+
+
+def _popcount_swar(words: np.ndarray) -> np.ndarray:
+    x = np.ascontiguousarray(words, dtype=np.uint64)
+    out = np.empty(x.size, dtype=np.uint64)
+    _popcount_fill(x.reshape(-1), out)
+    return out.reshape(x.shape)
+
+
+def _hamming_cross(queries: np.ndarray, refs: np.ndarray) -> np.ndarray:
+    queries = np.ascontiguousarray(queries, dtype=np.uint64)
+    refs = np.ascontiguousarray(refs, dtype=np.uint64)
+    out = np.empty((queries.shape[0], refs.shape[0]), dtype=np.int64)
+    _hamming_cross_fill(queries, refs, out)
+    return out
+
+
+def _hamming_pairs(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    first = np.ascontiguousarray(first, dtype=np.uint64)
+    second = np.ascontiguousarray(second, dtype=np.uint64)
+    out = np.empty(first.shape[0], dtype=np.int64)
+    _hamming_pairs_fill(first, second, out)
+    return out
+
+
+def _warm() -> None:
+    """Force-compile every kernel on tiny inputs (one-time per process)."""
+    rows = np.arange(2 * 3 * 2, dtype=np.uint64).reshape(2, 3, 2)
+    planes = np.zeros((2, 3, 2), dtype=np.uint64)
+    _popcount_swar(rows)
+    _hamming_cross(rows[0], rows[1])
+    _hamming_pairs(rows[0], rows[1])
+    _csa_fill(rows, planes)
+    for dtype in (np.int64, np.int32):
+        _counts_fill(planes, np.zeros((3, 100), dtype=dtype))
+
+
+def build_backend() -> KernelBackend:
+    """Assemble the JIT backend (raises when numba is absent/broken)."""
+    return KernelBackend(
+        name="numba",
+        version=nb.__version__,
+        popcount_swar=_popcount_swar,
+        hamming_cross=_hamming_cross,
+        hamming_pairs=_hamming_pairs,
+        csa_fill=_csa_fill,
+        counts_fill=_counts_fill,
+        warm=_warm,
+    )

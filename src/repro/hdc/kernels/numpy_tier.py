@@ -1,0 +1,33 @@
+"""The numpy kernel tier: the original vectorised implementations.
+
+This is the bit-identical reference every other tier is pinned against.
+The function bodies live where they always did — in
+:mod:`repro.hdc.bitops` and :mod:`repro.hdc.hamming` — under
+``_*_numpy`` names; this module only assembles them into a
+:class:`~repro.hdc.kernels.KernelBackend` table.  Imports are deferred
+to :func:`build_backend` because ``bitops``/``hamming`` import the
+registry at module load (the registry must not import them back at its
+own load time).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import KernelBackend
+
+
+def build_backend() -> KernelBackend:
+    """Assemble the always-available reference backend."""
+    from .. import bitops, hamming
+
+    return KernelBackend(
+        name="numpy",
+        version=np.__version__,
+        popcount_swar=bitops._popcount_swar_numpy,
+        hamming_cross=hamming._hamming_cross_numpy,
+        hamming_pairs=bitops._hamming_pairs_numpy,
+        csa_fill=bitops._csa_fill_numpy,
+        counts_fill=bitops._counts_fill_numpy,
+        warm=lambda: None,
+    )

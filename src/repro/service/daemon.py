@@ -79,6 +79,7 @@ from ..errors import (
     ServiceError,
 )
 from ..execution import ExecutionPool
+from ..hdc.kernels import kernel_runtime
 from ..logging import get_logger
 from ..spectrum import MassSpectrum
 from ..store import ClusterRepository, QueryService, RepositoryUpdateReport
@@ -984,6 +985,7 @@ class ClusterService:
             "backend": self.config.backend,
             "last_checkpoint_error": self._checkpoint_error,
         }
+        record["kernel"] = kernel_runtime()
         return record
 
     def metrics(self) -> dict:
@@ -1013,6 +1015,7 @@ class ClusterService:
             "ops": self._op_latencies.summary(),
             "last_checkpoint_error": self._checkpoint_error,
             "quarantined_shards": self.quarantined_shards,
+            "kernel": kernel_runtime(),
         }
 
     # ------------------------------------------------------------------

@@ -48,6 +48,7 @@ from ..hdc.bitops import (
     csa_accumulate,
     extract_bit_columns,
     pack_bits,
+    xor_popcount_rows,
 )
 
 #: Default number of sampled bit planes per shard index.  Pruning needs
@@ -221,17 +222,14 @@ class BitSliceMedoidIndex:
         including all distance ties at the boundary (see module
         docstring for the argument).
         """
-        from ..hdc.bitops import _popcount_swar_inplace
-
         vectors = np.asarray(vectors, dtype=np.uint64)
         queries = np.asarray(queries, dtype=np.uint64)
         bounds = self.lower_bounds(queries)
         keep = min(k, self.count)
         pilot = min(self.count, max(keep, _PILOT_MIN))
         pilot_ids, _ = batched_topk(bounds, pilot)
-        xor = vectors[pilot_ids] ^ queries[:, None, :]
-        pilot_distances = _popcount_swar_inplace(xor).sum(
-            axis=-1, dtype=np.int64
+        pilot_distances = xor_popcount_rows(
+            vectors[pilot_ids], queries[:, None, :]
         )
         tau = np.partition(pilot_distances, keep - 1, axis=1)[:, keep - 1]
         return bounds <= tau[:, None]
@@ -245,8 +243,6 @@ class BitSliceMedoidIndex:
         — same medoid ordinals, same distances, same ``(distance, ordinal)``
         tie order — but only candidate medoids are verified exactly.
         """
-        from ..hdc.bitops import _popcount_swar_inplace
-
         vectors = np.asarray(vectors, dtype=np.uint64)
         queries = np.asarray(queries, dtype=np.uint64)
         if vectors.shape[0] != self.count:
@@ -264,9 +260,8 @@ class BitSliceMedoidIndex:
         exact = np.empty(query_ids.size, dtype=np.int64)
         for lo in range(0, query_ids.size, _FLAT_CHUNK):
             hi = min(lo + _FLAT_CHUNK, query_ids.size)
-            xor = vectors[medoid_ids[lo:hi]] ^ queries[query_ids[lo:hi]]
-            exact[lo:hi] = _popcount_swar_inplace(xor).sum(
-                axis=-1, dtype=np.int64
+            exact[lo:hi] = xor_popcount_rows(
+                vectors[medoid_ids[lo:hi]], queries[query_ids[lo:hi]]
             )
         # One global stable sort keyed (query, distance, ordinal); the
         # first ``keep`` entries of every query group are its top-k.
