@@ -10,11 +10,13 @@ of the request-coalescing window:
     ingest.  This is the q/s bar the service is measured against.
 ``serving sweep``
     A started :class:`~repro.service.ClusterService` (background
-    checkpointer live) with N query threads issuing small batches
-    through the coalescing dispatcher while an ingest thread pushes
-    spectra through the writer the whole time.  Reported per coalesce
-    window: aggregate q/s, per-request p50/p99 latency, sustained ingest
-    spectra/s, and the mean coalesced kernel-pass size.
+    checkpointer live) with N query threads driving real
+    :class:`~repro.service.ServiceClient` TCP connections — framing,
+    the binary payload codec, and the socket round trip are all on the
+    measured path — while an ingest thread pushes spectra through the
+    writer the whole time.  Reported per coalesce window: aggregate
+    q/s, per-request p50/p99 latency, sustained ingest spectra/s, and
+    the mean coalesced kernel-pass size.
 
 Exactness is asserted on every configuration: before ingest starts, the
 service's answers must be byte-identical to a local query service over
@@ -40,7 +42,8 @@ from repro.errors import ServiceBusy
 from repro.hdc import EncoderConfig, pack_bits
 from repro.io.hvstore import HypervectorStore
 from repro.reporting import banner, format_table
-from repro.service import ClusterService, ServiceConfig
+from repro.service import ClusterService, ServiceClient, ServiceConfig
+from repro.service.protocol import PROTOCOL_VERSION
 from repro.store import (
     ClusterRepository,
     QueryService,
@@ -142,7 +145,7 @@ def _standalone_qps(repo_dir, batches, duration):
 
 
 def _serving_run(repo_dir, window_ms, batches, ingest_pool, duration):
-    """One sweep point: N query threads + 1 ingest thread, ``duration`` s."""
+    """One sweep point: N remote clients + 1 ingest thread, ``duration`` s."""
     config = ServiceConfig(
         coalesce_window_ms=window_ms,
         checkpoint_interval=max(duration / 4, 0.25),
@@ -153,11 +156,11 @@ def _serving_run(repo_dir, window_ms, batches, ingest_pool, duration):
         with RepositorySnapshot.open(repo_dir) as snapshot:
             with QueryService(snapshot) as local:
                 expected = local.query_vectors(batches[0], TOP_K)
-        assert service.query_vectors(batches[0], TOP_K) == expected, (
-            f"service results diverged at window {window_ms}ms"
-        )
-
         service.start()
+        with ServiceClient(port=service.port) as probe:
+            assert probe.query_vectors(batches[0], TOP_K) == expected, (
+                f"remote results diverged at window {window_ms}ms"
+            )
         stop = threading.Event()
         latencies = []
         latency_lock = threading.Lock()
@@ -169,36 +172,52 @@ def _serving_run(repo_dir, window_ms, batches, ingest_pool, duration):
             rng = np.random.default_rng(worker)
             local_latencies = []
             try:
-                while not stop.is_set():
-                    batch = batches[int(rng.integers(len(batches)))]
-                    start = time.perf_counter()
-                    service.query_vectors(batch, TOP_K)
-                    local_latencies.append(time.perf_counter() - start)
-                    counts[worker] += 1
+                # Each worker holds one real TCP connection: requests
+                # ride the negotiated wire codec, not an in-process
+                # shortcut, so serialization cost is on the clock.
+                with ServiceClient(port=service.port) as client:
+                    while not stop.is_set():
+                        batch = batches[int(rng.integers(len(batches)))]
+                        start = time.perf_counter()
+                        client.query_vectors(batch, TOP_K)
+                        local_latencies.append(
+                            time.perf_counter() - start
+                        )
+                        counts[worker] += 1
             except BaseException as exc:  # pragma: no cover - diagnostic
                 failures.append(exc)
             with latency_lock:
                 latencies.extend(local_latencies)
 
         def ingest_worker():
+            from repro.service import NO_RETRY
+
             index = 0
             begin = time.perf_counter()
             try:
-                while not stop.is_set():
-                    # Pace to the offered load: stay just behind the
-                    # INGEST_RATE * elapsed budget line.
-                    budget = INGEST_RATE * (time.perf_counter() - begin)
-                    if ingested[0] >= budget:
-                        time.sleep(0.005)
-                        continue
-                    try:
-                        report = service.ingest(
-                            ingest_pool[index % len(ingest_pool)]
+                # Ingest rides the wire too (spectrum batches through
+                # the negotiated codec); NO_RETRY keeps the busy
+                # semantics identical to the in-process path.
+                with ServiceClient(
+                    port=service.port, retry=NO_RETRY
+                ) as client:
+                    while not stop.is_set():
+                        # Pace to the offered load: stay just behind
+                        # the INGEST_RATE * elapsed budget line.
+                        budget = INGEST_RATE * (
+                            time.perf_counter() - begin
                         )
-                        ingested[0] += report.num_added
-                        index += 1
-                    except ServiceBusy:
-                        time.sleep(0.01)
+                        if ingested[0] >= budget:
+                            time.sleep(0.005)
+                            continue
+                        try:
+                            report = client.ingest(
+                                ingest_pool[index % len(ingest_pool)]
+                            )
+                            ingested[0] += report.num_added
+                            index += 1
+                        except ServiceBusy:
+                            time.sleep(0.01)
             except BaseException as exc:  # pragma: no cover - diagnostic
                 failures.append(exc)
 
@@ -218,6 +237,7 @@ def _serving_run(repo_dir, window_ms, batches, ingest_pool, duration):
         assert not failures, failures[:1]
         stats = service.stats.snapshot()
         mean_rows = service.stats.mean_coalesced_rows
+        transport = service.metrics()["transport"]
 
     latencies = np.array(latencies)
     return {
@@ -227,6 +247,11 @@ def _serving_run(repo_dir, window_ms, batches, ingest_pool, duration):
         "ingest_rate": ingested[0] / elapsed,
         "mean_rows": mean_rows,
         "checkpoints": stats["checkpoints"],
+        "wire_MBps": (
+            (transport["bytes_sent"] + transport["bytes_received"])
+            / elapsed
+            / 1e6
+        ),
     }
 
 
@@ -243,7 +268,7 @@ def _run(root, smoke):
 
     standalone = _standalone_qps(repo_dir, batches, duration)
     headers = ["coalesce window", "q/s", "vs standalone", "p50 ms",
-               "p99 ms", "ingest/s", "rows/pass", "ckpts"]
+               "p99 ms", "ingest/s", "rows/pass", "wire MB/s", "ckpts"]
     rows = []
     floor_met = []
     points = []
@@ -267,6 +292,7 @@ def _run(root, smoke):
                 "p99_ms": round(outcome["p99_ms"], 3),
                 "ingest_rate": round(outcome["ingest_rate"], 1),
                 "mean_coalesced_rows": round(outcome["mean_rows"], 2),
+                "wire_MBps": round(outcome["wire_MBps"], 2),
             }
         )
         rows.append(
@@ -278,6 +304,7 @@ def _run(root, smoke):
                 f"{outcome['p99_ms']:.2f}",
                 f"{outcome['ingest_rate']:,.0f}",
                 f"{outcome['mean_rows']:.1f}",
+                f"{outcome['wire_MBps']:.1f}",
                 f"{outcome['checkpoints']}",
             ]
         )
@@ -298,8 +325,10 @@ def _run(root, smoke):
         f"dim {DIM}",
         f"standalone (PR 3 snapshot reads, no ingest): "
         f"{standalone:,.0f} q/s at {REQUEST_ROWS}-row requests",
-        f"service: {QUERY_THREADS} query threads x {REQUEST_ROWS}-row "
-        f"requests + ingest offered at {INGEST_RATE:,.0f} spectra/s, "
+        f"service: {QUERY_THREADS} remote TCP clients x "
+        f"{REQUEST_ROWS}-row requests (wire protocol v"
+        f"{PROTOCOL_VERSION}, binary payload codec) + remote ingest "
+        f"offered at {INGEST_RATE:,.0f} spectra/s, "
         f"{duration:.1f}s per window",
         "",
         format_table(headers, rows),
@@ -316,6 +345,8 @@ def _run(root, smoke):
             "request_rows": REQUEST_ROWS,
             "ingest_rate_offered": INGEST_RATE,
             "duration_s": duration,
+            "transport": "tcp",
+            "protocol_version": PROTOCOL_VERSION,
         },
         "standalone_qps": round(standalone, 1),
         "best": best,

@@ -263,6 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="sampled bit planes per shard index "
              "(default: the repository manifest's setting)",
     )
+    _add_protocol_version_argument(query)
     _add_kernel_tier_argument(query)
 
     repo_info = subparsers.add_parser(
@@ -359,6 +360,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="orphaned .partial staging dirs older than this many "
              "seconds are swept during retirement (default 3600)",
     )
+    _add_protocol_version_argument(serve)
     _add_kernel_tier_argument(serve)
 
     scrub = subparsers.add_parser(
@@ -455,6 +457,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunk-bytes", type=int, default=4 * 1024 * 1024,
         help="transfer granularity (default 4 MiB)",
     )
+    _add_protocol_version_argument(fleet_replicate)
 
     route = subparsers.add_parser(
         "route", help="the fleet's scatter-gather query router"
@@ -482,8 +485,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--probe-timeout", type=float, default=2.0,
         help="per-probe timeout in seconds (default 2.0)",
     )
+    _add_protocol_version_argument(route_serve)
     _add_kernel_tier_argument(route_serve)
     return parser
+
+
+def _add_protocol_version_argument(
+    command: argparse.ArgumentParser,
+) -> None:
+    command.add_argument(
+        "--protocol-version", type=int, default=None, metavar="N",
+        choices=(1, 2, 3),
+        help="cap the wire protocol version announced during hello "
+             "negotiation; 1/2 force the JSON payload codec, 3 allows "
+             "out-of-band binary payloads (default: this build's "
+             "preference, capped by REPRO_PROTOCOL_VERSION)",
+    )
 
 
 def _add_kernel_tier_argument(command: argparse.ArgumentParser) -> None:
@@ -883,7 +900,9 @@ def _query_service_context(args: argparse.Namespace):
                 file=sys.stderr,
             )
         host, port = _parse_address(address, flag)
-        with ServiceClient(host, port) as client:
+        with ServiceClient(
+            host, port, protocol_version=args.protocol_version
+        ) as client:
             yield client.query
 
     if args.router is not None:
@@ -1076,6 +1095,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         scrub_bytes_per_second=args.scrub_rate,
         repair_peers=tuple(args.repair_peer),
         partial_sweep_age_seconds=args.partial_sweep_age,
+        protocol_version=args.protocol_version,
     )
     service = ClusterService(args.repository, config)
     try:
@@ -1166,6 +1186,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     import json
 
     from .fleet import PlacementMap, Replicator
+    from .units import format_bytes
 
     if args.fleet_command == "init":
         num_shards = args.shards
@@ -1248,12 +1269,18 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         for name, node in record["nodes"].items():
             mark = "up  " if node["healthy"] else "DOWN"
             healthy += node["healthy"]
-            detail = (
-                f"generation {node['generation']}, "
-                f"shards {node['shards']}"
-                if node["healthy"]
-                else f"({node['last_error']})"
-            )
+            if node["healthy"]:
+                detail = (
+                    f"generation {node['generation']}, "
+                    f"shards {node['shards']}"
+                )
+                if node.get("bytes_sent") is not None:
+                    detail += (
+                        f", wire {format_bytes(node['bytes_sent'])} out / "
+                        f"{format_bytes(node['bytes_received'])} in"
+                    )
+            else:
+                detail = f"({node['last_error']})"
             print(f"  {mark} {name} {node['host']}:{node['port']} {detail}")
         print(f"{healthy}/{len(record['nodes'])} nodes healthy")
         return 0 if healthy == len(record["nodes"]) else 1
@@ -1267,11 +1294,15 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         ].isdigit()
         if pull:
             host, port = _parse_address(args.source, "source")
-            with ServiceClient(host, port) as client:
+            with ServiceClient(
+                host, port, protocol_version=args.protocol_version
+            ) as client:
                 installed = replicator.pull(client, Path(args.target))
         else:
             host, port = _parse_address(args.target, "target")
-            with ServiceClient(host, port) as client:
+            with ServiceClient(
+                host, port, protocol_version=args.protocol_version
+            ) as client:
                 installed = replicator.push(Path(args.source), client)
         if installed is None:
             print("already up to date")
@@ -1297,6 +1328,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
             port=args.port,
             probe_interval=args.probe_interval,
             probe_timeout=args.probe_timeout,
+            protocol_version=args.protocol_version,
         ),
     )
     try:

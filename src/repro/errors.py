@@ -55,6 +55,18 @@ class ServiceBusy(ServiceError):
     """The service shed this request under admission control; retry later."""
 
 
+class ProtocolError(ServiceError):
+    """A wire frame violated the protocol's framing rules.
+
+    Raised for malformed frames rather than malformed requests: bad
+    magic, a length field past the frame ceiling, payload descriptors
+    whose declared sizes disagree with the bytes actually on the wire,
+    or a connection cut mid-frame.  Subclasses :class:`ServiceError` so
+    existing transport-level handling (drop the connection, surface one
+    clear sentence) applies unchanged.
+    """
+
+
 class IntegrityError(SpecHDError):
     """On-disk bytes of a generation artifact do not match the manifest.
 

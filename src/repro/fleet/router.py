@@ -36,7 +36,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -86,6 +86,11 @@ class RouterConfig:
     #: Retry policy for routed queries (transport retries reconnect; the
     #: router's own failover handles node death, so keep this short).
     retry: RetryPolicy = field(default_factory=lambda: RetryPolicy(attempts=2))
+    #: Frame version cap, applied both to what the router's own socket
+    #: front announces and to the pooled client connections toward
+    #: member nodes (None = this build's preference, capped by
+    #: ``REPRO_PROTOCOL_VERSION``).
+    protocol_version: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.probe_interval < 0:
@@ -94,6 +99,14 @@ class RouterConfig:
             raise ConfigurationError("probe_timeout must be > 0")
         if self.pool_max_idle < 0:
             raise ConfigurationError("pool_max_idle must be >= 0")
+        if (
+            self.protocol_version is not None
+            and self.protocol_version not in protocol.SUPPORTED_PROTOCOLS
+        ):
+            raise ConfigurationError(
+                "protocol_version: "
+                + protocol.version_mismatch_error(self.protocol_version)
+            )
 
 
 class _NodeState:
@@ -132,6 +145,7 @@ class RouterDaemon:
                 },
                 retry=config.retry,
                 connect_timeout=config.probe_timeout,
+                protocol_version=config.protocol_version,
             )
             for name, node in placement.nodes.items()
         }
@@ -181,6 +195,7 @@ class RouterDaemon:
             handle=self._handle,
             on_shutdown=self.stop,
             name="repro-router",
+            protocol_version=self.config.protocol_version,
         )
         self.port = self._server.start()
         if self.config.probe_interval > 0:
@@ -552,16 +567,25 @@ class RouterDaemon:
                     "generation_age_seconds": state.metrics.get(
                         "generation_age_seconds"
                     ),
+                    "bytes_sent": state.metrics.get("transport", {}).get(
+                        "bytes_sent"
+                    ),
+                    "bytes_received": state.metrics.get(
+                        "transport", {}
+                    ).get("bytes_received"),
                 }
                 for name, state in sorted(self._states.items())
             }
-        return {
+        record = {
             "placement_version": self.placement.version,
             "replication": self.placement.replication,
             "num_shards": self.placement.num_shards,
             "uptime_seconds": max(time.time() - self._started_at, 0.0),
             "nodes": nodes,
         }
+        if self._server is not None:
+            record["transport"] = self._server.transport.snapshot()
+        return record
 
     def _handle(self, request: dict) -> dict:
         """Dispatch one wire request (never raises); the router's op table
@@ -581,30 +605,17 @@ class RouterDaemon:
             if op == "fleet_status":
                 return {"status": "ok", "fleet": self.fleet_status()}
             if op == "query_vectors":
-                vectors = protocol.vectors_from_wire(request)
+                vectors = protocol.extract_vectors(request)
                 results, generation = self.query_vectors_traced(
                     vectors, k=int(request.get("k", 5))
                 )
-                return {
-                    "status": "ok",
-                    "generation": generation,
-                    "results": [
-                        [asdict(match) for match in matches]
-                        for matches in results
-                    ],
-                }
-            if op == "query":
-                spectra = protocol.spectra_from_wire(
-                    request.get("spectra", [])
+                return protocol.attach_matches(
+                    {"status": "ok", "generation": generation}, results
                 )
+            if op == "query":
+                spectra = protocol.extract_spectra(request)
                 results = self.query(spectra, k=int(request.get("k", 5)))
-                return {
-                    "status": "ok",
-                    "results": [
-                        [asdict(match) for match in matches]
-                        for matches in results
-                    ],
-                }
+                return protocol.attach_matches({"status": "ok"}, results)
             if op == "shutdown":
                 return {"status": "ok"}
             return {

@@ -20,8 +20,9 @@ baselines model — continuous ingest interleaved with online queries:
     handshake, shutdown plumbing) under both the daemon and the fleet
     router.
 ``repro.service.protocol``
-    The length-prefixed JSON wire format both sides speak, including
-    version negotiation.
+    The length-prefixed wire format both sides speak — JSON control
+    headers, out-of-band binary payloads on version-3 frames, version
+    negotiation, and the transparent JSON fallback for older peers.
 
 CLI: ``repro serve <repo>`` runs the daemon, ``repro query --remote
 HOST:PORT`` queries it; the multi-node layer lives in :mod:`repro.fleet`.
@@ -34,7 +35,7 @@ from .client import (
     ServiceClientPool,
 )
 from .daemon import ClusterService, ServiceConfig, ServiceStats
-from .server import RequestServer
+from .server import RequestServer, TransportMetrics
 
 __all__ = [
     "ClusterService",
@@ -45,4 +46,5 @@ __all__ = [
     "ServiceClientPool",
     "ServiceConfig",
     "ServiceStats",
+    "TransportMetrics",
 ]

@@ -27,6 +27,15 @@ server) and negotiates ``min(ours, theirs)``.  A pre-handshake server
 answers ``unknown op 'hello'`` and is treated as version 1; a server
 that speaks neither side's version fails with the protocol's one clear
 version-mismatch sentence instead of a decode error.
+
+Bulk payloads (vectors, spectra, chunks, results) are attached in
+binary form and ride out-of-band when the negotiated version supports
+the binary codec; against older servers the encoder transparently
+inlines them to the JSON shapes those servers always spoke.  Pass
+``protocol_version=1`` (or set ``REPRO_PROTOCOL_VERSION``) to cap what
+this client announces.  :attr:`ServiceClient.bytes_sent` /
+:attr:`~ServiceClient.bytes_received` count the wire traffic either
+way.
 """
 
 from __future__ import annotations
@@ -105,21 +114,9 @@ class RetryPolicy:
 NO_RETRY = RetryPolicy(attempts=1)
 
 
-def _match_from_wire(record: dict) -> ClusterMatch:
-    try:
-        return ClusterMatch(
-            global_label=int(record["global_label"]),
-            shard_id=int(record["shard_id"]),
-            local_label=int(record["local_label"]),
-            distance=int(record["distance"]),
-            normalized_distance=float(record["normalized_distance"]),
-            cluster_size=int(record["cluster_size"]),
-            medoid_identifier=str(record["medoid_identifier"]),
-            medoid_precursor_mz=float(record["medoid_precursor_mz"]),
-            medoid_charge=int(record["medoid_charge"]),
-        )
-    except (KeyError, TypeError, ValueError) as exc:
-        raise ServiceError(f"malformed match record: {exc}") from exc
+#: Kept as aliases — the record-level codec moved to the protocol
+#: module so the daemon, router, and client share one implementation.
+_match_from_wire = protocol.match_from_record
 
 
 def _matches_from_wire(rows: Sequence) -> List[List[ClusterMatch]]:
@@ -160,6 +157,10 @@ class ServiceClient:
     retry:
         Default :class:`RetryPolicy` applied by :meth:`call` (and every
         convenience method).  Pass :data:`NO_RETRY` to disable.
+    protocol_version:
+        Cap on the frame version this client announces (default:
+        :func:`~repro.service.protocol.preferred_version`).  Negotiation
+        still takes ``min(ours, theirs)``; 1 forces the JSON codec.
     """
 
     def __init__(
@@ -170,9 +171,16 @@ class ServiceClient:
         op_timeouts: Optional[Dict[str, float]] = None,
         retry: RetryPolicy = RetryPolicy(),
         connect_timeout: Optional[float] = None,
+        protocol_version: Optional[int] = None,
     ) -> None:
         if port < 1:
             raise ServiceError("port must be a bound daemon port")
+        if protocol_version is None:
+            protocol_version = protocol.preferred_version()
+        if protocol_version not in protocol.SUPPORTED_PROTOCOLS:
+            raise ServiceError(
+                protocol.version_mismatch_error(protocol_version)
+            )
         self.host = host
         self.port = port
         self.timeout = timeout
@@ -183,8 +191,15 @@ class ServiceClient:
         )
         self._rng = random.Random()
         self._sock: Optional[socket.socket] = None
+        self._announce_version = protocol_version
+        self._receiver = protocol.FrameReceiver()
+        #: Total wire bytes this client has sent / received (framing
+        #: included) — the client-side mirror of the daemon's transport
+        #: metrics.
+        self.bytes_sent = 0
+        self.bytes_received = 0
         #: Frame version negotiated by the ``hello`` handshake.
-        self.protocol_version: int = protocol.PROTOCOL_VERSION
+        self.protocol_version: int = protocol_version
         self._connect()
 
     # ------------------------------------------------------------------
@@ -210,12 +225,13 @@ class ServiceClient:
         timeout = self.op_timeouts.get("hello", self.timeout)
         self._sock.settimeout(timeout)
         try:
-            protocol.send_message(
+            self.bytes_sent += protocol.send_message(
                 self._sock,
-                {"op": "hello", "protocol": protocol.PROTOCOL_VERSION},
+                {"op": "hello", "protocol": self._announce_version},
                 version=1,
             )
-            response = protocol.recv_message(self._sock)
+            response = self._receiver.recv_message(self._sock)
+            self.bytes_received += self._receiver.last_frame_bytes
         except OSError as exc:
             raise ServiceError(
                 f"version negotiation failed: {exc}"
@@ -232,7 +248,7 @@ class ServiceClient:
                 raise ServiceError(
                     f"malformed hello response: {exc}"
                 ) from exc
-            negotiated = min(theirs, protocol.PROTOCOL_VERSION)
+            negotiated = min(theirs, self._announce_version)
             if negotiated not in protocol.SUPPORTED_PROTOCOLS:
                 raise ServiceError(protocol.version_mismatch_error(theirs))
             return negotiated
@@ -249,10 +265,11 @@ class ServiceClient:
         if self._sock is None:
             raise OSError("connection is closed")
         self._sock.settimeout(timeout)
-        protocol.send_message(
+        self.bytes_sent += protocol.send_message(
             self._sock, request, version=self.protocol_version
         )
-        response = protocol.recv_message(self._sock)
+        response = self._receiver.recv_message(self._sock)
+        self.bytes_received += self._receiver.last_frame_bytes
         if response is None:
             raise OSError("service closed the connection")
         return response
@@ -355,23 +372,17 @@ class ServiceClient:
         self, spectra: Sequence[MassSpectrum], k: int = 5
     ) -> List[List[ClusterMatch]]:
         """Top-k nearest clusters per spectrum (QC failures → empty)."""
-        response = self.call(
-            {
-                "op": "query",
-                "k": int(k),
-                "spectra": protocol.spectra_to_wire(spectra),
-            }
-        )
-        return _matches_from_wire(response["results"])
+        request = {"op": "query", "k": int(k)}
+        protocol.attach_spectra(request, spectra)
+        return protocol.extract_matches(self.call(request))
 
     def query_vectors(
         self, vectors: np.ndarray, k: int = 5
     ) -> List[List[ClusterMatch]]:
         """Top-k nearest clusters for pre-encoded packed vectors."""
         request = {"op": "query_vectors", "k": int(k)}
-        request.update(protocol.vectors_to_wire(vectors))
-        response = self.call(request)
-        return _matches_from_wire(response["results"])
+        protocol.attach_vectors(request, vectors)
+        return protocol.extract_matches(self.call(request))
 
     def query_partial(
         self,
@@ -386,7 +397,7 @@ class ServiceClient:
         detect mixed-generation fan-outs and re-pin.
         """
         request = {"op": "query_vectors", "k": int(k)}
-        request.update(protocol.vectors_to_wire(vectors))
+        protocol.attach_vectors(request, vectors)
         if shards is not None:
             request["shards"] = [int(s) for s in shards]
         if generation is not None:
@@ -394,17 +405,16 @@ class ServiceClient:
         response = self.call(request)
         return (
             int(response["generation"]),
-            _matches_from_wire(response["results"]),
+            protocol.extract_matches(response),
         )
 
     def ingest(
         self, spectra: Sequence[MassSpectrum]
     ) -> RepositoryUpdateReport:
         """Durably ingest one batch through the daemon's writer."""
-        response = self.call(
-            {"op": "ingest", "spectra": protocol.spectra_to_wire(spectra)}
-        )
-        return _report_from_wire(response["report"])
+        request = {"op": "ingest"}
+        protocol.attach_spectra(request, spectra)
+        return _report_from_wire(self.call(request)["report"])
 
     def checkpoint(self) -> Optional[int]:
         """Ask the daemon to checkpoint now; None when nothing pending."""
@@ -434,7 +444,13 @@ class ServiceClient:
     def fetch_chunk(
         self, generation: int, name: str, offset: int, length: int
     ) -> bytes:
-        """One byte range of a generation member on the source node."""
+        """One byte range of a generation member on the source node.
+
+        Under the binary codec this returns a zero-copy memoryview into
+        the client's receive buffer — valid until this client's next
+        request, so consume (write/compare) or copy it before reusing
+        the client.
+        """
         response = self.call(
             {
                 "op": "fetch_chunk",
@@ -444,7 +460,7 @@ class ServiceClient:
                 "length": int(length),
             }
         )
-        return protocol.bytes_from_wire(response.get("data", ""))
+        return protocol.extract_chunk(response)
 
     def push_begin(
         self,
@@ -474,15 +490,14 @@ class ServiceClient:
         self, generation: int, name: str, offset: int, data: bytes
     ) -> None:
         """Stage one byte range on the target node."""
-        self.call(
-            {
-                "op": "push_chunk",
-                "generation": int(generation),
-                "name": str(name),
-                "offset": int(offset),
-                "data": protocol.bytes_to_wire(data),
-            }
-        )
+        request = {
+            "op": "push_chunk",
+            "generation": int(generation),
+            "name": str(name),
+            "offset": int(offset),
+        }
+        protocol.attach_chunk(request, data)
+        self.call(request)
 
     def push_commit(self, generation: int) -> int:
         """Verify + install the pushed generation on the target node."""
@@ -516,6 +531,7 @@ class ServiceClientPool:
         op_timeouts: Optional[Dict[str, float]] = None,
         retry: RetryPolicy = RetryPolicy(),
         connect_timeout: Optional[float] = None,
+        protocol_version: Optional[int] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -524,6 +540,7 @@ class ServiceClientPool:
         self._op_timeouts = op_timeouts
         self._retry = retry
         self._connect_timeout = connect_timeout
+        self._protocol_version = protocol_version
         self._idle: List[ServiceClient] = []
         self._lock = threading.Lock()
         self._closed = False
@@ -541,6 +558,7 @@ class ServiceClientPool:
             op_timeouts=self._op_timeouts,
             retry=self._retry,
             connect_timeout=self._connect_timeout,
+            protocol_version=self._protocol_version,
         )
 
     def checkin(self, client: ServiceClient, healthy: bool = True) -> None:

@@ -98,7 +98,7 @@ from ..store.integrity import (
 from ..store.snapshot import RepositorySnapshot
 from ..streaming import encode_spectra
 from . import protocol
-from .server import RequestServer
+from .server import RequestServer, TransportMetrics
 
 log = get_logger("service")
 
@@ -152,6 +152,12 @@ class ServiceConfig:
     #: retirement.  An in-progress pull keeps refreshing its files, so
     #: the age threshold never collects it.
     partial_sweep_age_seconds: float = 3600.0
+    #: Frame version the daemon announces during ``hello`` negotiation
+    #: (None = this build's preference, capped by
+    #: ``REPRO_PROTOCOL_VERSION``).  1 forces every negotiating peer
+    #: onto the JSON payload codec — the ``--protocol-version 1``
+    #: escape hatch.
+    protocol_version: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.checkpoint_interval <= 0:
@@ -187,6 +193,14 @@ class ServiceConfig:
                 raise ConfigurationError(
                     f"repair peer {peer!r} must be host:port"
                 )
+        if (
+            self.protocol_version is not None
+            and self.protocol_version not in protocol.SUPPORTED_PROTOCOLS
+        ):
+            raise ConfigurationError(
+                "protocol_version: "
+                + protocol.version_mismatch_error(self.protocol_version)
+            )
 
 
 @dataclass
@@ -402,6 +416,9 @@ class ClusterService:
         self.port: Optional[int] = None
         self._started = False
         self._op_latencies = _OpLatencies()
+        #: Wire-level counters shared with the socket front; lives on
+        #: the service so ``metrics`` can report it before/after start.
+        self._transport = TransportMetrics()
         self._started_at = time.time()
         self._published_at = time.time()
         #: In-flight inbound generation transfers, keyed by generation.
@@ -765,7 +782,11 @@ class ClusterService:
         for peer in self.config.repair_peers:
             host, _, port = peer.rpartition(":")
             try:
-                with ServiceClient(host=host, port=int(port)) as client:
+                with ServiceClient(
+                    host=host,
+                    port=int(port),
+                    protocol_version=self.config.protocol_version,
+                ) as client:
                     Replicator().heal(
                         client, self.directory, generation, names
                     )
@@ -1013,6 +1034,7 @@ class ClusterService:
             },
             "counters": self.stats.snapshot(),
             "ops": self._op_latencies.summary(),
+            "transport": self._transport.snapshot(),
             "last_checkpoint_error": self._checkpoint_error,
             "quarantined_shards": self.quarantined_shards,
             "kernel": kernel_runtime(),
@@ -1153,6 +1175,8 @@ class ClusterService:
             handle=self._handle,
             on_shutdown=self.stop,
             name="repro",
+            protocol_version=self.config.protocol_version,
+            transport=self._transport,
         )
         self.port = self._server.start()
         self._started = True
@@ -1206,19 +1230,11 @@ class ClusterService:
                 "manifest": manifest_json,
             }
         if op == "query":
-            spectra = protocol.spectra_from_wire(
-                request.get("spectra", [])
-            )
+            spectra = protocol.extract_spectra(request)
             results = self.query(spectra, k=int(request.get("k", 5)))
-            return {
-                "status": "ok",
-                "results": [
-                    [asdict(match) for match in matches]
-                    for matches in results
-                ],
-            }
+            return protocol.attach_matches({"status": "ok"}, results)
         if op == "query_vectors":
-            vectors = protocol.vectors_from_wire(request)
+            vectors = protocol.extract_vectors(request)
             k = int(request.get("k", 5))
             shards = request.get("shards")
             generation = request.get("generation")
@@ -1238,18 +1254,11 @@ class ClusterService:
                         None if generation is None else int(generation)
                     ),
                 )
-            return {
-                "status": "ok",
-                "generation": served,
-                "results": [
-                    [asdict(match) for match in matches]
-                    for matches in results
-                ],
-            }
-        if op == "ingest":
-            spectra = protocol.spectra_from_wire(
-                request.get("spectra", [])
+            return protocol.attach_matches(
+                {"status": "ok", "generation": served}, results
             )
+        if op == "ingest":
+            spectra = protocol.extract_spectra(request)
             report = self.ingest(spectra)
             return {"status": "ok", "report": asdict(report)}
         if op == "checkpoint":
@@ -1269,7 +1278,7 @@ class ClusterService:
                 int(request.get("offset", 0)),
                 int(request["length"]),
             )
-            return {"status": "ok", "data": protocol.bytes_to_wire(data)}
+            return protocol.attach_chunk({"status": "ok"}, data)
         if op == "push_begin":
             files = [
                 GenerationFile.from_wire(entry)
@@ -1292,7 +1301,7 @@ class ClusterService:
                 int(request["generation"]),
                 str(request["name"]),
                 int(request.get("offset", 0)),
-                protocol.bytes_from_wire(request.get("data", "")),
+                protocol.extract_chunk(request),
             )
             return {"status": "ok"}
         if op == "push_commit":

@@ -11,27 +11,99 @@ vocabulary; neither reimplements the wire.
 Version negotiation lives here so every server answers it uniformly:
 
 * each response is framed at the *requester's* frame version, so a v1
-  client keeps working against a v2 server unchanged;
+  client keeps working against a v3 server unchanged (binary payloads
+  are inlined back to JSON by the encoder for pre-v3 peers);
 * a frame whose version this build cannot decode is answered with a
   clear ``unsupported protocol version N`` error (framed at our best
   version) and the connection is closed — never a decode failure;
 * ``hello`` requests announce the peer's preferred version and are
   answered with ours; both sides then speak ``min(theirs, ours)``.
+  Passing ``protocol_version`` caps what this server announces — the
+  operational lever behind ``--protocol-version 1``.
+
+Each connection holds one :class:`~repro.service.protocol.FrameReceiver`
+so receive buffers are reused across requests, and every frame's wire
+size is recorded in a shared :class:`TransportMetrics` that the daemon's
+``metrics`` op surfaces.
 """
 
 from __future__ import annotations
 
 import socket
 import threading
-from typing import Callable, List, Optional
+from collections import deque
+from typing import Callable, Dict, List, Optional
 
 from .. import __version__
 from ..errors import ServiceError
 from . import protocol
 
 
+class TransportMetrics:
+    """Thread-safe wire-level counters for one server (or client pool).
+
+    Tracks total bytes in/out plus a bounded ring of recent per-op
+    frame sizes, from which :meth:`snapshot` derives p50/p99 payload
+    sizes — the observable form of what a codec change actually saves.
+    """
+
+    def __init__(self, window: int = 2048) -> None:
+        self._lock = threading.Lock()
+        self._window = window
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+        self._request_sizes: Dict[str, deque] = {}
+        self._response_sizes: Dict[str, deque] = {}
+
+    def record(self, op: str, received: int, sent: int) -> None:
+        with self._lock:
+            self.bytes_received += received
+            self.bytes_sent += sent
+            self.frames_received += 1
+            self.frames_sent += 1
+            ring = self._request_sizes.get(op)
+            if ring is None:
+                ring = self._request_sizes[op] = deque(maxlen=self._window)
+                self._response_sizes[op] = deque(maxlen=self._window)
+            ring.append(received)
+            self._response_sizes[op].append(sent)
+
+    @staticmethod
+    def _percentiles(ring) -> Dict[str, int]:
+        ordered = sorted(ring)
+        count = len(ordered)
+        return {
+            "p50_bytes": ordered[count // 2],
+            "p99_bytes": ordered[min(count - 1, (count * 99) // 100)],
+        }
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            ops = {}
+            for op, ring in self._request_sizes.items():
+                if not ring:
+                    continue
+                record = {"count": len(ring)}
+                for side, sizes in (
+                    ("request", ring),
+                    ("response", self._response_sizes[op]),
+                ):
+                    for key, value in self._percentiles(sizes).items():
+                        record[f"{side}_{key}"] = value
+                ops[op] = record
+            return {
+                "bytes_sent": self.bytes_sent,
+                "bytes_received": self.bytes_received,
+                "frames_sent": self.frames_sent,
+                "frames_received": self.frames_received,
+                "ops": ops,
+            }
+
+
 class RequestServer:
-    """A length-prefixed JSON request/response listener.
+    """A length-prefixed request/response listener.
 
     Parameters
     ----------
@@ -47,6 +119,14 @@ class RequestServer:
         when a client sends the ``shutdown`` op.
     name:
         Thread-name prefix and the ``server`` field of hello responses.
+    protocol_version:
+        The frame version announced to ``hello`` requests (default:
+        :func:`~repro.service.protocol.preferred_version`).  Capping it
+        at 1 forces every negotiating peer onto the JSON codec without
+        disabling decode support for newer frames.
+    transport:
+        Optional shared :class:`TransportMetrics`; one is created when
+        omitted (read :attr:`transport`).
     """
 
     def __init__(
@@ -56,12 +136,24 @@ class RequestServer:
         handle: Callable[[dict], dict],
         on_shutdown: Optional[Callable[[], None]] = None,
         name: str = "repro",
+        protocol_version: Optional[int] = None,
+        transport: Optional[TransportMetrics] = None,
     ) -> None:
+        if protocol_version is None:
+            protocol_version = protocol.preferred_version()
+        if protocol_version not in protocol.SUPPORTED_PROTOCOLS:
+            raise ServiceError(
+                protocol.version_mismatch_error(protocol_version)
+            )
         self._host = host
         self._requested_port = port
         self._handle = handle
         self._on_shutdown = on_shutdown
         self._name = name
+        self.protocol_version = protocol_version
+        self.transport = transport if transport is not None else (
+            TransportMetrics()
+        )
         self._stop = threading.Event()
         self._listener: Optional[socket.socket] = None
         self._threads: List[threading.Thread] = []
@@ -128,14 +220,15 @@ class RequestServer:
             thread.start()
 
     def _serve_connection(self, connection: socket.socket) -> None:
+        receiver = protocol.FrameReceiver()
         with connection:
             connection.setsockopt(
                 socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
             )
             while not self._stop.is_set():
                 try:
-                    frame = protocol.recv_frame(connection)
-                except ServiceError:
+                    frame = receiver.recv_frame(connection)
+                except (ServiceError, OSError):
                     return  # framing violation: drop the connection
                 if frame is None:
                     return  # clean client disconnect
@@ -161,12 +254,18 @@ class RequestServer:
                 response = self._respond(version, request)
                 try:
                     # Answer in the requester's frame version: a v1 peer
-                    # must be able to decode what it gets back.
-                    protocol.send_message(
+                    # must be able to decode what it gets back (binary
+                    # payloads inline to JSON below version 3).
+                    sent = protocol.send_message(
                         connection, response, version=version
                     )
                 except OSError:
                     return
+                self.transport.record(
+                    str(request.get("op", "?")),
+                    receiver.last_frame_bytes,
+                    sent,
+                )
                 if request.get("op") == "shutdown":
                     # Response is on the wire; stop from a helper thread
                     # so this handler can be joined like any other.
@@ -187,7 +286,7 @@ class RequestServer:
                     "status": "error",
                     "error": "hello 'protocol' must be an integer",
                 }
-            if min(announced, protocol.PROTOCOL_VERSION) not in (
+            if min(announced, self.protocol_version) not in (
                 protocol.SUPPORTED_PROTOCOLS
             ):
                 return {
@@ -196,7 +295,7 @@ class RequestServer:
                 }
             return {
                 "status": "ok",
-                "protocol": protocol.PROTOCOL_VERSION,
+                "protocol": self.protocol_version,
                 "server": f"{self._name}/{__version__}",
             }
         return self._handle(request)

@@ -1,0 +1,213 @@
+"""Fleet-level wire-codec interop: replication and routing across versions.
+
+The binary payload codec (wire v3) must be invisible at the fleet tier:
+a generation pulled over forced-v1 JSON frames and one pulled over
+binary frames are byte-identical on disk, heal works through either
+codec, and a router scatter-gathering over a *mixed-version* fleet
+(one node capped at v1, one speaking v3) returns results identical to
+a local query.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.fleet import NodeInfo, PlacementMap, Replicator, RouterConfig
+from repro.fleet.router import RouterDaemon
+from repro.hdc import IDLevelEncoder
+from repro.service import ClusterService, ServiceClient, ServiceConfig
+from repro.store import QueryService, RepositorySnapshot
+from repro.store.generation import file_digest, list_generation_files
+from repro.store.manifest import RepositoryManifest
+from repro.store.repository import SEGMENTS_DIR
+from repro.streaming import encode_spectra
+
+
+def make_node_service(directory, **overrides):
+    defaults = dict(checkpoint_interval=0.2, coalesce_window_ms=1.0)
+    defaults.update(overrides)
+    return ClusterService(directory, ServiceConfig(**defaults))
+
+
+def query_vectors_for(repo_dir, dataset):
+    manifest = RepositoryManifest.load(repo_dir)
+    half = len(dataset) // 2
+    batch = encode_spectra(
+        dataset.spectra[half : half + 6],
+        manifest.preprocessing,
+        IDLevelEncoder(manifest.encoder),
+    )
+    return batch.vectors
+
+
+def single_node_expected(repo_dir, vectors, k=4):
+    with RepositorySnapshot.open(repo_dir) as snapshot:
+        with QueryService(snapshot) as service:
+            return service.query_vectors(vectors, k=k)
+
+
+class TestReplicationAcrossCodecs:
+    def test_pull_is_byte_identical_under_either_codec(
+        self, tmp_path, populated_repo
+    ):
+        """Forced-v1 JSON frames and binary frames stage the same bytes."""
+        targets = {}
+        # Pin the source daemon to v3 explicitly so the client's cap is
+        # the negotiation's deciding side even under the forced-v1 CI
+        # leg's REPRO_PROTOCOL_VERSION=1.
+        with make_node_service(
+            populated_repo, protocol_version=3
+        ) as service:
+            service.start()
+            for version in (1, 3):
+                target = tmp_path / f"follower-v{version}"
+                with ServiceClient(
+                    port=service.port, protocol_version=version
+                ) as client:
+                    assert client.protocol_version == version
+                    # Small chunks force many fetch_chunk round trips.
+                    assert (
+                        Replicator(chunk_bytes=1024).pull(client, target)
+                        == 1
+                    )
+                targets[version] = target
+        v1_files = list_generation_files(targets[1], 1)
+        v3_files = list_generation_files(targets[3], 1)
+        assert v1_files == v3_files
+        assert list_generation_files(populated_repo, 1) == v3_files
+        for entry in v3_files:
+            member = SEGMENTS_DIR + f"/gen-{1:06d}/" + entry.name
+            assert file_digest(targets[1] / member) == file_digest(
+                targets[3] / member
+            )
+        assert (
+            RepositoryManifest.load(targets[1]).to_json()
+            == RepositoryManifest.load(targets[3]).to_json()
+        )
+
+    def test_push_into_a_v1_capped_daemon_installs_identically(
+        self, tmp_path, populated_repo
+    ):
+        follower = tmp_path / "follower"
+        follower.mkdir()
+        from repro.store import ClusterRepository, RepositoryConfig
+
+        manifest = RepositoryManifest.load(populated_repo)
+        ClusterRepository.create(
+            follower,
+            RepositoryConfig(
+                num_shards=manifest.num_shards,
+                shard_width=manifest.shard_width,
+                encoder=manifest.encoder,
+                cluster_threshold=manifest.cluster_threshold,
+            ),
+        ).close()
+        with make_node_service(follower, protocol_version=1) as target:
+            target.start()
+            with ServiceClient(port=target.port) as client:
+                # The daemon's cap wins negotiation: chunks ride JSON.
+                assert client.protocol_version == 1
+                assert Replicator().push(populated_repo, client) == 1
+        assert list_generation_files(follower, 1) == (
+            list_generation_files(populated_repo, 1)
+        )
+
+    def test_heal_refetches_identical_bytes_over_binary_frames(
+        self, tmp_path, populated_repo
+    ):
+        replica = tmp_path / "replica"
+        shutil.copytree(populated_repo, replica)
+        files = list_generation_files(replica, 1)
+        victim = max(files, key=lambda entry: entry.size)
+        member = replica / SEGMENTS_DIR / f"gen-{1:06d}" / victim.name
+        expected = file_digest(member)
+        corrupt = bytearray(member.read_bytes())
+        corrupt[len(corrupt) // 2] ^= 0xFF
+        member.write_bytes(bytes(corrupt))
+        assert file_digest(member) != expected
+        with make_node_service(populated_repo) as source:
+            source.start()
+            with ServiceClient(port=source.port) as client:
+                healed = Replicator(chunk_bytes=2048).heal(
+                    client, replica, 1, [victim.name]
+                )
+        assert healed == [victim.name]
+        assert file_digest(member) == expected
+
+
+class TestMixedVersionFleet:
+    def test_router_over_mixed_version_nodes_is_byte_identical(
+        self, tmp_path, populated_repo, fleet_dataset
+    ):
+        """One node capped at v1, one at v3 — the merge must not care."""
+        services, nodes = [], []
+        try:
+            for index, version in enumerate((1, 3)):
+                directory = tmp_path / f"node{index}"
+                shutil.copytree(populated_repo, directory)
+                service = make_node_service(
+                    directory, protocol_version=version
+                ).start()
+                services.append(service)
+                nodes.append(
+                    NodeInfo(f"node{index}", "127.0.0.1", service.port)
+                )
+            placement = PlacementMap.create(
+                nodes, num_shards=3, replication=2
+            )
+            vectors = query_vectors_for(populated_repo, fleet_dataset)
+            expected = single_node_expected(populated_repo, vectors)
+            with RouterDaemon(
+                placement,
+                RouterConfig(probe_interval=0, probe_timeout=1.0),
+            ) as router:
+                assert router.query_vectors(vectors, k=4) == expected
+                router.start()
+                # ...and over the wire, through each client codec.
+                for client_version in (1, 3):
+                    with ServiceClient(
+                        port=router.port, protocol_version=client_version
+                    ) as client:
+                        assert (
+                            client.query_vectors(vectors, k=4) == expected
+                        )
+                status = router.fleet_status()
+                assert all(
+                    node["healthy"]
+                    for node in status["nodes"].values()
+                )
+        finally:
+            for service in services:
+                service.stop()
+
+    def test_mixed_fleet_spectrum_queries_match_node_queries(
+        self, tmp_path, populated_repo, fleet_dataset
+    ):
+        services, nodes = [], []
+        try:
+            for index, version in enumerate((3, 1)):
+                directory = tmp_path / f"node{index}"
+                shutil.copytree(populated_repo, directory)
+                service = make_node_service(
+                    directory, protocol_version=version
+                ).start()
+                services.append(service)
+                nodes.append(
+                    NodeInfo(f"node{index}", "127.0.0.1", service.port)
+                )
+            placement = PlacementMap.create(
+                nodes, num_shards=3, replication=2
+            )
+            half = len(fleet_dataset) // 2
+            queries = fleet_dataset.spectra[half : half + 5]
+            expected = services[0].query(queries, k=3)
+            with RouterDaemon(
+                placement,
+                RouterConfig(probe_interval=0, probe_timeout=1.0),
+            ) as router:
+                assert router.query(queries, k=3) == expected
+        finally:
+            for service in services:
+                service.stop()

@@ -213,7 +213,21 @@ class TestVersionNegotiation:
     def test_hello_negotiates_the_minimum(self, scripted):
         server = scripted([], hello_response={"status": "ok", "protocol": 99})
         with ServiceClient(port=server.port) as client:
-            assert client.protocol_version == protocol.PROTOCOL_VERSION
+            # min(theirs=99, ours) is ours — whatever this process
+            # prefers (REPRO_PROTOCOL_VERSION caps it in the forced-v1
+            # CI leg).
+            assert client.protocol_version == protocol.preferred_version()
+
+    def test_explicit_cap_wins_negotiation(self, scripted):
+        server = scripted(
+            [],
+            hello_response={
+                "status": "ok",
+                "protocol": protocol.PROTOCOL_VERSION,
+            },
+        )
+        with ServiceClient(port=server.port, protocol_version=1) as client:
+            assert client.protocol_version == 1
 
     def test_legacy_server_without_hello_falls_back_to_v1(self, scripted):
         server = scripted(

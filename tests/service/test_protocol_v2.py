@@ -1,0 +1,475 @@
+"""The binary payload codec (wire v3): interop, framing defence, metrics.
+
+Three bars, matching the codec's design:
+
+* **Cross-version identity** — every (client version × daemon version)
+  cell of the negotiation matrix returns results identical to a local
+  query over the same state, and the codec-v1 frames a binary-built
+  message inlines to are byte-for-byte what a legacy sender produces;
+* **Adversarial framing** — truncated payload regions, mismatched
+  descriptor sums, bogus dtypes/shapes, reserved-key smuggling and
+  oversized frames raise the typed :class:`ProtocolError` (never a
+  numpy/json internals error) and never take the daemon down;
+* **Transport accounting** — both sides count wire bytes, and the
+  daemon's ``metrics`` op surfaces per-op payload percentiles.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError, ServiceError
+from repro.service import ClusterService, ServiceClient, ServiceConfig
+from repro.service import protocol
+from repro.service.protocol import (
+    BINARY_KEY,
+    MAGIC,
+    MAX_FRAME_BYTES,
+    MAX_PAYLOADS_PER_FRAME,
+    PAYLOADS_KEY,
+    FrameReceiver,
+    attach_chunk,
+    attach_matches,
+    attach_spectra,
+    attach_vectors,
+    encode_frame,
+    extract_chunk,
+    extract_matches,
+    extract_spectra,
+    extract_vectors,
+    inline_message,
+    spectra_to_wire,
+    vectors_to_wire,
+)
+from repro.store import ClusterRepository, QueryService
+
+
+_HEADER = struct.Struct(">4sHI")
+_JSON_LEN = struct.Struct(">I")
+
+
+def make_service(directory, **overrides):
+    defaults = dict(checkpoint_interval=0.2, coalesce_window_ms=1.0)
+    defaults.update(overrides)
+    return ClusterService(directory, ServiceConfig(**defaults))
+
+
+def queries_of(dataset):
+    half = len(dataset) // 2
+    return dataset.spectra[half : half + 6]
+
+
+def roundtrip(message, version=protocol.PROTOCOL_VERSION):
+    """Encode → socketpair → decode, like one request would travel."""
+    a, b = socket.socketpair()
+    try:
+        protocol.send_message(a, message, version=version)
+        a.close()
+        return FrameReceiver().recv_message(b)
+    finally:
+        b.close()
+
+
+def deliver(raw: bytes):
+    """Push raw crafted bytes at a FrameReceiver over a socketpair."""
+    a, b = socket.socketpair()
+    try:
+        a.sendall(raw)
+        a.close()
+        return FrameReceiver().recv_frame(b)
+    finally:
+        b.close()
+
+
+def v3_frame(head: dict, payload: bytes = b"", total=None) -> bytes:
+    """Hand-rolled version-3 frame (no validation — that's the point)."""
+    body = json.dumps(head, separators=(",", ":")).encode("utf-8")
+    region = _JSON_LEN.pack(len(body)) + body + payload
+    if total is None:
+        total = len(region)
+    return _HEADER.pack(MAGIC, 3, total) + region
+
+
+def descriptor(name, dtype="<f8", shape=(4,), nbytes=32, **extra):
+    record = {
+        "name": name,
+        "dtype": dtype,
+        "shape": list(shape),
+        "nbytes": nbytes,
+    }
+    record.update(extra)
+    return record
+
+
+class TestCodecRoundTrip:
+    def test_vectors_ride_binary_and_decode_equal(self):
+        vectors = np.arange(48, dtype=np.uint64).reshape(3, 16)
+        message = attach_vectors({"op": "query_vectors", "k": 2}, vectors)
+        received = roundtrip(message)
+        assert BINARY_KEY in received
+        out = extract_vectors(received)
+        assert out.dtype == np.dtype("<u8")
+        np.testing.assert_array_equal(out, vectors)
+
+    def test_spectra_round_trip_bit_exact(self, service_dataset):
+        batch = queries_of(service_dataset)
+        message = attach_spectra({"op": "ingest"}, batch)
+        out = extract_spectra(roundtrip(message))
+        assert len(out) == len(batch)
+        for theirs, ours in zip(out, batch):
+            assert theirs.identifier == ours.identifier
+            assert theirs.precursor_mz == ours.precursor_mz
+            np.testing.assert_array_equal(theirs.mz, ours.mz)
+            np.testing.assert_array_equal(theirs.intensity, ours.intensity)
+
+    def test_chunk_rides_as_zero_copy_view(self):
+        data = bytes(range(256)) * 17
+        received = roundtrip(attach_chunk({"status": "ok"}, data))
+        chunk = extract_chunk(received)
+        assert isinstance(chunk, memoryview)
+        assert bytes(chunk) == data
+
+    def test_empty_payloads_survive(self):
+        message = attach_matches({"status": "ok"}, [])
+        assert extract_matches(roundtrip(message)) == []
+        message = attach_spectra({"op": "ingest"}, [])
+        assert extract_spectra(roundtrip(message)) == []
+
+    def test_numpy_payload_views_are_8_byte_aligned(self):
+        vectors = np.arange(32, dtype=np.uint64).reshape(2, 16)
+        received = roundtrip(
+            attach_vectors({"op": "query_vectors", "pad": "x"}, vectors)
+        )
+        view = received[BINARY_KEY]["vec"]
+        assert view.ctypes.data % 8 == 0
+
+
+class TestCodecV1Inlining:
+    """A binary-built message framed at v1 == a legacy sender's bytes."""
+
+    def test_vectors_inline_to_legacy_frame_bytes(self):
+        vectors = np.arange(64, dtype=np.uint64).reshape(4, 16)
+        built = attach_vectors({"op": "query_vectors", "k": 3}, vectors)
+        legacy = {"op": "query_vectors", "k": 3, **vectors_to_wire(vectors)}
+        assert encode_frame(built, version=1) == encode_frame(
+            legacy, version=1
+        )
+
+    def test_spectra_inline_to_legacy_frame_bytes(self, service_dataset):
+        batch = queries_of(service_dataset)
+        built = attach_spectra({"op": "ingest"}, batch)
+        legacy = {"op": "ingest", "spectra": spectra_to_wire(batch)}
+        assert encode_frame(built, version=1) == encode_frame(
+            legacy, version=1
+        )
+
+    def test_matches_inline_to_legacy_row_dicts(
+        self, populated_repo, service_dataset
+    ):
+        with ClusterRepository.open(populated_repo) as repository:
+            vectors = repository.encoder.encode_batch(
+                queries_of(service_dataset)
+            )
+            with QueryService(repository) as local:
+                results = local.query_vectors(vectors, k=3)
+        built = attach_matches({"status": "ok"}, results)
+        legacy = {
+            "status": "ok",
+            "results": [[asdict(m) for m in row] for row in results],
+        }
+        assert encode_frame(built, version=1) == encode_frame(
+            legacy, version=1
+        )
+        # ...and both wire forms decode to the same match objects.
+        assert extract_matches(roundtrip(built, version=1)) == results
+        assert extract_matches(roundtrip(built, version=3)) == results
+
+    def test_inlining_does_not_mutate_the_message(self):
+        vectors = np.ones((2, 16), dtype=np.uint64)
+        built = attach_vectors({"op": "query_vectors"}, vectors)
+        inlined = inline_message(built)
+        assert PAYLOADS_KEY not in inlined and BINARY_KEY not in inlined
+        # The original can still be re-encoded at v3 (retry path).
+        assert PAYLOADS_KEY in built and BINARY_KEY in built
+        assert roundtrip(built, version=3)[BINARY_KEY]["vec"].shape == (2, 16)
+
+
+class TestAdversarialFrames:
+    """Every malformed frame raises the typed ProtocolError."""
+
+    def test_truncated_payload_region_raises(self):
+        raw = v3_frame(
+            {"op": "x", PAYLOADS_KEY: [descriptor("p")]},
+            payload=b"\x00" * 16,  # 16 on the wire...
+            total=None,
+        )
+        # ...then lie: header promises 16 more bytes that never come.
+        header = _HEADER.pack(MAGIC, 3, len(raw) - _HEADER.size + 16)
+        with pytest.raises(ProtocolError, match="closed mid-frame"):
+            deliver(header + raw[_HEADER.size :])
+
+    def test_declared_payload_sum_must_match_region(self):
+        raw = v3_frame(
+            {"op": "x", PAYLOADS_KEY: [descriptor("p", nbytes=32)]},
+            payload=b"\x00" * 16,
+        )
+        with pytest.raises(ProtocolError, match="payload size mismatch"):
+            deliver(raw)
+
+    def test_shape_and_nbytes_must_agree(self):
+        bad = descriptor("p", shape=(3,), nbytes=32)
+        raw = v3_frame(
+            {"op": "x", PAYLOADS_KEY: [bad]}, payload=b"\x00" * 32
+        )
+        with pytest.raises(ProtocolError, match="shape implies"):
+            deliver(raw)
+
+    def test_unsupported_dtype_is_rejected(self):
+        bad = descriptor("p", dtype="<f4", shape=(8,), nbytes=32)
+        raw = v3_frame(
+            {"op": "x", PAYLOADS_KEY: [bad]}, payload=b"\x00" * 32
+        )
+        with pytest.raises(ProtocolError, match="unsupported dtype"):
+            deliver(raw)
+
+    def test_duplicate_payload_names_are_rejected(self):
+        raw = v3_frame(
+            {"op": "x", PAYLOADS_KEY: [descriptor("p"), descriptor("p")]},
+            payload=b"\x00" * 64,
+        )
+        with pytest.raises(ProtocolError, match="duplicate payload"):
+            deliver(raw)
+
+    def test_payload_count_cap_is_enforced(self):
+        too_many = [
+            descriptor(f"p{i}", shape=(0,), nbytes=0)
+            for i in range(MAX_PAYLOADS_PER_FRAME + 1)
+        ]
+        raw = v3_frame({"op": "x", PAYLOADS_KEY: too_many})
+        with pytest.raises(ProtocolError, match="limit"):
+            deliver(raw)
+
+    def test_undeclared_payload_bytes_are_rejected(self):
+        raw = v3_frame({"op": "x"}, payload=b"sneaky")
+        with pytest.raises(ProtocolError, match="undeclared payload"):
+            deliver(raw)
+
+    def test_reserved_binary_key_cannot_be_smuggled(self):
+        raw = v3_frame({"op": "x", BINARY_KEY: {"p": "boo"}})
+        with pytest.raises(ProtocolError, match="reserved"):
+            deliver(raw)
+
+    def test_v1_frames_must_not_declare_payloads(self):
+        body = json.dumps(
+            {"op": "x", PAYLOADS_KEY: [descriptor("p", nbytes=0, shape=(0,))]}
+        ).encode()
+        raw = _HEADER.pack(MAGIC, 1, len(body)) + body
+        with pytest.raises(ProtocolError, match="must not declare"):
+            deliver(raw)
+
+    def test_frame_size_cap_is_a_typed_error(self):
+        header = _HEADER.pack(MAGIC, 3, MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError, match="exceeds the protocol"):
+            deliver(header)
+
+    def test_json_length_beyond_frame_is_rejected(self):
+        body = b'{"op":"x"}'
+        region = _JSON_LEN.pack(len(body) + 50) + body
+        raw = _HEADER.pack(MAGIC, 3, len(region)) + region
+        with pytest.raises(ProtocolError, match="JSON length"):
+            deliver(raw)
+
+    def test_spectrum_record_count_mismatch_is_typed(self, service_dataset):
+        batch = queries_of(service_dataset)
+        message = attach_spectra({"op": "ingest"}, batch)
+        message["spectra"] = message["spectra"][:-1]  # drop one record
+        received = roundtrip(message)
+        with pytest.raises(ProtocolError, match="count mismatch"):
+            extract_spectra(received)
+
+
+class TestReceiverBuffers:
+    def test_buffer_is_reused_across_frames(self):
+        a, b = socket.socketpair()
+        try:
+            receiver = FrameReceiver()
+            for index in range(3):
+                protocol.send_message(a, {"op": "ping", "seq": index})
+                message = receiver.recv_message(b)
+                assert message["seq"] == index
+                if index == 0:
+                    first_buffer = receiver._buffer
+            assert receiver._buffer is first_buffer
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_frames_use_a_transient_buffer(self):
+        big = b"\x00" * (protocol._RETAIN_BUFFER_BYTES + 1)
+        a, b = socket.socketpair()
+        try:
+            receiver = FrameReceiver()
+            sender = threading.Thread(
+                target=protocol.send_message,
+                args=(a, attach_chunk({"status": "ok"}, big)),
+            )
+            sender.start()
+            message = receiver.recv_message(b)
+            sender.join()
+            assert bytes(extract_chunk(message)) == big
+            # The giant frame must not pin its high-water mark.
+            assert len(receiver._buffer) <= protocol._RETAIN_BUFFER_BYTES
+        finally:
+            a.close()
+            b.close()
+
+
+@pytest.mark.parametrize("daemon_version", [1, 3])
+@pytest.mark.parametrize("client_version", [1, 3])
+class TestInteropMatrix:
+    """Every cell of the version matrix is identical to local."""
+
+    def test_query_vectors_identical_across_versions(
+        self, populated_repo, service_dataset, client_version, daemon_version
+    ):
+        with make_service(
+            populated_repo, protocol_version=daemon_version
+        ) as service:
+            service.start()
+            vectors = service.repository.encoder.encode_batch(
+                queries_of(service_dataset)
+            )
+            local = service.query_vectors(vectors, k=3)
+            with ServiceClient(
+                port=service.port, protocol_version=client_version
+            ) as client:
+                assert client.protocol_version == min(
+                    client_version, daemon_version
+                )
+                assert client.query_vectors(vectors, k=3) == local
+
+    def test_spectrum_query_and_ingest_across_versions(
+        self, populated_repo, service_dataset, client_version, daemon_version
+    ):
+        queries = queries_of(service_dataset)
+        with make_service(
+            populated_repo, protocol_version=daemon_version
+        ) as service:
+            service.start()
+            local = service.query(queries, k=3)
+            with ServiceClient(
+                port=service.port, protocol_version=client_version
+            ) as client:
+                assert client.query(queries, k=3) == local
+                report = client.ingest(service_dataset.spectra[-4:])
+                assert report.num_added == 4
+
+    def test_fetch_chunk_bytes_identical_across_versions(
+        self, populated_repo, client_version, daemon_version
+    ):
+        with make_service(
+            populated_repo, protocol_version=daemon_version
+        ) as service:
+            service.start()
+            with ServiceClient(
+                port=service.port, protocol_version=client_version
+            ) as client:
+                generation, files, _manifest = client.generation_files()
+                entry = max(files, key=lambda f: f.size)
+                chunk = client.fetch_chunk(
+                    generation, entry.name, 0, min(entry.size, 65536)
+                )
+                data = bytes(chunk)
+        with open(
+            populated_repo
+            / "segments"
+            / f"gen-{generation:06d}"
+            / entry.name,
+            "rb",
+        ) as handle:
+            assert handle.read(len(data)) == data
+
+
+class TestDaemonSurvivesBadFrames:
+    def test_malformed_payload_frame_drops_only_that_connection(
+        self, populated_repo, service_dataset
+    ):
+        with make_service(populated_repo) as service:
+            service.start()
+            raw = v3_frame(
+                {"op": "query_vectors", PAYLOADS_KEY: [descriptor("vec")]},
+                payload=b"\x00" * 16,  # descriptor says 32
+            )
+            with socket.create_connection(
+                ("127.0.0.1", service.port)
+            ) as sock:
+                sock.sendall(raw)
+                assert sock.recv(1) == b""  # dropped, no crash
+            # The daemon still serves fresh connections afterwards.
+            vectors = service.repository.encoder.encode_batch(
+                queries_of(service_dataset)[:2]
+            )
+            with ServiceClient(port=service.port) as client:
+                assert client.query_vectors(vectors, k=2) == (
+                    service.query_vectors(vectors, k=2)
+                )
+
+    def test_mid_payload_disconnect_does_not_wedge_the_daemon(
+        self, populated_repo
+    ):
+        with make_service(populated_repo) as service:
+            service.start()
+            partial = v3_frame(
+                {"op": "x", PAYLOADS_KEY: [descriptor("p", nbytes=1 << 20,
+                                                      shape=(1 << 17,))]},
+                payload=b"",
+                total=1 << 21,
+            )
+            with socket.create_connection(
+                ("127.0.0.1", service.port)
+            ) as sock:
+                sock.sendall(partial)
+            # Connection dropped mid-frame; a fresh client still works.
+            with ServiceClient(port=service.port) as client:
+                assert client.ping() == 1
+
+
+class TestTransportAccounting:
+    def test_daemon_metrics_and_client_counters_track_wire_bytes(
+        self, populated_repo, service_dataset
+    ):
+        with make_service(populated_repo) as service:
+            service.start()
+            vectors = service.repository.encoder.encode_batch(
+                queries_of(service_dataset)
+            )
+            with ServiceClient(port=service.port) as client:
+                client.query_vectors(vectors, k=2)
+                metrics = client.metrics()
+                assert client.bytes_sent > vectors.nbytes
+                assert client.bytes_received > 0
+        transport = metrics["transport"]
+        assert transport["bytes_received"] > vectors.nbytes
+        assert transport["bytes_sent"] > 0
+        assert transport["frames_received"] >= 2  # hello + query
+        sizes = transport["ops"]["query_vectors"]
+        assert sizes["count"] == 1
+        assert sizes["request_p50_bytes"] > vectors.nbytes
+        assert sizes["request_p99_bytes"] >= sizes["request_p50_bytes"]
+        assert sizes["response_p50_bytes"] > 0
+
+    def test_forced_v1_daemon_still_reports_transport(self, populated_repo):
+        with make_service(populated_repo, protocol_version=1) as service:
+            service.start()
+            with ServiceClient(port=service.port) as client:
+                assert client.protocol_version == 1
+                client.ping()
+                metrics = client.metrics()
+        assert metrics["transport"]["bytes_sent"] > 0
